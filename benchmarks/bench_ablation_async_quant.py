@@ -1,0 +1,68 @@
+"""ABL2 — asynchronous quantization on/off (paper Fig. 5 design choice).
+
+MILLION assigns KV quantization to a low-priority CUDA stream so it overlaps
+with the memory-bound decode work.  This ablation compares modelled TPOT with
+the quantization stream enabled versus forced onto the main stream, across
+prefill lengths, and reports how much quantization time stays hidden.
+"""
+
+from __future__ import annotations
+
+from repro.perf import (
+    LLAMA_2_7B,
+    A40,
+    MILLION_4BIT,
+    MILLION_4BIT_SYNC,
+    decode_step_ops,
+    estimate_tpot,
+    schedule_step,
+    time_decode_ops,
+)
+
+PREFILL_LENGTHS = [1024, 4096, 16384, 32768, 65536]
+
+
+def _run():
+    rows = []
+    for prefill in PREFILL_LENGTHS:
+        async_result = estimate_tpot(LLAMA_2_7B, MILLION_4BIT, prefill, device=A40)
+        sync_result = estimate_tpot(LLAMA_2_7B, MILLION_4BIT_SYNC, prefill, device=A40)
+        timings = time_decode_ops(
+            decode_step_ops(LLAMA_2_7B, MILLION_4BIT, prefill), MILLION_4BIT, LLAMA_2_7B, A40
+        )
+        step = schedule_step(timings, async_enabled=True)
+        rows.append(
+            (
+                prefill,
+                async_result.tpot_ms,
+                sync_result.tpot_ms,
+                step.quant_time_s * 1e3,
+                step.hidden_quant_time_s * 1e3,
+            )
+        )
+    return rows
+
+
+def test_ablation_async_quantization(benchmark, results_writer):
+    rows = benchmark(_run)
+    lines = [
+        f"{'prefill':>9s} {'async TPOT':>11s} {'sync TPOT':>10s} {'quant ms':>9s} "
+        f"{'hidden ms':>10s} {'saving %':>9s}"
+    ]
+    for prefill, async_ms, sync_ms, quant_ms, hidden_ms in rows:
+        saving = 100.0 * (sync_ms - async_ms) / sync_ms
+        lines.append(
+            f"{prefill:>9d} {async_ms:>11.2f} {sync_ms:>10.2f} {quant_ms:>9.3f} "
+            f"{hidden_ms:>10.3f} {saving:>9.2f}"
+        )
+    lines.append("")
+    lines.append(
+        "The async stream hides essentially all quantization work behind the"
+        " memory-bound decode step, so enabling it never hurts and its relative"
+        " benefit is largest at short contexts where the step is cheapest."
+    )
+    results_writer("ablation_async_quant", "\n".join(lines))
+
+    for prefill, async_ms, sync_ms, quant_ms, hidden_ms in rows:
+        assert async_ms <= sync_ms
+        assert hidden_ms >= 0.9 * quant_ms  # decode is memory-bound, so it hides

@@ -1,0 +1,72 @@
+"""FIG6 — LongBench scores with a 4-bit MILLION cache (paper Fig. 6).
+
+Runs the 16-task synthetic LongBench substitute on the trained tiny model
+under the fp16 cache and under MILLION-4b with the residual (recent window)
+size set to 0 — the paper's stress setting where every past token is
+quantized.  The paper's finding is that the average score drop is ≈ 1 point
+(llama-2-7b: -0.95, longchat-7b: -0.93, yarn-llama-2-7b: +0.45), i.e. the
+quantized cache is "nearly lossless" per task.
+
+The benchmark reports the per-task scores, the per-task loss and the average
+loss, and asserts the reproduction's form of the claim: the MILLION-4b
+average score stays within a few points of the fp16 average, and no task
+collapses from a solved state to an unsolved one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import average_scores, evaluate_longbench, longbench_tasks, relative_loss_percent
+
+PAPER_REFERENCE = (
+    "paper: average score drop of 0.95 (llama-2-7b), 0.93 (longchat-7b) and "
+    "-0.45 (yarn-llama-2-7b, i.e. a small gain) with 4-bit MILLION, residual size 0."
+)
+
+CONTEXT_LENGTH = 640
+N_EXAMPLES = 2
+
+
+def test_fig6_longbench(benchmark, results_writer, accuracy_model, accuracy_factories):
+    factories = {
+        "fp16": accuracy_factories["baseline"],
+        "million-4b": accuracy_factories["million-4b"],
+    }
+    tasks = longbench_tasks(context_length=CONTEXT_LENGTH)
+
+    def run():
+        return evaluate_longbench(
+            accuracy_model, factories, tasks=tasks, n_examples=N_EXAMPLES, seed=0
+        )
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    by_task: dict[str, dict[str, float]] = {}
+    for result in results:
+        by_task.setdefault(result.task, {})[result.scheme] = result.score
+    lines = [f"{'task':>22s} {'category':>15s} {'fp16':>8s} {'million-4b':>11s} {'loss':>8s}"]
+    for task_name, generator in tasks.items():
+        fp16 = by_task[task_name]["fp16"]
+        million = by_task[task_name]["million-4b"]
+        lines.append(
+            f"{task_name:>22s} {generator.category:>15s} {fp16:>8.1f} {million:>11.1f} "
+            f"{fp16 - million:>8.1f}"
+        )
+    averages = average_scores(results)
+    average_loss = averages["fp16"] - averages["million-4b"]
+    lines.append("")
+    lines.append(
+        f"average: fp16 {averages['fp16']:.2f}  million-4b {averages['million-4b']:.2f}  "
+        f"loss {average_loss:.2f} points "
+        f"({relative_loss_percent(averages['fp16'], averages['million-4b']):.1f}%)"
+    )
+    lines.append(PAPER_REFERENCE)
+    results_writer("fig6_longbench", "\n".join(lines))
+
+    # Nearly lossless on average: within 5 points of the fp16 average.
+    assert abs(average_loss) < 5.0
+    # No task collapses from clearly-solved (>50) to clearly-unsolved (<20).
+    for task_name, scores in by_task.items():
+        if scores["fp16"] > 50.0:
+            assert scores["million-4b"] > 20.0, f"{task_name} collapsed under quantization"

@@ -1,0 +1,70 @@
+"""FIG7 — per-operator latency breakdown and speedup curves (paper Fig. 7).
+
+For prefill lengths 128-80K, reports the per-operator decode latency of the
+fp16 baseline and MILLION-4b, the SDPA speedup, the end-to-end speedup and
+the OOM points.  The paper's qualitative findings checked here:
+
+* `cat` (KV-cache management) and `sdpa` dominate the baseline at long
+  contexts and are the two operators MILLION shrinks,
+* speedups grow with context length, reaching ~2x around 32K,
+* the fp16 baseline runs out of memory at 64K/80K while MILLION keeps running.
+"""
+
+from __future__ import annotations
+
+from repro.perf import LLAMA_2_7B, A40, ATTENTION_OPERATORS, breakdown_sweep
+
+CONTEXT_LENGTHS = [128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 80000]
+REPORTED_OPERATORS = ["cat", "sdpa", "qkv_proj", "o_proj", "rotary_emb", "repeat_kv",
+                      "causal_mask", "contiguous"]
+
+
+def _format(points) -> str:
+    lines = [
+        f"{'context':>9s} {'scheme':>14s} "
+        + "".join(f"{op:>11s}" for op in REPORTED_OPERATORS)
+        + f"{'total':>11s}"
+    ]
+    for point in points:
+        for label, breakdown in (("baseline", point.baseline), ("million-4b", point.million)):
+            if breakdown.oom:
+                lines.append(f"{point.context_length:>9d} {label:>14s} {'OOM':>11s}")
+                continue
+            cells = "".join(
+                f"{breakdown.operator_ms.get(op, 0.0):>11.3f}" for op in REPORTED_OPERATORS
+            )
+            lines.append(
+                f"{point.context_length:>9d} {label:>14s} {cells}{breakdown.total_ms:>11.2f}"
+            )
+    lines.append("")
+    lines.append(f"{'context':>9s} {'SDPA speedup':>13s} {'E2E speedup':>12s}")
+    for point in points:
+        sdpa = "n/a" if point.baseline.oom or point.million.oom else f"{point.sdpa_speedup:.2f}x"
+        e2e = "n/a" if point.baseline.oom or point.million.oom else f"{point.e2e_speedup:.2f}x"
+        lines.append(f"{point.context_length:>9d} {sdpa:>13s} {e2e:>12s}")
+    lines.append("")
+    lines.append("paper: SDPA speedup 2.01x and end-to-end 2.09x at 32K; baseline OOM at 64K+.")
+    return "\n".join(lines)
+
+
+def test_fig7_latency_breakdown(benchmark, results_writer):
+    points = benchmark(breakdown_sweep, LLAMA_2_7B, CONTEXT_LENGTHS, device=A40)
+    results_writer("fig7_latency_breakdown", _format(points))
+
+    by_length = {p.context_length: p for p in points}
+    p32k = by_length[32768]
+    # cat + sdpa dominate the baseline at 32K and MILLION shrinks both.
+    baseline_ops = p32k.baseline.operator_ms
+    assert baseline_ops["cat"] + baseline_ops["sdpa"] > 0.5 * p32k.baseline.total_ms
+    assert p32k.million.operator_ms["cat"] < baseline_ops["cat"] / 5
+    assert p32k.million.operator_ms["sdpa"] < baseline_ops["sdpa"]
+    # Speedup grows with context and is ~2x at 32K.
+    speedups = [by_length[c].e2e_speedup for c in (1024, 8192, 32768)]
+    assert speedups[0] < speedups[1] < speedups[2]
+    assert 1.7 < speedups[2] < 3.2
+    assert 1.3 < p32k.sdpa_speedup < 3.0
+    # Baseline OOM at 64K/80K; MILLION still running.
+    assert by_length[65536].baseline.oom and by_length[80000].baseline.oom
+    assert not by_length[65536].million.oom and not by_length[80000].million.oom
+    # Attention-block operators are a strict subset of the total.
+    assert set(REPORTED_OPERATORS) <= set(ATTENTION_OPERATORS)

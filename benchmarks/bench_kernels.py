@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the MILLION computational kernels (NumPy host versions).
+
+These time the actual library code (encode, LUT build, ADC gather, weighted
+decode, full cache attention) rather than the analytic GPU model — useful for
+tracking host-side regressions of the reproduction itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MillionConfig, ProductQuantizer
+from repro.core.million_cache import MillionKVCacheLayer
+from repro.models.config import ModelConfig
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(0)
+    head_dim = 64
+    vectors = rng.normal(size=(8192, head_dim)).astype(np.float32)
+    vectors[:, 5] *= 6.0
+    pq = ProductQuantizer.fit(vectors, m_subspaces=32, nbits=8, kmeans_iters=6, seed=0)
+    keys = rng.normal(size=(2048, 2, head_dim)).astype(np.float32)
+    values = rng.normal(size=(2048, 2, head_dim)).astype(np.float32)
+    queries = rng.normal(size=(1, 4, head_dim)).astype(np.float32)
+    codes = pq.encode(keys.reshape(-1, head_dim))
+    config = ModelConfig(
+        vocab_size=512, d_model=256, n_layers=1, n_heads=4, n_kv_heads=2, max_seq_len=8192
+    )
+    return {
+        "pq": pq,
+        "vectors": vectors,
+        "keys": keys,
+        "values": values,
+        "queries": queries,
+        "codes": codes,
+        "config": config,
+    }
+
+
+def test_kernel_pq_encode(benchmark, setup):
+    pq, vectors = setup["pq"], setup["vectors"]
+    codes = benchmark(pq.encode, vectors[:2048])
+    assert codes.shape == (2048, 32)
+
+
+def test_kernel_lut_build(benchmark, setup):
+    pq = setup["pq"]
+    queries = setup["queries"].reshape(-1, 64)
+    luts = benchmark(pq.build_score_luts, queries)
+    assert luts.shape == (4, 32, 256)
+
+
+def test_kernel_adc_scores(benchmark, setup):
+    pq, codes = setup["pq"], setup["codes"]
+    luts = pq.build_score_luts(setup["queries"].reshape(-1, 64))
+    scores = benchmark(pq.adc_scores, luts, codes)
+    assert scores.shape == (4, codes.shape[0])
+
+
+def test_kernel_weighted_decode(benchmark, setup):
+    pq, codes = setup["pq"], setup["codes"]
+    probs = np.random.default_rng(1).random((4, codes.shape[0])).astype(np.float32)
+    out = benchmark(pq.weighted_decode, probs, codes)
+    assert out.shape == (4, 64)
+
+
+def test_kernel_million_cache_decode_attention(benchmark, setup):
+    config = setup["config"]
+    million = MillionConfig(m_subspaces=32, nbits=8, recent_window=32)
+    cache = MillionKVCacheLayer(config, setup["pq"], setup["pq"], million)
+    keys, values = setup["keys"], setup["values"]
+    for start in range(0, 2048, 256):
+        cache.append(keys[start : start + 256], values[start : start + 256])
+    queries = setup["queries"]
+
+    def decode_attend():
+        return cache.attend(queries, np.asarray([2047]), 0.125)
+
+    out = benchmark(decode_attend)
+    assert out.shape == (1, 4, 64)

@@ -1,0 +1,42 @@
+"""TAB1 — model roster (paper Table I).
+
+Regenerates the roster of evaluated models: one tiny analogue per
+positional-embedding family, with the context length it supports and its
+parameter count, next to the full-size model it stands in for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import load_model, model_roster
+
+
+def _format_roster() -> str:
+    lines = [
+        f"{'tiny analogue':>24s} {'paper model':>18s} {'paper params':>12s} "
+        f"{'tiny params':>12s} {'positional':>12s} {'seq len':>8s}"
+    ]
+    for entry in model_roster():
+        lines.append(
+            f"{entry.name:>24s} {entry.paper_model:>18s} {entry.paper_params:>12s} "
+            f"{entry.tiny_params:>12,d} {entry.positional:>12s} {entry.max_seq_len:>8d}"
+        )
+    return "\n".join(lines)
+
+
+def test_table1_model_roster(benchmark, results_writer):
+    """Build every zoo model and report the Table I analogue."""
+
+    def build_all():
+        roster = model_roster()
+        # Instantiating each model exercises the positional-embedding paths.
+        models = [load_model(entry.name, seed=0) for entry in roster]
+        return models
+
+    models = benchmark.pedantic(build_all, iterations=1, rounds=1)
+    assert len(models) == 5
+    for model in models:
+        logits = model.prefill(np.arange(8) % model.config.vocab_size)
+        assert np.isfinite(logits).all()
+    results_writer("table1_model_zoo", _format_roster())

@@ -1,0 +1,104 @@
+"""TAB2 — perplexity under KV-cache quantization (paper Table II).
+
+Evaluates the fp16 baseline, the KVQuant-like baseline at 3/4 bits (with and
+without 1 % sparse outliers) and MILLION at 3/4 bits on the two synthetic
+corpora, using a tiny model trained on the Wikitext-2 analogue.  The context
+is fed in chunks so that every prediction attends to a quantized past, and the
+evaluation window matches the training length.
+
+What must reproduce (and is asserted):
+
+* MILLION at 4 bits and 3 bits is near-lossless relative to the fp16 baseline
+  (the paper reports ≤ 2 % PPL increase),
+* MILLION never trails the KVQuant-like baseline at the same bit budget by a
+  meaningful margin,
+* all schemes stay far below the no-context upper bound (the cache is
+  genuinely being used).
+
+Known divergence (documented in EXPERIMENTS.md): the catastrophic PPL
+explosions the paper reports for KVQuant-3b/4b *without* outlier handling do
+not appear at this scale — per-channel non-uniform codebooks over 32-channel
+heads on a 512-token vocabulary are simply not stressed enough — so this
+benchmark checks MILLION's claims rather than the baselines' failures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import compute_perplexity, perplexity_by_scheme
+
+# Order of the rows in the report (same set as the shared accuracy fixture).
+ACCURACY_SCHEMES = [
+    "baseline",
+    "kvquant-3b",
+    "kvquant-3b-1pct",
+    "kvquant-4b",
+    "kvquant-4b-1pct",
+    "million-3b",
+    "million-4b",
+]
+
+# Paper Table II, Llama-2-7B column (Wikitext-2 / PTB).
+PAPER_REFERENCE = """paper (Llama-2-7B):        Wikitext-2   PTB
+  baseline                        5.12   28.31
+  KVQuant-3b                     11.21   12323.75
+  KVQuant-3b-1%                   5.22   24.34
+  MILLION-3b                      5.20   29.55
+  KVQuant-4b                      6.99   102.21
+  KVQuant-4b-1%                   5.14   25.86
+  MILLION-4b                      5.21   29.56"""
+
+EVAL_WINDOW = 256
+CHUNK = 16
+
+
+def test_table2_perplexity(benchmark, results_writer, accuracy_model, accuracy_factories, evaluation_tokens):
+    def run():
+        table = {}
+        for corpus_name, tokens in evaluation_tokens.items():
+            table[corpus_name] = perplexity_by_scheme(
+                accuracy_model,
+                tokens,
+                accuracy_factories,
+                chunk_size=CHUNK,
+                window=EVAL_WINDOW,
+            )
+        return table
+
+    table = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    corpora = list(evaluation_tokens)
+    lines = [f"{'scheme':>18s}" + "".join(f"{c:>16s}" for c in corpora)]
+    for scheme in ACCURACY_SCHEMES:
+        cells = "".join(f"{table[c][scheme].perplexity:>16.3f}" for c in corpora)
+        lines.append(f"{scheme:>18s}{cells}")
+    # Context-free upper bound for reference: reset the cache every chunk.
+    no_context = compute_perplexity(
+        accuracy_model,
+        evaluation_tokens[corpora[0]][: 4 * EVAL_WINDOW],
+        chunk_size=CHUNK,
+        window=CHUNK,
+        scheme_name="no-context",
+    )
+    lines.append("")
+    lines.append(
+        f"(for reference, {corpora[0]} perplexity with the context truncated to "
+        f"{CHUNK} tokens: {no_context.perplexity:.2f})"
+    )
+    lines.append("")
+    lines.append(PAPER_REFERENCE)
+    results_writer("table2_perplexity", "\n".join(lines))
+
+    for corpus_name in corpora:
+        results = table[corpus_name]
+        baseline = results["baseline"].perplexity
+        # MILLION is near-lossless at 4 and 3 bits.
+        assert results["million-4b"].perplexity < baseline * 1.05
+        assert results["million-3b"].perplexity < baseline * 1.08
+        # MILLION does not trail the KVQuant-like baseline meaningfully.
+        assert results["million-4b"].perplexity < results["kvquant-4b"].perplexity * 1.05
+        assert results["million-3b"].perplexity < results["kvquant-3b"].perplexity * 1.08
+    # The model genuinely uses the (quantized) context.
+    wikitext = table[corpora[0]]
+    assert wikitext["baseline"].perplexity < no_context.perplexity * 0.85

@@ -1,0 +1,88 @@
+"""TAB3 — sensitivity to 1 % sparse outlier isolation (paper Table III).
+
+The paper's "outlier-immune" claim: storing the top 1 % of KV entries in a
+sparse full-precision side structure barely changes MILLION's perplexity
+(-0.38 % at 3 bits, +0.58 % at 4 bits), whereas KVQuant's accuracy collapses
+without it (53.4 % / 26.5 % of its PPL comes from the outlier handling).
+
+This benchmark computes the same sensitivity metric
+``(ppl_without - ppl_with) / ppl_without`` for the KVQuant-like baseline and
+MILLION at 3 and 4 bits, and asserts that MILLION's sensitivity is small —
+i.e. adding outlier isolation to MILLION is pointless, which is the property
+that lets it skip the expensive sparse machinery at inference time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import perplexity_by_scheme
+
+PAPER_REFERENCE = """paper (Llama-2-7B, Wikitext-2):
+             kv-3b   kv-3b-1%  sensitivity-3b   kv-4b   kv-4b-1%  sensitivity-4b
+  KVQuant    11.21       5.22          53.4%     6.99       5.14          26.5%
+  MILLION     5.20       5.22          -0.38%    5.21       5.18           0.58%"""
+
+SCHEME_PAIRS = {
+    "KVQuant": {"3b": ("kvquant-3b", "kvquant-3b-1pct"), "4b": ("kvquant-4b", "kvquant-4b-1pct")},
+    "MILLION": {"3b": ("million-3b", "million-3b-1pct"), "4b": ("million-4b", "million-4b-1pct")},
+}
+
+EVAL_WINDOW = 256
+CHUNK = 16
+
+
+def _sensitivity(ppl_without: float, ppl_with: float) -> float:
+    return 100.0 * (ppl_without - ppl_with) / ppl_without
+
+
+def test_table3_outlier_sensitivity(
+    benchmark, results_writer, accuracy_model, accuracy_factories, calibration_tokens, evaluation_tokens
+):
+    # The shared fixture covers the non-outlier variants; build the MILLION
+    # outlier variants here (KVQuant outlier variants are already shared).
+    from repro.eval import build_scheme_factories
+
+    extra = build_scheme_factories(
+        ["million-3b-1pct", "million-4b-1pct"],
+        accuracy_model,
+        calibration_tokens,
+        seed=0,
+        kmeans_iters=8,
+        calibration_samples=2048,
+    )
+    factories = {**accuracy_factories, **extra}
+    tokens = evaluation_tokens["wikitext2-syn"]
+
+    def run():
+        return perplexity_by_scheme(
+            accuracy_model, tokens, factories, chunk_size=CHUNK, window=EVAL_WINDOW
+        )
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    lines = [
+        f"{'scheme':>9s} {'kv-3b':>9s} {'kv-3b-1%':>9s} {'sens-3b':>9s} "
+        f"{'kv-4b':>9s} {'kv-4b-1%':>9s} {'sens-4b':>9s}"
+    ]
+    sensitivities = {}
+    for family, pairs in SCHEME_PAIRS.items():
+        row = [f"{family:>9s}"]
+        for bits in ("3b", "4b"):
+            without, with_outliers = pairs[bits]
+            ppl_without = results[without].perplexity
+            ppl_with = results[with_outliers].perplexity
+            sens = _sensitivity(ppl_without, ppl_with)
+            sensitivities[(family, bits)] = sens
+            row.append(f"{ppl_without:>9.3f} {ppl_with:>9.3f} {sens:>8.2f}%")
+        lines.append(" ".join(row))
+    lines.append("")
+    lines.append(PAPER_REFERENCE)
+    results_writer("table3_outlier_sensitivity", "\n".join(lines))
+
+    # MILLION is outlier-immune: isolating 1 % of entries moves PPL by < 2 %.
+    assert abs(sensitivities[("MILLION", "3b")]) < 2.0
+    assert abs(sensitivities[("MILLION", "4b")]) < 2.0
+    # And it never relies on outlier handling more than the KVQuant baseline does.
+    assert sensitivities[("MILLION", "3b")] <= sensitivities[("KVQuant", "3b")] + 2.0
+    assert sensitivities[("MILLION", "4b")] <= sensitivities[("KVQuant", "4b")] + 2.0

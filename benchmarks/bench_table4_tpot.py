@@ -1,0 +1,77 @@
+"""TAB4 — time per output token versus prefill length (paper Table IV).
+
+Uses the analytic A40 performance model to estimate decode TPOT for the fp16
+baseline, KIVI-4b, KVQuant-4b and MILLION-4b at prefill lengths 1K-32K with
+100 generated tokens, and checks the qualitative findings of the paper:
+
+* the baseline grows steeply with context length,
+* KIVI is slower than the baseline at short contexts, overtakes it around 8K
+  and runs out of memory at 16K on the 48 GB A40,
+* KVQuant is the slowest scheme at every length,
+* MILLION is the fastest at every length and reaches ~2x end-to-end speedup
+  at 32K.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perf import LLAMA_2_7B, A40, tpot_table
+
+SCHEMES = ["baseline-fp16", "kivi-4b", "kvquant-4b", "million-4b"]
+PREFILL_LENGTHS = [1024, 2048, 4096, 8192, 16384, 32768]
+
+# Paper Table IV values (ms/token) for reference in the report.
+PAPER_TPOT = {
+    "baseline-fp16": [32.53, 35.64, 42.04, 54.83, 80.49, 132.97],
+    "kivi-4b": [46.69, 46.88, 46.92, 47.86, float("nan"), float("nan")],
+    "kvquant-4b": [75.73, 73.92, 75.34, 74.90, 78.17, 90.16],
+    "million-4b": [30.36, 31.57, 34.05, 38.34, 46.53, 63.41],
+}
+
+
+def _format(table) -> str:
+    header = f"{'scheme':>16s}" + "".join(f"{l // 1024:>8d}K" for l in PREFILL_LENGTHS)
+    lines = [header]
+    for scheme in SCHEMES:
+        cells = "".join(
+            f"{'OOM':>9s}" if r.oom else f"{r.tpot_ms:>9.2f}" for r in table[scheme]
+        )
+        lines.append(f"{scheme:>16s}{cells}")
+    lines.append("")
+    lines.append("paper-reported values (A40, measured):")
+    for scheme in SCHEMES:
+        cells = "".join(
+            f"{'OOM':>9s}" if np.isnan(v) else f"{v:>9.2f}" for v in PAPER_TPOT[scheme]
+        )
+        lines.append(f"{scheme:>16s}{cells}")
+    return "\n".join(lines)
+
+
+def test_table4_tpot(benchmark, results_writer):
+    table = benchmark(
+        tpot_table, LLAMA_2_7B, SCHEMES, PREFILL_LENGTHS, device=A40, n_decode_tokens=100
+    )
+    results_writer("table4_tpot", _format(table))
+
+    baseline = [r.tpot_ms for r in table["baseline-fp16"]]
+    million = [r.tpot_ms for r in table["million-4b"]]
+    kivi = table["kivi-4b"]
+    kvquant = [r.tpot_ms for r in table["kvquant-4b"]]
+
+    # Baseline scales steeply with context length.
+    assert baseline[-1] > 2.5 * baseline[0]
+    # MILLION is fastest at every prefill length.
+    for i in range(len(PREFILL_LENGTHS)):
+        assert million[i] < baseline[i]
+        assert million[i] < kvquant[i]
+        if not kivi[i].oom:
+            assert million[i] < kivi[i].tpot_ms
+    # ~2x end-to-end gain at 32K (paper reports 2.09x).
+    assert 1.7 < baseline[-1] / million[-1] < 3.2
+    # KIVI: slower than baseline at 1K-4K, competitive by 8K, OOM at 16K+.
+    assert kivi[0].tpot_ms > baseline[0]
+    assert kivi[3].tpot_ms < baseline[3] * 1.05
+    assert kivi[4].oom and kivi[5].oom
+    # KVQuant is the slowest non-OOM scheme at short contexts.
+    assert kvquant[0] > max(baseline[0], million[0], kivi[0].tpot_ms)

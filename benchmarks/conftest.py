@@ -1,0 +1,141 @@
+"""Shared fixtures and reporting helpers for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures.  The rows
+are printed to stdout (run pytest with ``-s`` to see them live) and written to
+``benchmarks/results/<experiment>.txt`` so they can be inspected after a run
+and copied into EXPERIMENTS.md.
+
+Scale knobs
+-----------
+The default configuration finishes the whole suite in a few minutes on a
+laptop CPU.  Set ``REPRO_FULL=1`` to train the accuracy model longer, use more
+evaluation tokens and more task examples (closer to the paper's protocol, at
+the cost of a much longer run).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import load_corpus
+from repro.eval import build_scheme_factories
+from repro.models.config import ModelConfig
+from repro.models.weights import OutlierSpec
+from repro.training import cached_trained_model
+
+RESULTS_DIR = Path(__file__).parent / "results"
+CACHE_DIR = Path(__file__).parent / "_cache"
+
+FULL_MODE = os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")
+
+# Schemes evaluated by the accuracy experiments (Table II / III / Fig. 6).
+ACCURACY_SCHEMES = [
+    "baseline",
+    "kvquant-3b",
+    "kvquant-3b-1pct",
+    "kvquant-4b",
+    "kvquant-4b-1pct",
+    "million-3b",
+    "million-4b",
+]
+
+
+def scale(fast: int, full: int) -> int:
+    """Pick a size parameter depending on REPRO_FULL."""
+    return full if FULL_MODE else fast
+
+
+@pytest.fixture(scope="session")
+def results_writer():
+    """Callable that records one experiment's textual report."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def write(experiment_id: str, text: str) -> None:
+        path = RESULTS_DIR / f"{experiment_id}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {experiment_id} =====")
+        print(text)
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def accuracy_model_config() -> ModelConfig:
+    """Configuration of the trained tiny model used by accuracy experiments."""
+    return ModelConfig(
+        name="bench-accuracy-lm-v2",
+        vocab_size=512,
+        d_model=128,
+        n_layers=2,
+        n_heads=4,
+        max_seq_len=4096,
+        positional="rope",
+        norm="rmsnorm",
+        activation="silu",
+    )
+
+
+@pytest.fixture(scope="session")
+def accuracy_model(accuracy_model_config):
+    """Tiny LM trained on the synthetic corpus (cached across benchmark runs).
+
+    The key-channel / value-element outlier structure of real LLM caches is
+    injected at initialisation (see DESIGN.md) and survives the short
+    training run; training windows of 256 tokens with a 50 % induction
+    fraction teach the model to use long-range context, which is what makes
+    KV-cache quantization error observable in the first place.
+    """
+    steps = scale(fast=400, full=1000)
+    model, _ = cached_trained_model(
+        accuracy_model_config,
+        cache_dir=CACHE_DIR,
+        corpus_name=("wikitext2-syn", "ptb-syn"),
+        steps=steps,
+        seed=0,
+        batch_size=8,
+        seq_len=256,
+        induction_fraction=0.4,
+        task_episode_fraction=0.25,
+        outlier_spec=OutlierSpec(
+            key_channel_fraction=0.06,
+            key_channel_scale=8.0,
+            value_element_fraction=0.01,
+            value_element_scale=10.0,
+        ),
+        log_every=0,
+    )
+    return model
+
+
+@pytest.fixture(scope="session")
+def calibration_tokens(accuracy_model_config) -> np.ndarray:
+    n_tokens = scale(fast=1024, full=4096)
+    return load_corpus("wikitext2-syn", "train", n_tokens) % accuracy_model_config.vocab_size
+
+
+@pytest.fixture(scope="session")
+def evaluation_tokens(accuracy_model_config) -> dict[str, np.ndarray]:
+    """Test streams for the two PPL corpora (Wikitext-2 / PTB analogues)."""
+    n_tokens = scale(fast=1024, full=4096)
+    return {
+        "wikitext2-syn": load_corpus("wikitext2-syn", "test", n_tokens)
+        % accuracy_model_config.vocab_size,
+        "ptb-syn": load_corpus("ptb-syn", "test", n_tokens) % accuracy_model_config.vocab_size,
+    }
+
+
+@pytest.fixture(scope="session")
+def accuracy_factories(accuracy_model, calibration_tokens):
+    """Calibrated cache factories for every accuracy scheme (shared by benches)."""
+    return build_scheme_factories(
+        ACCURACY_SCHEMES,
+        accuracy_model,
+        calibration_tokens,
+        seed=0,
+        kmeans_iters=scale(fast=8, full=15),
+        calibration_samples=scale(fast=2048, full=8192),
+    )

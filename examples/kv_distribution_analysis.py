@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Reproduce the paper's KV-distribution motivation study (Figs. 2 and 3).
+
+For two models with different positional embeddings, runs calibration text
+through the model, and prints per-channel magnitude and standard-deviation
+statistics of the key and value caches — showing that key outliers concentrate
+in a few channels while values stay isotropic, which is exactly the structure
+product quantization absorbs.
+
+Run with::
+
+    python examples/kv_distribution_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import load_corpus
+from repro.eval import collect_kv_statistics, summarize_outlier_structure
+from repro.models import load_model
+
+
+def sparkline(values: np.ndarray, width: int = 48) -> str:
+    """Render a channel profile as a compact ASCII sparkline."""
+    blocks = " .:-=+*#%@"
+    resampled = np.interp(
+        np.linspace(0, len(values) - 1, width), np.arange(len(values)), values
+    )
+    top = resampled.max() or 1.0
+    return "".join(blocks[min(int(v / top * (len(blocks) - 1)), len(blocks) - 1)] for v in resampled)
+
+
+def main() -> None:
+    for model_name in ("llama-2-7b-tiny", "mpt-7b-tiny"):
+        model = load_model(model_name, seed=0)
+        tokens = load_corpus("wikitext2-syn", "validation", 512) % model.config.vocab_size
+        stats = collect_kv_statistics(model, tokens, chunk_size=128, layers=[0, model.config.n_layers - 1])
+        print(f"\n=== {model_name} ===")
+        for stat in stats:
+            profile = sparkline(stat.abs_max)
+            print(
+                f"layer {stat.layer} {stat.kind:5s} |max| per channel: [{profile}] "
+                f"outlier ratio {stat.magnitude_outlier_ratio():.1f}x, "
+                f"std ratio {stat.std_outlier_ratio():.1f}x, "
+                f"top channels {stat.top_channels(3).tolist()}"
+            )
+        summary = summarize_outlier_structure(stats)
+        print(
+            "summary: key magnitude outlier ratio "
+            f"{summary['key_magnitude_outlier_ratio']:.1f}x vs value "
+            f"{summary['value_magnitude_outlier_ratio']:.1f}x ; key std ratio "
+            f"{summary['key_std_outlier_ratio']:.1f}x vs value "
+            f"{summary['value_std_outlier_ratio']:.1f}x"
+        )
+    print(
+        "\nKeys concentrate their outliers in a handful of channels (hard for"
+        " uniform integer quantization); values do not — the Fig. 2/3 observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Long-document fact retrieval with a quantized KV cache.
+
+Builds a synthetic long document with facts buried at several depths (the
+scenario motivating long-context inference in the paper's introduction),
+answers questions about them with the fp16 cache and with MILLION-4b, and
+reports both the retrieval scores and the KV-cache memory of each scheme.
+
+Run with::
+
+    python examples/long_document_qa.py [--trained]
+
+``--trained`` first trains a tiny model (about a minute) so the retrieval
+scores are meaningful rather than near zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.data import load_corpus
+from repro.eval import build_cache_factory, evaluate_task
+from repro.eval.longbench import SingleDocQATask
+from repro.models import load_model
+from repro.models.config import ModelConfig
+from repro.models.kv_cache import FullPrecisionCacheFactory
+from repro.training import train_tiny_lm
+
+
+def build_model(trained: bool):
+    if not trained:
+        return load_model("llama-2-7b-tiny", seed=0, max_seq_len=4096)
+    config = ModelConfig(
+        name="long-doc-qa",
+        vocab_size=512,
+        d_model=128,
+        n_layers=2,
+        n_heads=4,
+        max_seq_len=4096,
+        positional="rope",
+    )
+    print("training a tiny model (about a minute)...")
+    model, history = train_tiny_lm(
+        config, steps=250, batch_size=8, seq_len=192, induction_fraction=0.5, seed=0, log_every=0
+    )
+    print(f"  final training loss {history.final_loss:.3f}")
+    return model
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trained", action="store_true", help="train the model first")
+    parser.add_argument("--examples", type=int, default=3, help="examples per depth")
+    args = parser.parse_args()
+
+    model = build_model(args.trained)
+    calibration = load_corpus("wikitext2-syn", "train", 1024) % model.config.vocab_size
+
+    factories = {
+        "fp16": FullPrecisionCacheFactory(),
+        "million-4b": build_cache_factory(
+            "million-4b", model, calibration, kmeans_iters=8, calibration_samples=2048
+        ),
+    }
+
+    print(f"\n{'document length':>16s} {'scheme':>12s} {'QA score':>9s} {'KV cache KiB':>13s}")
+    for context_length in (512, 1024, 2048):
+        task = SingleDocQATask("needle-qa", "single-doc QA", context_length=context_length)
+        for scheme, factory in factories.items():
+            result = evaluate_task(
+                model, task, factory, n_examples=args.examples, seed=1, scheme_name=scheme
+            )
+            kv_kib = model.cache_memory_bytes() / 1024.0
+            print(
+                f"{context_length:>16d} {scheme:>12s} {result.score:>9.1f} {kv_kib:>13.1f}"
+            )
+    print(
+        "\nThe quantized cache answers from 4-bit PQ codes; its footprint is a"
+        " fraction of fp16 while the retrieval score tracks the fp16 cache."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: calibrate MILLION on a tiny model and generate with a 4-bit KV cache.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import MillionConfig, MillionEngine
+from repro.data import load_corpus
+from repro.models import load_model
+
+
+def main() -> None:
+    # 1. Load a model.  "llama-2-7b-tiny" is the RoPE analogue from the model
+    #    zoo (see repro.models.model_zoo for the full Table I roster).
+    model = load_model("llama-2-7b-tiny", seed=0)
+    print(f"model: {model.config.name}  ({model.num_parameters():,} parameters)")
+
+    # 2. Offline phase (paper Fig. 4a): sample the KV cache on calibration
+    #    text and train the per-layer product-quantization codebooks.
+    calibration = load_corpus("wikitext2-syn", "train", n_tokens=1024)
+    config = MillionConfig.for_equivalent_bits(model.config.head_dim, bits=4, recent_window=8)
+    print(
+        f"MILLION config: M={config.m_subspaces}, nbits={config.nbits} "
+        f"({config.bits_per_value(model.config.head_dim):.1f} bits per cached value)"
+    )
+    engine = MillionEngine.calibrate(model, calibration, config)
+
+    # 3. Online phase: prefill a prompt and decode with the quantized cache.
+    prompt = load_corpus("wikitext2-syn", "test", n_tokens=256)
+    generated = engine.generate(prompt, max_new_tokens=32)
+    print(f"prompt length: {prompt.size} tokens, generated: {generated.tolist()}")
+
+    # 4. Inspect the cache: most of the context is stored as PQ codes.
+    stats = engine.cache_stats()
+    print(
+        f"context={stats.context_length} tokens  "
+        f"quantized={stats.quantized_tokens}  recent(fp)={stats.recent_tokens}"
+    )
+    print(
+        f"KV cache: {stats.memory_bytes / 1024:.1f} KiB vs fp16 "
+        f"{stats.fp16_memory_bytes / 1024:.1f} KiB  "
+        f"(compression {stats.compression_ratio:.2f}x, codebooks included)"
+    )
+
+    # 5. Fidelity check: quantized logits stay close to the fp16 logits.
+    engine.reset()
+    engine.prefill(prompt[:128])
+    quantized_next = engine.decode_step(int(prompt[128]))
+    reference_next = engine.baseline_logits(prompt[: 128 + 1])[-1]
+    agreement = np.argmax(quantized_next) == np.argmax(reference_next)
+    print(f"top-1 prediction matches fp16 after 128 quantized tokens: {bool(agreement)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Multi-turn decoding on a single ever-growing quantized context.
+
+Simulates a long multi-turn interaction (the "extended multi-turn
+interactions" use case from the paper's introduction): each turn appends a
+new synthetic user message to the same context and decodes a reply, while the
+MILLION cache keeps compressing everything that scrolls out of the recent
+window.  After every turn the script reports the context length, how many
+tokens live as 4-bit PQ codes, the cache footprint versus fp16 and the decode
+fidelity against a full-precision reference for the latest turn.
+
+Run with::
+
+    python examples/streaming_chat.py [--turns 6]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import MillionConfig, MillionEngine
+from repro.data import load_corpus
+from repro.models import load_model
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--turns", type=int, default=6, help="number of conversation turns")
+    parser.add_argument("--turn-tokens", type=int, default=192, help="tokens per user message")
+    parser.add_argument("--reply-tokens", type=int, default=16, help="tokens decoded per reply")
+    args = parser.parse_args()
+
+    model = load_model("longchat-7b-tiny", seed=0, max_seq_len=8192)
+    calibration = load_corpus("wikitext2-syn", "train", 1024)
+    config = MillionConfig.for_equivalent_bits(model.config.head_dim, bits=4, recent_window=16)
+    engine = MillionEngine.calibrate(model, calibration, config)
+
+    conversation = load_corpus("wikitext2-syn", "test", args.turns * args.turn_tokens)
+    engine.reset()
+    print(
+        f"{'turn':>5s} {'context':>8s} {'quantized':>10s} {'cache KiB':>10s} "
+        f"{'fp16 KiB':>9s} {'ratio':>6s} {'top-1 vs fp16':>14s}"
+    )
+    for turn in range(args.turns):
+        message = conversation[turn * args.turn_tokens : (turn + 1) * args.turn_tokens]
+        logits = engine.model.forward(message)  # append the user message to the context
+        # Decode a short reply on the quantized context.
+        token = int(np.argmax(logits[-1]))
+        reply = [token]
+        for _ in range(args.reply_tokens - 1):
+            token = int(np.argmax(engine.decode_step(token)))
+            reply.append(token)
+        # Fidelity of the final decode step against a full-precision run of
+        # the same context (recomputed from scratch, so it is exact).
+        context_so_far = np.concatenate(
+            [conversation[: (turn + 1) * args.turn_tokens], np.asarray(reply[:-1])]
+        )
+        reference = engine.baseline_logits(context_so_far)[-1]
+        agreement = "yes" if int(np.argmax(reference)) == reply[-1] else "no"
+        stats = engine.cache_stats()
+        print(
+            f"{turn + 1:>5d} {stats.context_length:>8d} {stats.quantized_tokens:>10d} "
+            f"{stats.memory_bytes / 1024:>10.1f} {stats.fp16_memory_bytes / 1024:>9.1f} "
+            f"{stats.compression_ratio:>6.2f} {agreement:>14s}"
+        )
+    print(
+        "\nThe conversation keeps growing, but almost all of it is stored as"
+        " 4-bit PQ codes; only the recent window stays in full precision."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Decode-throughput analysis with the analytic GPU performance model.
+
+Prints the Table IV style TPOT comparison, the Fig. 7 style per-operator
+breakdown, the dual-stream (asynchronous quantization) effect and the maximum
+servable context length per scheme on a chosen GPU.
+
+Run with::
+
+    python examples/throughput_analysis.py [--device a40] [--model llama-2-7b]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.perf import (
+    PERF_MODEL_PRESETS,
+    SCHEME_PRESETS,
+    breakdown_sweep,
+    estimate_tpot,
+    get_device,
+    get_scheme,
+    max_context_length,
+    tpot_table,
+)
+
+TABLE_SCHEMES = ["baseline-fp16", "kivi-4b", "kvquant-4b", "million-4b"]
+PREFILL_LENGTHS = [1024, 2048, 4096, 8192, 16384, 32768]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--device", default="a40", help="GPU preset (a40, a100-80gb)")
+    parser.add_argument("--model", default="llama-2-7b", choices=sorted(PERF_MODEL_PRESETS))
+    args = parser.parse_args()
+
+    device = get_device(args.device)
+    config = PERF_MODEL_PRESETS[args.model]
+    print(f"model: {config.name}   device: {device.name} "
+          f"({device.memory_gb:.0f} GB, {device.memory_bandwidth_gbs:.0f} GB/s)")
+
+    # Table IV: TPOT per scheme per prefill length.
+    print("\nTPOT (ms/token, 100 generated tokens)")
+    header = "prefill".rjust(16) + "".join(f"{l // 1024:>7d}K" for l in PREFILL_LENGTHS)
+    print(header)
+    table = tpot_table(config, TABLE_SCHEMES, PREFILL_LENGTHS, device=device)
+    for scheme in TABLE_SCHEMES:
+        cells = "".join(
+            f"{'OOM':>8s}" if r.oom else f"{r.tpot_ms:>8.2f}" for r in table[scheme]
+        )
+        print(f"{scheme:>16s}{cells}")
+
+    # Fig. 7: per-operator breakdown and speedups.
+    print("\nPer-operator breakdown at 32K context (ms/decode step)")
+    points = breakdown_sweep(config, [32768], device=device)
+    point = points[0]
+    operators = sorted(point.baseline.operator_ms, key=point.baseline.operator_ms.get, reverse=True)
+    print(f"{'operator':>16s} {'baseline':>10s} {'million-4b':>11s}")
+    for op in operators[:8]:
+        base = point.baseline.operator_ms.get(op, 0.0)
+        mill = point.million.operator_ms.get(op, 0.0)
+        print(f"{op:>16s} {base:>10.2f} {mill:>11.2f}")
+    print(f"SDPA speedup: {point.sdpa_speedup:.2f}x   end-to-end speedup: {point.e2e_speedup:.2f}x")
+
+    # Asynchronous quantization ablation.
+    sync = estimate_tpot(config, "million-4b-sync", 16384, device=device).tpot_ms
+    async_ = estimate_tpot(config, "million-4b", 16384, device=device).tpot_ms
+    print(f"\nasync quantization at 16K context: {async_:.2f} ms vs {sync:.2f} ms synchronous")
+
+    # Maximum servable context per scheme.
+    print("\nmaximum context length before OOM")
+    for name in TABLE_SCHEMES:
+        limit = max_context_length(config, get_scheme(name), device)
+        print(f"{name:>16s} {limit:>10d} tokens")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so the package can be installed editable on
+offline machines that lack the ``wheel`` package (legacy ``pip install -e .``
+path); all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""MILLION reproduction: outlier-immunized KV-cache product quantization.
+
+The package is organised by subsystem:
+
+* :mod:`repro.models` — NumPy transformer substrate with pluggable KV caches;
+* :mod:`repro.data` — synthetic corpora and long-context document builders;
+* :mod:`repro.quant` — uniform/non-uniform quantization and the KIVI/KVQuant
+  baseline caches;
+* :mod:`repro.baselines` — sparse-attention alternatives (sliding window with
+  attention sinks, heavy-hitter eviction);
+* :mod:`repro.core` — the MILLION product-quantized cache, calibration and
+  the high-level :class:`~repro.core.engine.MillionEngine`;
+* :mod:`repro.perf` — analytic GPU performance model (TPOT, breakdowns, OOM);
+* :mod:`repro.eval` — perplexity, KV-distribution analysis, LongBench
+  substitute;
+* :mod:`repro.training` — tiny NumPy autograd/trainer so accuracy
+  experiments can use genuinely trained models.
+
+Quickstart::
+
+    from repro.models import load_model
+    from repro.data import load_corpus
+    from repro.core import MillionConfig, MillionEngine
+
+    model = load_model("llama-2-7b-tiny")
+    calibration = load_corpus("wikitext2-syn", "train", n_tokens=1024)
+    engine = MillionEngine.calibrate(
+        model, calibration, MillionConfig.for_equivalent_bits(model.config.head_dim, bits=4)
+    )
+    tokens = engine.generate(load_corpus("wikitext2-syn", "test", 128), max_new_tokens=32)
+"""
+
+from repro.core import MillionConfig, MillionEngine, ProductQuantizer
+from repro.models import ModelConfig, TransformerLM, load_model
+from repro.version import __version__
+
+__all__ = [
+    "MillionConfig",
+    "MillionEngine",
+    "ProductQuantizer",
+    "ModelConfig",
+    "TransformerLM",
+    "load_model",
+    "__version__",
+]

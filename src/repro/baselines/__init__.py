@@ -1,0 +1,19 @@
+"""Non-quantization KV-cache baselines (sparse-attention family).
+
+The paper's related-work section contrasts KV quantization with two other
+ways of taming the KV cache: windowed attention with "attention sinks"
+(StreamingLLM-style) and importance-based token eviction (H2O-style).  Both
+are implemented here as ordinary :class:`~repro.models.kv_cache.KVCacheLayer`
+schemes so they can be compared head-to-head with MILLION under the same
+models, metrics and memory accounting.
+"""
+
+from repro.baselines.heavy_hitter import HeavyHitterCacheFactory, HeavyHitterKVCache
+from repro.baselines.sliding_window import SlidingWindowCacheFactory, SlidingWindowKVCache
+
+__all__ = [
+    "HeavyHitterCacheFactory",
+    "HeavyHitterKVCache",
+    "SlidingWindowCacheFactory",
+    "SlidingWindowKVCache",
+]

@@ -1,0 +1,108 @@
+"""Sliding-window attention with optional attention-sink tokens.
+
+This is the StreamingLLM-style baseline the paper's related-work section
+describes: keep the KV pairs of the first ``n_sink`` tokens (the "attention
+sinks") and of the most recent ``window`` tokens, and drop everything in
+between.  Memory is constant in the context length, but any information that
+only lives in evicted tokens is unrecoverable — the failure mode quantization
+avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.attention_math import dense_attention
+from repro.models.config import ModelConfig
+from repro.models.kv_cache import FP16_BYTES, KVCacheLayer
+from repro.utils.validation import require
+
+
+class SlidingWindowKVCache(KVCacheLayer):
+    """Keeps sink tokens plus a recency window; evicts everything else."""
+
+    def __init__(self, config: ModelConfig, window: int = 256, n_sink: int = 4) -> None:
+        super().__init__(config)
+        require(window >= 1, "window must be >= 1")
+        require(n_sink >= 0, "n_sink must be >= 0")
+        self.window = window
+        self.n_sink = n_sink
+        shape = (0, config.kv_heads, config.head_dim)
+        self._keys = np.zeros(shape, dtype=np.float32)
+        self._values = np.zeros(shape, dtype=np.float32)
+        self._positions = np.zeros(0, dtype=np.int64)
+
+    # Bookkeeping --------------------------------------------------------------
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=np.float32)
+        values = np.asarray(values, dtype=np.float32)
+        self._validate_append(keys, values)
+        new_positions = np.arange(self._seq_len, self._seq_len + keys.shape[0])
+        self._keys = np.concatenate([self._keys, keys], axis=0)
+        self._values = np.concatenate([self._values, values], axis=0)
+        self._positions = np.concatenate([self._positions, new_positions])
+        self._seq_len += keys.shape[0]
+        self._evict()
+
+    def _evict(self) -> None:
+        keep = self.retained_mask(self._positions, self._seq_len)
+        self._keys = self._keys[keep]
+        self._values = self._values[keep]
+        self._positions = self._positions[keep]
+
+    def retained_mask(self, positions: np.ndarray, seq_len: int) -> np.ndarray:
+        """Boolean mask over ``positions``: sinks or within the recency window."""
+        recent_start = max(seq_len - self.window, 0)
+        return (positions < self.n_sink) | (positions >= recent_start)
+
+    @property
+    def retained_tokens(self) -> int:
+        return int(self._positions.size)
+
+    @property
+    def retained_positions(self) -> np.ndarray:
+        return self._positions.copy()
+
+    # Attention -----------------------------------------------------------------
+
+    def attend(
+        self,
+        queries: np.ndarray,
+        query_positions: np.ndarray,
+        scale: float,
+        alibi_head_slopes: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        return dense_attention(
+            queries,
+            self._keys,
+            self._values,
+            query_positions,
+            self._positions,
+            scale,
+            alibi_head_slopes=alibi_head_slopes,
+        )
+
+    def memory_bytes(self) -> float:
+        per_token = 2 * self.config.kv_heads * self.config.head_dim * FP16_BYTES
+        return float(self.retained_tokens * per_token)
+
+    def reset(self) -> None:
+        super().reset()
+        shape = (0, self.config.kv_heads, self.config.head_dim)
+        self._keys = np.zeros(shape, dtype=np.float32)
+        self._values = np.zeros(shape, dtype=np.float32)
+        self._positions = np.zeros(0, dtype=np.int64)
+
+
+class SlidingWindowCacheFactory:
+    """Creates :class:`SlidingWindowKVCache` layers (StreamingLLM-style)."""
+
+    def __init__(self, window: int = 256, n_sink: int = 4) -> None:
+        self.window = window
+        self.n_sink = n_sink
+
+    def create(self, layer_index: int, config: ModelConfig) -> KVCacheLayer:
+        return SlidingWindowKVCache(config, window=self.window, n_sink=self.n_sink)

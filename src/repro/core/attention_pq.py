@@ -1,0 +1,117 @@
+"""Head-aware PQ attention primitives (the "sparse attention" of Fig. 5).
+
+These functions bridge the per-vector :class:`ProductQuantizer` API and the
+multi-head layout used by the KV cache: queries arrive as
+``(n_queries, n_heads, head_dim)`` and codes as ``(n_keys, kv_heads, M)``
+(grouped-query attention maps several query heads onto one KV head).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pq import ProductQuantizer
+from repro.utils.validation import require
+
+
+def _gqa_kv_head(query_head: int, n_query_heads: int, n_kv_heads: int) -> int:
+    group = n_query_heads // n_kv_heads
+    return query_head // group
+
+
+def pq_attention_scores(
+    queries: np.ndarray,
+    key_codes: np.ndarray,
+    key_pq: ProductQuantizer,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Attention logits of queries against PQ-encoded keys.
+
+    Parameters
+    ----------
+    queries:
+        ``(n_queries, n_heads, head_dim)``.
+    key_codes:
+        ``(n_keys, kv_heads, M)`` centroid indices.
+    Returns
+    -------
+    ``(n_heads, n_queries, n_keys)`` float32 logits (already scaled).
+    """
+    queries = np.asarray(queries, dtype=np.float32)
+    key_codes = np.asarray(key_codes)
+    require(queries.ndim == 3, f"queries must be 3-D, got shape {queries.shape}")
+    require(key_codes.ndim == 3, f"key_codes must be 3-D, got shape {key_codes.shape}")
+    n_queries, n_heads, head_dim = queries.shape
+    n_keys, kv_heads, m_subspaces = key_codes.shape
+    require(head_dim == key_pq.dim, "query head_dim must match the key quantizer dim")
+    require(m_subspaces == key_pq.m_subspaces, "codes M must match the key quantizer")
+    require(n_heads % kv_heads == 0, "n_heads must be a multiple of kv_heads")
+
+    # One LUT per (query token, query head); flattening keeps the head axis
+    # fastest so the reshape below is contiguous.
+    flat_queries = queries.transpose(1, 0, 2).reshape(n_heads * n_queries, head_dim)
+    luts = key_pq.build_score_luts(flat_queries)
+    luts = luts.reshape(n_heads, n_queries, key_pq.m_subspaces, key_pq.n_centroids)
+    scores = np.empty((n_heads, n_queries, n_keys), dtype=np.float32)
+    for head in range(n_heads):
+        kv_head = _gqa_kv_head(head, n_heads, kv_heads)
+        scores[head] = key_pq.adc_scores(luts[head], key_codes[:, kv_head, :])
+    return scores * np.float32(scale)
+
+
+def pq_weighted_values(
+    probs: np.ndarray,
+    value_codes: np.ndarray,
+    value_pq: ProductQuantizer,
+) -> np.ndarray:
+    """Probability-weighted sum over PQ-encoded values.
+
+    Parameters
+    ----------
+    probs:
+        ``(n_heads, n_queries, n_keys)`` attention probabilities.
+    value_codes:
+        ``(n_keys, kv_heads, M)`` centroid indices.
+    Returns
+    -------
+    ``(n_queries, n_heads, head_dim)`` context vectors.
+    """
+    probs = np.asarray(probs, dtype=np.float32)
+    value_codes = np.asarray(value_codes)
+    require(probs.ndim == 3, f"probs must be 3-D, got shape {probs.shape}")
+    require(value_codes.ndim == 3, f"value_codes must be 3-D, got shape {value_codes.shape}")
+    n_heads, n_queries, n_keys = probs.shape
+    keys_in_codes, kv_heads, m_subspaces = value_codes.shape
+    require(n_keys == keys_in_codes, "probs and value_codes disagree on n_keys")
+    require(m_subspaces == value_pq.m_subspaces, "codes M must match the value quantizer")
+    require(n_heads % kv_heads == 0, "n_heads must be a multiple of kv_heads")
+
+    context = np.empty((n_queries, n_heads, value_pq.dim), dtype=np.float32)
+    for head in range(n_heads):
+        kv_head = _gqa_kv_head(head, n_heads, kv_heads)
+        context[:, head, :] = value_pq.weighted_decode(
+            probs[head], value_codes[:, kv_head, :]
+        )
+    return context
+
+
+def pq_sparse_attention(
+    queries: np.ndarray,
+    key_codes: np.ndarray,
+    value_codes: np.ndarray,
+    key_pq: ProductQuantizer,
+    value_pq: ProductQuantizer,
+    scale: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convenience wrapper returning ``(scores, context)`` for quantized tokens.
+
+    ``scores`` are pre-softmax logits; callers combine them with the
+    full-precision recent-window scores before a single softmax (equivalent
+    to the paper's online-softmax merge).
+    """
+    scores = pq_attention_scores(queries, key_codes, key_pq, scale=scale)
+    from repro.models.tensor_ops import softmax  # local import avoids a cycle
+
+    probs = softmax(scores, axis=-1)
+    context = pq_weighted_values(probs, value_codes, value_pq)
+    return scores, context

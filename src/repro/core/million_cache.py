@@ -1,0 +1,238 @@
+"""The MILLION KV cache: PQ-encoded past plus a full-precision recent window.
+
+Attention over the quantized past is computed entirely from codes and lookup
+tables (:mod:`repro.core.attention_pq`); the recent window and the current
+token stay full precision and are merged through a single softmax, matching
+the decomposition of Eq. (7).  An optional sparse outlier correction is
+available purely for the Table III sensitivity study — MILLION's point is
+that it is not needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.attention_pq import pq_attention_scores, pq_weighted_values
+from repro.core.config import MillionConfig
+from repro.core.pq import ProductQuantizer
+from repro.models.config import ModelConfig
+from repro.models.kv_cache import KVCacheLayer
+from repro.quant.cache_adapters import StreamingQuantizedKVCache
+from repro.quant.outliers import split_outliers
+from repro.utils.validation import require
+
+
+@dataclass
+class _SparseCorrections:
+    """COO storage of ``original - clamped`` deltas for outlier entries."""
+
+    token_indices: list[np.ndarray] = field(default_factory=list)
+    head_indices: list[np.ndarray] = field(default_factory=list)
+    channel_indices: list[np.ndarray] = field(default_factory=list)
+    deltas: list[np.ndarray] = field(default_factory=list)
+
+    def add_block(
+        self, token_offset: int, block_deltas: np.ndarray
+    ) -> None:
+        """Record the non-zero entries of ``block_deltas`` (t, kv_heads, d)."""
+        tokens, heads, channels = np.nonzero(block_deltas)
+        if tokens.size == 0:
+            return
+        self.token_indices.append(tokens + token_offset)
+        self.head_indices.append(heads)
+        self.channel_indices.append(channels)
+        self.deltas.append(block_deltas[tokens, heads, channels].astype(np.float32))
+
+    def materialize(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        if not self.deltas:
+            empty_i = np.zeros(0, dtype=np.int64)
+            return empty_i, empty_i.copy(), empty_i.copy(), np.zeros(0, dtype=np.float32)
+        return (
+            np.concatenate(self.token_indices),
+            np.concatenate(self.head_indices),
+            np.concatenate(self.channel_indices),
+            np.concatenate(self.deltas),
+        )
+
+    @property
+    def count(self) -> int:
+        return int(sum(d.size for d in self.deltas))
+
+    def memory_bytes(self, value_bytes: float = 2.0, index_bytes: float = 4.0) -> float:
+        return float(self.count * (value_bytes + index_bytes))
+
+    def clear(self) -> None:
+        self.token_indices.clear()
+        self.head_indices.clear()
+        self.channel_indices.clear()
+        self.deltas.clear()
+
+
+class MillionKVCacheLayer(StreamingQuantizedKVCache):
+    """Per-layer MILLION cache (paper Fig. 4b/4c and Fig. 5)."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        key_pq: ProductQuantizer,
+        value_pq: ProductQuantizer,
+        million_config: MillionConfig,
+    ) -> None:
+        million_config.validate_for_model(config)
+        require(
+            key_pq.dim == config.head_dim,
+            f"key quantizer dim {key_pq.dim} != head_dim {config.head_dim}",
+        )
+        require(
+            value_pq.dim == config.head_dim,
+            f"value quantizer dim {value_pq.dim} != head_dim {config.head_dim}",
+        )
+        super().__init__(config, residual_window=million_config.recent_window)
+        self.key_pq = key_pq
+        self.value_pq = value_pq
+        self.million_config = million_config
+        self._key_code_blocks: list[np.ndarray] = []
+        self._value_code_blocks: list[np.ndarray] = []
+        self._key_codes_cache: Optional[np.ndarray] = None
+        self._value_codes_cache: Optional[np.ndarray] = None
+        self._key_corrections = _SparseCorrections()
+        self._value_corrections = _SparseCorrections()
+
+    # Storage hooks -----------------------------------------------------------
+
+    def _quantize_and_store(self, keys: np.ndarray, values: np.ndarray) -> None:
+        token_offset = self._stored_tokens
+        keys_dense, values_dense = keys, values
+        if self.million_config.outlier_fraction > 0.0:
+            keys_dense, _ = split_outliers(keys, self.million_config.outlier_fraction)
+            values_dense, _ = split_outliers(values, self.million_config.outlier_fraction)
+            self._key_corrections.add_block(token_offset, keys - keys_dense)
+            self._value_corrections.add_block(token_offset, values - values_dense)
+        t, kv_heads, head_dim = keys.shape
+        key_codes = self.key_pq.encode(keys_dense.reshape(t * kv_heads, head_dim))
+        value_codes = self.value_pq.encode(values_dense.reshape(t * kv_heads, head_dim))
+        self._key_code_blocks.append(key_codes.reshape(t, kv_heads, -1))
+        self._value_code_blocks.append(value_codes.reshape(t, kv_heads, -1))
+        self._key_codes_cache = None
+        self._value_codes_cache = None
+
+    def _stored_key_codes(self) -> np.ndarray:
+        if self._key_codes_cache is None:
+            self._key_codes_cache = np.concatenate(self._key_code_blocks, axis=0)
+        return self._key_codes_cache
+
+    def _stored_value_codes(self) -> np.ndarray:
+        if self._value_codes_cache is None:
+            self._value_codes_cache = np.concatenate(self._value_code_blocks, axis=0)
+        return self._value_codes_cache
+
+    # Attention hooks -----------------------------------------------------------
+
+    def _quantized_scores(self, queries: np.ndarray, scale: float) -> np.ndarray:
+        scores = pq_attention_scores(queries, self._stored_key_codes(), self.key_pq, scale=scale)
+        if self._key_corrections.count:
+            scores = scores + self._key_score_corrections(queries) * np.float32(scale)
+        return scores
+
+    def _quantized_weighted_values(self, probs: np.ndarray) -> np.ndarray:
+        context = pq_weighted_values(probs, self._stored_value_codes(), self.value_pq)
+        if self._value_corrections.count:
+            context = context + self._value_context_corrections(probs)
+        return context
+
+    def _key_score_corrections(self, queries: np.ndarray) -> np.ndarray:
+        """Sparse outlier contribution ``q · Δk`` added to the ADC scores."""
+        tokens, heads, channels, deltas = self._key_corrections.materialize()
+        n_queries, n_heads, _ = queries.shape
+        corrections = np.zeros((n_heads, n_queries, self._stored_tokens), dtype=np.float32)
+        group = n_heads // self.config.kv_heads
+        for offset in range(group):
+            query_heads = heads * group + offset
+            # contribution[h, :, token] += q[:, h, channel] * delta
+            contributions = queries[:, query_heads, channels] * deltas[None, :]
+            np.add.at(
+                corrections,
+                (query_heads[None, :], np.arange(n_queries)[:, None], tokens[None, :]),
+                contributions,
+            )
+        return corrections
+
+    def _value_context_corrections(self, probs: np.ndarray) -> np.ndarray:
+        """Sparse outlier contribution ``p · Δv`` added to the context."""
+        tokens, heads, channels, deltas = self._value_corrections.materialize()
+        n_heads, n_queries, _ = probs.shape
+        context = np.zeros((n_queries, n_heads, self.config.head_dim), dtype=np.float32)
+        group = n_heads // self.config.kv_heads
+        for offset in range(group):
+            query_heads = heads * group + offset
+            # context[:, h, channel] += probs[h, :, token] * delta
+            contributions = probs[query_heads, :, tokens].T * deltas[None, :]
+            np.add.at(
+                context,
+                (np.arange(n_queries)[:, None], query_heads[None, :], channels[None, :]),
+                contributions,
+            )
+        return context
+
+    # Memory accounting -----------------------------------------------------------
+
+    def quantized_memory_bytes(self) -> float:
+        n_vectors = self._stored_tokens * self.config.kv_heads
+        total = self.key_pq.code_memory_bytes(n_vectors)
+        total += self.value_pq.code_memory_bytes(n_vectors)
+        total += self.key_pq.codebook_memory_bytes()
+        total += self.value_pq.codebook_memory_bytes()
+        total += self._key_corrections.memory_bytes()
+        total += self._value_corrections.memory_bytes()
+        return float(total)
+
+    def dequantized_kv(self) -> tuple[np.ndarray, np.ndarray]:
+        """Reconstruct the stored keys/values (diagnostics and tests only)."""
+        if self._stored_tokens == 0:
+            empty = np.zeros((0, self.config.kv_heads, self.config.head_dim), np.float32)
+            return empty, empty.copy()
+        key_codes = self._stored_key_codes()
+        value_codes = self._stored_value_codes()
+        t, kv_heads, _ = key_codes.shape
+        keys = self.key_pq.decode(key_codes.reshape(t * kv_heads, -1)).reshape(
+            t, kv_heads, self.config.head_dim
+        )
+        values = self.value_pq.decode(value_codes.reshape(t * kv_heads, -1)).reshape(
+            t, kv_heads, self.config.head_dim
+        )
+        return keys, values
+
+    def reset(self) -> None:
+        super().reset()
+        self._key_code_blocks.clear()
+        self._value_code_blocks.clear()
+        self._key_codes_cache = None
+        self._value_codes_cache = None
+        self._key_corrections.clear()
+        self._value_corrections.clear()
+
+
+class MillionCacheFactory:
+    """Creates :class:`MillionKVCacheLayer` instances from per-layer quantizers."""
+
+    def __init__(
+        self,
+        quantizers: dict[int, tuple[ProductQuantizer, ProductQuantizer]],
+        million_config: MillionConfig,
+    ) -> None:
+        require(len(quantizers) > 0, "quantizers mapping must not be empty")
+        self.quantizers = dict(quantizers)
+        self.million_config = million_config
+
+    def create(self, layer_index: int, config: ModelConfig) -> KVCacheLayer:
+        if layer_index not in self.quantizers:
+            raise KeyError(f"no trained MILLION quantizers for layer {layer_index}")
+        key_pq, value_pq = self.quantizers[layer_index]
+        return MillionKVCacheLayer(config, key_pq, value_pq, self.million_config)
+
+    def bits_per_value(self, head_dim: int) -> float:
+        """Effective bits per cached scalar for reporting."""
+        return self.million_config.bits_per_value(head_dim)

@@ -1,0 +1,165 @@
+"""Asynchronous-quantization pipeline semantics (paper Fig. 5).
+
+MILLION runs quantization on a low-priority CUDA stream so that compressing
+the tokens that just left the recent window never blocks the main decode
+stream.  Functionally the streaming cache already defers quantization (a
+token's codes are only needed one step later); this module makes the deferral
+explicit so that
+
+* correctness can be asserted (codes are always ready before they are read),
+* the performance model (:mod:`repro.perf.streams`) can replay the recorded
+  schedule and compute how much quantization time the async stream hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.utils.validation import require
+
+
+@dataclass
+class QuantizationJob:
+    """One deferred block-quantization task."""
+
+    submitted_step: int
+    n_tokens: int
+    deadline_step: int
+    completed_step: Optional[int] = None
+
+    @property
+    def is_complete(self) -> bool:
+        return self.completed_step is not None
+
+
+@dataclass
+class DecodeStepRecord:
+    """What happened during one decode step (per layer aggregated)."""
+
+    step: int
+    context_length: int
+    tokens_quantized: int
+    pending_tokens: int
+
+
+@dataclass
+class PipelineTrace:
+    """Timeline of deferred quantization across a decode run."""
+
+    jobs: list[QuantizationJob] = field(default_factory=list)
+    steps: list[DecodeStepRecord] = field(default_factory=list)
+
+    def total_tokens_quantized(self) -> int:
+        return sum(job.n_tokens for job in self.jobs)
+
+    def max_pending_tokens(self) -> int:
+        return max((record.pending_tokens for record in self.steps), default=0)
+
+
+class AsyncQuantizationStream:
+    """Bookkeeping model of the low-priority quantization stream.
+
+    The main stream *submits* a job when a block of tokens leaves the recent
+    window; the job's deadline is the next decode step (when its codes are
+    first read by the sparse-attention kernel).  ``advance`` marks all
+    submitted jobs complete at the current step and raises if any deadline
+    would be violated — which, by construction of the streaming cache, never
+    happens when quantization of step ``i`` finishes before step ``i + 1``.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.trace = PipelineTrace()
+        self._open_jobs: list[QuantizationJob] = []
+
+    def submit(self, step: int, n_tokens: int) -> QuantizationJob:
+        """Submit a block of ``n_tokens`` for background quantization."""
+        require(n_tokens >= 0, "n_tokens must be >= 0")
+        job = QuantizationJob(
+            submitted_step=step, n_tokens=n_tokens, deadline_step=step + 1
+        )
+        if n_tokens > 0:
+            self._open_jobs.append(job)
+            self.trace.jobs.append(job)
+        return job
+
+    def advance(self, step: int) -> list[QuantizationJob]:
+        """Complete outstanding jobs before ``step`` begins.
+
+        With the async stream enabled, jobs complete during the *previous*
+        step's spare bandwidth (``completed_step = submitted_step``); with it
+        disabled they complete synchronously at submission as well, but the
+        performance model charges their latency to the main stream instead.
+        """
+        completed = []
+        for job in self._open_jobs:
+            if job.deadline_step < step:
+                raise RuntimeError(
+                    f"quantization job submitted at step {job.submitted_step} missed "
+                    f"its deadline {job.deadline_step} (now at step {step})"
+                )
+            job.completed_step = job.submitted_step if self.enabled else job.submitted_step
+            completed.append(job)
+        self._open_jobs = [job for job in self._open_jobs if not job.is_complete]
+        return completed
+
+    def record_step(self, step: int, context_length: int, tokens_quantized: int, pending_tokens: int) -> None:
+        """Append a per-step record used by the performance replay."""
+        self.trace.steps.append(
+            DecodeStepRecord(
+                step=step,
+                context_length=context_length,
+                tokens_quantized=tokens_quantized,
+                pending_tokens=pending_tokens,
+            )
+        )
+
+
+class DecodePipelineRecorder:
+    """Records the deferral schedule of a model whose caches are streaming caches.
+
+    Attach it around a decode loop::
+
+        recorder = DecodePipelineRecorder(model)
+        for step in range(n_tokens):
+            recorder.before_step(step)
+            logits = model.decode_step(token)
+            recorder.after_step(step)
+        trace = recorder.stream.trace
+    """
+
+    def __init__(self, model, async_enabled: bool = True) -> None:
+        self.model = model
+        self.stream = AsyncQuantizationStream(enabled=async_enabled)
+        self._stored_before = 0
+
+    def _stored_tokens(self) -> int:
+        total = 0
+        for cache in self.model.caches:
+            stored = getattr(cache, "stored_tokens", None)
+            if stored is not None:
+                total += stored
+        return total
+
+    def _pending_tokens(self) -> int:
+        total = 0
+        for cache in self.model.caches:
+            pending = getattr(cache, "pending_tokens", None)
+            if pending is not None:
+                total += pending
+        return total
+
+    def before_step(self, step: int) -> None:
+        self.stream.advance(step)
+        self._stored_before = self._stored_tokens()
+
+    def after_step(self, step: int) -> None:
+        quantized = self._stored_tokens() - self._stored_before
+        self.stream.submit(step, quantized)
+        self.stream.record_step(
+            step=step,
+            context_length=self.model.context_length,
+            tokens_quantized=quantized,
+            pending_tokens=self._pending_tokens(),
+        )

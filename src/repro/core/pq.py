@@ -1,0 +1,197 @@
+"""Product quantizer: encode/decode, score lookup tables and ADC.
+
+The two operations that make MILLION fast are implemented here exactly as the
+paper's CUDA kernel computes them, just vectorised in NumPy:
+
+* :meth:`ProductQuantizer.build_score_luts` — ``q_n × Cᵀ`` (Eq. 7, step 1),
+  the per-token lookup table that the kernel keeps in L1/shared memory;
+* :meth:`ProductQuantizer.adc_scores` — gathering LUT entries with the stored
+  codes, so attention logits against quantized keys never de-quantize them;
+* :meth:`ProductQuantizer.weighted_decode` — the value-side trick: attention
+  probabilities are *aggregated per centroid* first and only then multiplied
+  by the centroid table, so the weighted sum over values is ``O(n + K·d)``
+  instead of ``O(n·d)`` de-quantization work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.codebook import SubspaceCodebooks, train_codebooks
+from repro.quant.kmeans import assign_to_centroids
+from repro.utils.bitpack import code_dtype, packed_nbytes
+from repro.utils.rng import SeedLike
+from repro.utils.validation import require
+
+
+class ProductQuantizer:
+    """Encode/decode vectors against a fixed set of subspace codebooks."""
+
+    def __init__(self, codebooks: SubspaceCodebooks) -> None:
+        self.codebooks = codebooks
+
+    # Construction ----------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        vectors: np.ndarray,
+        m_subspaces: int,
+        nbits: int,
+        kmeans_iters: int = 15,
+        seed: SeedLike = 0,
+        max_samples: int | None = None,
+    ) -> "ProductQuantizer":
+        """Train codebooks on calibration ``vectors`` and return a quantizer."""
+        codebooks = train_codebooks(
+            vectors,
+            m_subspaces,
+            nbits,
+            kmeans_iters=kmeans_iters,
+            seed=seed,
+            max_samples=max_samples,
+        )
+        return cls(codebooks)
+
+    # Properties --------------------------------------------------------------
+
+    @property
+    def m_subspaces(self) -> int:
+        return self.codebooks.m_subspaces
+
+    @property
+    def n_centroids(self) -> int:
+        return self.codebooks.n_centroids
+
+    @property
+    def subspace_dim(self) -> int:
+        return self.codebooks.subspace_dim
+
+    @property
+    def dim(self) -> int:
+        return self.codebooks.dim
+
+    @property
+    def nbits(self) -> int:
+        return self.codebooks.nbits
+
+    def bits_per_value(self) -> float:
+        """Effective bits per stored scalar."""
+        return self.m_subspaces * self.nbits / self.dim
+
+    # Encode / decode ---------------------------------------------------------
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """Quantize ``(n, dim)`` vectors to ``(n, M)`` centroid indices (Eq. 4)."""
+        subvectors = self.codebooks.split_vectors(vectors)
+        n = subvectors.shape[0]
+        codes = np.empty((n, self.m_subspaces), dtype=code_dtype(self.nbits))
+        for m in range(self.m_subspaces):
+            codes[:, m] = assign_to_centroids(
+                subvectors[:, m, :], self.codebooks.centroids[m]
+            )
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct ``(n, dim)`` vectors from centroid indices (Eq. 5)."""
+        codes = np.asarray(codes)
+        require(
+            codes.ndim == 2 and codes.shape[1] == self.m_subspaces,
+            f"codes must have shape (n, {self.m_subspaces}), got {codes.shape}",
+        )
+        n = codes.shape[0]
+        out = np.empty((n, self.dim), dtype=np.float32)
+        dsub = self.subspace_dim
+        for m in range(self.m_subspaces):
+            out[:, m * dsub : (m + 1) * dsub] = self.codebooks.centroids[m][codes[:, m]]
+        return out
+
+    def quantize(self, vectors: np.ndarray) -> np.ndarray:
+        """Round-trip convenience: ``decode(encode(vectors))``."""
+        return self.decode(self.encode(vectors))
+
+    def reconstruction_mse(self, vectors: np.ndarray) -> float:
+        """Mean squared reconstruction error on ``vectors``."""
+        vectors = np.asarray(vectors, dtype=np.float32)
+        return float(np.mean((vectors - self.quantize(vectors)) ** 2))
+
+    # Asymmetric distance computation -----------------------------------------
+
+    def build_score_luts(self, queries: np.ndarray) -> np.ndarray:
+        """Dot-product lookup tables ``(n_queries, M, K)`` for ``(n_queries, dim)`` queries."""
+        queries = np.asarray(queries, dtype=np.float32)
+        single = queries.ndim == 1
+        if single:
+            queries = queries[None, :]
+        subqueries = self.codebooks.split_vectors(queries)  # (nq, M, dsub)
+        # (nq, M, dsub) x (M, K, dsub) -> (nq, M, K)
+        luts = np.einsum("qmd,mkd->qmk", subqueries, self.codebooks.centroids)
+        luts = luts.astype(np.float32)
+        return luts[0] if single else luts
+
+    def adc_scores(self, luts: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Sum LUT entries selected by ``codes``: exact ``q · decode(codes)ᵀ``.
+
+        ``luts`` has shape ``(n_queries, M, K)`` (or ``(M, K)`` for a single
+        query) and ``codes`` has shape ``(n_keys, M)``; the result has shape
+        ``(n_queries, n_keys)`` (or ``(n_keys,)``).
+        """
+        luts = np.asarray(luts, dtype=np.float32)
+        codes = np.asarray(codes)
+        single = luts.ndim == 2
+        if single:
+            luts = luts[None, ...]
+        require(
+            luts.shape[1] == self.m_subspaces,
+            f"luts second dim must be {self.m_subspaces}, got {luts.shape[1]}",
+        )
+        require(
+            codes.ndim == 2 and codes.shape[1] == self.m_subspaces,
+            f"codes must have shape (n, {self.m_subspaces}), got {codes.shape}",
+        )
+        n_queries = luts.shape[0]
+        n_keys = codes.shape[0]
+        scores = np.zeros((n_queries, n_keys), dtype=np.float32)
+        for m in range(self.m_subspaces):
+            scores += luts[:, m, :][:, codes[:, m]]
+        return scores[0] if single else scores
+
+    def weighted_decode(self, probs: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Probability-weighted sum of decoded vectors without full de-quantization.
+
+        ``probs`` has shape ``(n_queries, n_keys)`` and ``codes`` shape
+        ``(n_keys, M)``; returns ``(n_queries, dim)`` equal to
+        ``probs @ decode(codes)`` but computed by first aggregating the
+        probability mass landing on each centroid of each subspace.
+        """
+        probs = np.asarray(probs, dtype=np.float32)
+        codes = np.asarray(codes)
+        single = probs.ndim == 1
+        if single:
+            probs = probs[None, :]
+        require(
+            codes.ndim == 2 and codes.shape[1] == self.m_subspaces,
+            f"codes must have shape (n, {self.m_subspaces}), got {codes.shape}",
+        )
+        require(
+            probs.shape[1] == codes.shape[0],
+            f"probs keys dim {probs.shape[1]} != codes rows {codes.shape[0]}",
+        )
+        n_queries = probs.shape[0]
+        dsub = self.subspace_dim
+        out = np.empty((n_queries, self.dim), dtype=np.float32)
+        query_index = np.arange(n_queries)[:, None]
+        for m in range(self.m_subspaces):
+            aggregated = np.zeros((n_queries, self.n_centroids), dtype=np.float32)
+            np.add.at(aggregated, (query_index, codes[None, :, m]), probs)
+            out[:, m * dsub : (m + 1) * dsub] = aggregated @ self.codebooks.centroids[m]
+        return out[0] if single else out
+
+    # Memory accounting ---------------------------------------------------------
+
+    def code_memory_bytes(self, n_vectors: int) -> float:
+        """Bit-packed footprint of ``n_vectors`` encoded vectors."""
+        return float(packed_nbytes(n_vectors * self.m_subspaces, self.nbits))
+
+    def codebook_memory_bytes(self, bytes_per_value: float = 2.0) -> float:
+        return self.codebooks.memory_bytes(bytes_per_value)

@@ -1,0 +1,149 @@
+"""Building blocks for synthetic long-context documents.
+
+The LongBench substitute (:mod:`repro.eval.longbench`) assembles its 16 tasks
+from the primitives here: filler passages, embedded key/value facts, repeated
+patterns and section markers, all expressed directly as token-id sequences so
+they can be fed to the tiny models without a natural-language tokenizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, get_rng
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class SpecialTokens:
+    """Reserved token ids used by the synthetic long-context tasks.
+
+    Content tokens start at :attr:`content_start`; everything below is a
+    marker.  The defaults fit any vocabulary of at least 32 tokens.
+    """
+
+    pad: int = 0
+    bos: int = 1
+    eos: int = 2
+    separator: int = 3
+    question: int = 4
+    answer: int = 5
+    key_marker: int = 6
+    value_marker: int = 7
+    passage_start: int = 8
+    passage_end: int = 9
+    example_start: int = 10
+    label_marker: int = 11
+    line_break: int = 12
+    content_start: int = 16
+
+    def content_vocab(self, vocab_size: int) -> int:
+        """Number of usable content tokens for a model vocabulary."""
+        require(
+            vocab_size > self.content_start + 8,
+            f"vocab_size {vocab_size} too small for long-context tasks",
+        )
+        return vocab_size - self.content_start
+
+
+SPECIAL_TOKENS = SpecialTokens()
+
+
+def random_content_tokens(
+    n_tokens: int, vocab_size: int, rng: np.random.Generator, specials: SpecialTokens = SPECIAL_TOKENS
+) -> np.ndarray:
+    """Uniform random content tokens (never collide with marker ids)."""
+    require(n_tokens >= 0, "n_tokens must be >= 0")
+    content = specials.content_vocab(vocab_size)
+    return rng.integers(specials.content_start, specials.content_start + content, size=n_tokens)
+
+
+class ContextBuilder:
+    """Incrementally assemble a long context out of passages and markers.
+
+    The builder records where each semantic element (passage, fact, question)
+    starts so task scorers can point at the answer span.
+    """
+
+    def __init__(self, vocab_size: int, seed: SeedLike = None, specials: SpecialTokens = SPECIAL_TOKENS) -> None:
+        specials.content_vocab(vocab_size)  # validates the vocabulary size
+        self.vocab_size = vocab_size
+        self.specials = specials
+        self.rng = get_rng(seed)
+        self._segments: list[np.ndarray] = []
+        self._length = 0
+        self.annotations: list[dict] = []
+
+    # Low-level appends ----------------------------------------------------
+
+    def append(self, tokens: np.ndarray, kind: str = "raw", **metadata) -> int:
+        """Append raw tokens; returns the start offset of the appended span."""
+        tokens = np.asarray(tokens, dtype=np.int64).reshape(-1)
+        start = self._length
+        self._segments.append(tokens)
+        self._length += tokens.size
+        self.annotations.append(
+            {"kind": kind, "start": start, "length": tokens.size, **metadata}
+        )
+        return start
+
+    def append_marker(self, marker: int) -> int:
+        return self.append(np.asarray([marker]), kind="marker")
+
+    # Semantic elements ----------------------------------------------------
+
+    def append_filler(self, n_tokens: int) -> int:
+        """Append unrelated filler text."""
+        tokens = random_content_tokens(n_tokens, self.vocab_size, self.rng, self.specials)
+        return self.append(tokens, kind="filler")
+
+    def append_passage(self, n_tokens: int, passage_id: int | None = None) -> int:
+        """Append a delimited passage of filler text."""
+        sp = self.specials
+        body = random_content_tokens(n_tokens, self.vocab_size, self.rng, self.specials)
+        tokens = np.concatenate(([sp.passage_start], body, [sp.passage_end]))
+        return self.append(tokens, kind="passage", passage_id=passage_id)
+
+    def append_fact(self, key: np.ndarray, value: np.ndarray) -> int:
+        """Append a ``KEY key VALUE value`` fact ("needle")."""
+        sp = self.specials
+        tokens = np.concatenate(
+            ([sp.key_marker], np.asarray(key), [sp.value_marker], np.asarray(value))
+        )
+        return self.append(tokens, kind="fact", key=np.asarray(key), value=np.asarray(value))
+
+    def append_example(self, prompt: np.ndarray, label: np.ndarray) -> int:
+        """Append a few-shot example ``EX prompt LABEL label``."""
+        sp = self.specials
+        tokens = np.concatenate(
+            ([sp.example_start], np.asarray(prompt), [sp.label_marker], np.asarray(label))
+        )
+        return self.append(tokens, kind="example", label=np.asarray(label))
+
+    def append_question(self, question: np.ndarray) -> int:
+        """Append ``QUESTION question ANSWER`` — generation starts after this."""
+        sp = self.specials
+        tokens = np.concatenate(([sp.question], np.asarray(question), [sp.answer]))
+        return self.append(tokens, kind="question")
+
+    # Accessors --------------------------------------------------------------
+
+    def new_key(self, length: int = 3) -> np.ndarray:
+        """Draw a random content-token key phrase."""
+        return random_content_tokens(length, self.vocab_size, self.rng, self.specials)
+
+    def new_value(self, length: int = 3) -> np.ndarray:
+        """Draw a random content-token value phrase."""
+        return random_content_tokens(length, self.vocab_size, self.rng, self.specials)
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    def tokens(self) -> np.ndarray:
+        """Materialise the full context as a token-id array."""
+        if not self._segments:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(self._segments)

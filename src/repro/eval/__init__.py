@@ -1,0 +1,73 @@
+"""Evaluation harness: perplexity, KV-distribution analysis and LongBench substitute."""
+
+from repro.eval.distribution import (
+    ChannelStatistics,
+    channel_statistics_from_samples,
+    collect_kv_statistics,
+    summarize_outlier_structure,
+)
+from repro.eval.longbench import (
+    LONGBENCH_TASK_NAMES,
+    TaskGenerator,
+    TaskInstance,
+    TaskResult,
+    average_scores,
+    evaluate_longbench,
+    evaluate_task,
+    longbench_tasks,
+)
+from repro.eval.metrics import (
+    exact_match,
+    mean_kl_divergence,
+    relative_loss_percent,
+    rouge_like_overlap,
+    token_accuracy,
+    token_f1,
+    top1_agreement,
+)
+from repro.eval.perplexity import (
+    FidelityResult,
+    PerplexityResult,
+    compute_perplexity,
+    logit_fidelity,
+    perplexity_by_scheme,
+)
+from repro.eval.schemes import (
+    SCHEME_DEFINITIONS,
+    SchemeDefinition,
+    available_schemes,
+    build_cache_factory,
+    build_scheme_factories,
+)
+
+__all__ = [
+    "ChannelStatistics",
+    "channel_statistics_from_samples",
+    "collect_kv_statistics",
+    "summarize_outlier_structure",
+    "LONGBENCH_TASK_NAMES",
+    "TaskGenerator",
+    "TaskInstance",
+    "TaskResult",
+    "average_scores",
+    "evaluate_longbench",
+    "evaluate_task",
+    "longbench_tasks",
+    "exact_match",
+    "mean_kl_divergence",
+    "relative_loss_percent",
+    "rouge_like_overlap",
+    "token_accuracy",
+    "token_f1",
+    "top1_agreement",
+    "FidelityResult",
+    "PerplexityResult",
+    "compute_perplexity",
+    "logit_fidelity",
+    "perplexity_by_scheme",
+    "SCHEME_DEFINITIONS",
+    "SchemeDefinition",
+    "available_schemes",
+    "build_cache_factory",
+    "build_scheme_factories",
+]

@@ -1,0 +1,88 @@
+"""Scoring metrics for the accuracy experiments."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.models.tensor_ops import log_softmax, softmax
+
+
+def exact_match(prediction: Sequence[int], reference: Sequence[int]) -> float:
+    """1.0 if the first ``len(reference)`` predicted tokens equal the reference."""
+    prediction = list(int(t) for t in prediction)
+    reference = list(int(t) for t in reference)
+    if not reference:
+        return 1.0
+    return float(prediction[: len(reference)] == reference)
+
+
+def token_accuracy(prediction: Sequence[int], reference: Sequence[int]) -> float:
+    """Fraction of reference positions predicted correctly (position-wise)."""
+    reference = list(int(t) for t in reference)
+    if not reference:
+        return 1.0
+    prediction = list(int(t) for t in prediction)[: len(reference)]
+    prediction += [-1] * (len(reference) - len(prediction))
+    correct = sum(p == r for p, r in zip(prediction, reference))
+    return correct / len(reference)
+
+
+def token_f1(prediction: Sequence[int], reference: Sequence[int]) -> float:
+    """Bag-of-tokens F1 (the LongBench QA-style metric)."""
+    pred_counts = Counter(int(t) for t in prediction)
+    ref_counts = Counter(int(t) for t in reference)
+    if not pred_counts and not ref_counts:
+        return 1.0
+    if not pred_counts or not ref_counts:
+        return 0.0
+    overlap = sum((pred_counts & ref_counts).values())
+    if overlap == 0:
+        return 0.0
+    precision = overlap / sum(pred_counts.values())
+    recall = overlap / sum(ref_counts.values())
+    return 2 * precision * recall / (precision + recall)
+
+
+def rouge_like_overlap(prediction: Sequence[int], reference: Sequence[int], n: int = 2) -> float:
+    """N-gram overlap recall (a ROUGE-N stand-in for summarisation tasks)."""
+    reference = [int(t) for t in reference]
+    prediction = [int(t) for t in prediction]
+    if len(reference) < n:
+        return token_f1(prediction, reference)
+    ref_ngrams = Counter(tuple(reference[i : i + n]) for i in range(len(reference) - n + 1))
+    if len(prediction) < n:
+        return 0.0
+    pred_ngrams = Counter(tuple(prediction[i : i + n]) for i in range(len(prediction) - n + 1))
+    overlap = sum((ref_ngrams & pred_ngrams).values())
+    return overlap / max(1, sum(ref_ngrams.values()))
+
+
+def top1_agreement(logits_a: np.ndarray, logits_b: np.ndarray) -> float:
+    """Fraction of positions where two logit sets agree on the argmax token."""
+    logits_a = np.asarray(logits_a)
+    logits_b = np.asarray(logits_b)
+    if logits_a.shape != logits_b.shape:
+        raise ValueError(f"shape mismatch: {logits_a.shape} vs {logits_b.shape}")
+    return float(np.mean(np.argmax(logits_a, axis=-1) == np.argmax(logits_b, axis=-1)))
+
+
+def mean_kl_divergence(logits_p: np.ndarray, logits_q: np.ndarray) -> float:
+    """Mean KL(P || Q) between per-position softmax distributions (nats)."""
+    logits_p = np.asarray(logits_p, dtype=np.float64)
+    logits_q = np.asarray(logits_q, dtype=np.float64)
+    if logits_p.shape != logits_q.shape:
+        raise ValueError(f"shape mismatch: {logits_p.shape} vs {logits_q.shape}")
+    p = softmax(logits_p, axis=-1).astype(np.float64)
+    log_p = log_softmax(logits_p, axis=-1).astype(np.float64)
+    log_q = log_softmax(logits_q, axis=-1).astype(np.float64)
+    return float(np.mean(np.sum(p * (log_p - log_q), axis=-1)))
+
+
+def relative_loss_percent(baseline_score: float, score: float) -> float:
+    """Percentage loss of ``score`` relative to ``baseline_score`` (Fig. 6 right axis)."""
+    if baseline_score == 0:
+        return 0.0 if score == 0 else -100.0 * np.sign(score - baseline_score)
+    return float(100.0 * (baseline_score - score) / abs(baseline_score))

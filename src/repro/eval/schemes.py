@@ -1,0 +1,155 @@
+"""Registry of evaluatable KV-cache schemes.
+
+Benchmarks refer to schemes by the names used in the paper's tables
+("baseline", "kvquant-4b-1%", "million-3b", ...); this module turns a name
+plus a model (and calibration text, for the calibrated schemes) into a cache
+factory ready to plug into :meth:`TransformerLM.reset_cache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.calibration import calibrate_kvquant, calibrate_million
+from repro.core.config import MillionConfig
+from repro.models.kv_cache import FullPrecisionCacheFactory, KVCacheFactory
+from repro.models.transformer import TransformerLM
+from repro.quant.cache_adapters import KiviCacheFactory
+from repro.quant.kivi import KiviConfig
+from repro.utils.rng import SeedLike
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class SchemeDefinition:
+    """How to build a cache factory for one named scheme."""
+
+    name: str
+    family: str  # "fp16" | "kivi" | "kvquant" | "million"
+    bits: int = 16
+    outlier_fraction: float = 0.0
+    recent_window: int = 0
+    needs_calibration: bool = False
+
+
+SCHEME_DEFINITIONS: dict[str, SchemeDefinition] = {
+    "baseline": SchemeDefinition(name="baseline", family="fp16", bits=16),
+    "kivi-2b": SchemeDefinition(name="kivi-2b", family="kivi", bits=2),
+    "kivi-4b": SchemeDefinition(name="kivi-4b", family="kivi", bits=4),
+    "kvquant-3b": SchemeDefinition(
+        name="kvquant-3b", family="kvquant", bits=3, needs_calibration=True
+    ),
+    "kvquant-4b": SchemeDefinition(
+        name="kvquant-4b", family="kvquant", bits=4, needs_calibration=True
+    ),
+    "kvquant-3b-1pct": SchemeDefinition(
+        name="kvquant-3b-1pct",
+        family="kvquant",
+        bits=3,
+        outlier_fraction=0.01,
+        needs_calibration=True,
+    ),
+    "kvquant-4b-1pct": SchemeDefinition(
+        name="kvquant-4b-1pct",
+        family="kvquant",
+        bits=4,
+        outlier_fraction=0.01,
+        needs_calibration=True,
+    ),
+    "million-3b": SchemeDefinition(
+        name="million-3b", family="million", bits=3, needs_calibration=True
+    ),
+    "million-4b": SchemeDefinition(
+        name="million-4b", family="million", bits=4, needs_calibration=True
+    ),
+    "million-3b-1pct": SchemeDefinition(
+        name="million-3b-1pct",
+        family="million",
+        bits=3,
+        outlier_fraction=0.01,
+        needs_calibration=True,
+    ),
+    "million-4b-1pct": SchemeDefinition(
+        name="million-4b-1pct",
+        family="million",
+        bits=4,
+        outlier_fraction=0.01,
+        needs_calibration=True,
+    ),
+}
+
+
+def available_schemes() -> list[str]:
+    """Names accepted by :func:`build_cache_factory`."""
+    return sorted(SCHEME_DEFINITIONS)
+
+
+def build_cache_factory(
+    name: str,
+    model: TransformerLM,
+    calibration_tokens: Optional[np.ndarray] = None,
+    seed: SeedLike = 0,
+    kmeans_iters: int = 10,
+    calibration_samples: int = 4096,
+    recent_window: Optional[int] = None,
+) -> Optional[KVCacheFactory]:
+    """Build a ready-to-use cache factory for scheme ``name`` on ``model``.
+
+    Returns ``None`` for the fp16 baseline (meaning "use the default
+    full-precision cache").  Calibrated schemes (KVQuant, MILLION) require
+    ``calibration_tokens``.
+    """
+    require(name in SCHEME_DEFINITIONS, f"unknown scheme {name!r}; see available_schemes()")
+    definition = SCHEME_DEFINITIONS[name]
+    window = definition.recent_window if recent_window is None else recent_window
+    if definition.needs_calibration and calibration_tokens is None:
+        raise ValueError(f"scheme {name!r} requires calibration_tokens")
+
+    if definition.family == "fp16":
+        return FullPrecisionCacheFactory()
+    if definition.family == "kivi":
+        return KiviCacheFactory(
+            KiviConfig(nbits=definition.bits, group_size=32, residual_length=max(window, 32))
+        )
+    if definition.family == "kvquant":
+        return calibrate_kvquant(
+            model,
+            calibration_tokens,
+            nbits=definition.bits,
+            outlier_fraction=definition.outlier_fraction,
+            residual_window=window,
+            max_samples_per_layer=calibration_samples,
+            seed=seed,
+        )
+    if definition.family == "million":
+        million_config = MillionConfig.for_equivalent_bits(
+            model.config.head_dim,
+            bits=definition.bits,
+            recent_window=window,
+            prefer_small_codebooks=True,
+            kmeans_iters=kmeans_iters,
+            calibration_samples=calibration_samples,
+            outlier_fraction=definition.outlier_fraction,
+            seed=int(np.random.default_rng().integers(2**31 - 1)) if seed is None else int(seed),
+        )
+        return calibrate_million(model, calibration_tokens, million_config)
+    raise ValueError(f"unhandled scheme family {definition.family!r}")
+
+
+def build_scheme_factories(
+    names: list[str],
+    model: TransformerLM,
+    calibration_tokens: Optional[np.ndarray] = None,
+    seed: SeedLike = 0,
+    **kwargs,
+) -> dict[str, Optional[KVCacheFactory]]:
+    """Build factories for several schemes at once (shared calibration text)."""
+    return {
+        name: build_cache_factory(
+            name, model, calibration_tokens=calibration_tokens, seed=seed, **kwargs
+        )
+        for name in names
+    }

@@ -1,0 +1,120 @@
+"""Model configuration for the NumPy transformer substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Optional
+
+from repro.utils.validation import require, require_divisible, require_in
+
+POSITIONAL_KINDS = ("absolute", "rope", "alibi", "yarn")
+NORM_KINDS = ("rmsnorm", "layernorm")
+ACTIVATIONS = ("silu", "gelu")
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyper-parameters of a decoder-only transformer language model.
+
+    The defaults describe a tiny model suitable for unit tests; the model zoo
+    (:mod:`repro.models.model_zoo`) builds the five analogues of the paper's
+    Table I from this class.
+    """
+
+    name: str = "tiny"
+    vocab_size: int = 512
+    d_model: int = 128
+    n_layers: int = 2
+    n_heads: int = 4
+    n_kv_heads: Optional[int] = None
+    d_ff: Optional[int] = None
+    max_seq_len: int = 1024
+    positional: str = "rope"
+    rope_theta: float = 10000.0
+    rope_scaling_factor: float = 1.0
+    original_max_seq_len: Optional[int] = None
+    norm: str = "rmsnorm"
+    norm_eps: float = 1e-5
+    activation: str = "silu"
+    tie_embeddings: bool = True
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        require(self.vocab_size >= 2, f"vocab_size must be >= 2, got {self.vocab_size}")
+        require(self.d_model >= 1, f"d_model must be >= 1, got {self.d_model}")
+        require(self.n_layers >= 1, f"n_layers must be >= 1, got {self.n_layers}")
+        require(self.n_heads >= 1, f"n_heads must be >= 1, got {self.n_heads}")
+        require_divisible(self.d_model, self.n_heads, "d_model must be divisible by n_heads")
+        require_in(self.positional, POSITIONAL_KINDS, "positional")
+        require_in(self.norm, NORM_KINDS, "norm")
+        require_in(self.activation, ACTIVATIONS, "activation")
+        require(self.max_seq_len >= 1, f"max_seq_len must be >= 1, got {self.max_seq_len}")
+        kv_heads = self.n_kv_heads if self.n_kv_heads is not None else self.n_heads
+        require(kv_heads >= 1, f"n_kv_heads must be >= 1, got {kv_heads}")
+        require_divisible(
+            self.n_heads, kv_heads, "n_heads must be divisible by n_kv_heads"
+        )
+        if self.positional == "yarn":
+            require(
+                self.rope_scaling_factor >= 1.0,
+                "yarn positional embedding requires rope_scaling_factor >= 1.0",
+            )
+
+    # Derived quantities -------------------------------------------------
+
+    @property
+    def head_dim(self) -> int:
+        """Dimension of a single attention head."""
+        return self.d_model // self.n_heads
+
+    @property
+    def kv_heads(self) -> int:
+        """Number of key/value heads (GQA when smaller than ``n_heads``)."""
+        return self.n_kv_heads if self.n_kv_heads is not None else self.n_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Total key (or value) width per token."""
+        return self.kv_heads * self.head_dim
+
+    @property
+    def ffn_dim(self) -> int:
+        """Hidden width of the feed-forward block."""
+        return self.d_ff if self.d_ff is not None else 4 * self.d_model
+
+    @property
+    def gqa_group_size(self) -> int:
+        """How many query heads share one KV head."""
+        return self.n_heads // self.kv_heads
+
+    def kv_cache_bytes_per_token(self, bytes_per_value: float = 2.0) -> float:
+        """KV-cache footprint of one token across all layers.
+
+        ``bytes_per_value`` defaults to fp16 (2 bytes) as used by the paper's
+        baseline.
+        """
+        return 2.0 * self.n_layers * self.kv_dim * bytes_per_value
+
+    def num_parameters(self) -> int:
+        """Approximate parameter count (used to report the Table I analogue)."""
+        d, v = self.d_model, self.vocab_size
+        embed = v * d
+        pos = self.max_seq_len * d if self.positional == "absolute" else 0
+        attn = d * d + 2 * d * self.kv_dim + d * d  # wq + wk + wv + wo
+        if self.activation == "silu":
+            ffn = 3 * d * self.ffn_dim  # gate, up, down
+        else:
+            ffn = 2 * d * self.ffn_dim
+        norms = 2 * d
+        per_layer = attn + ffn + norms
+        head = 0 if self.tie_embeddings else v * d
+        return embed + pos + self.n_layers * per_layer + d + head
+
+    def to_dict(self) -> dict:
+        """Serialise the configuration to a plain dictionary."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModelConfig":
+        """Construct a configuration from :meth:`to_dict` output."""
+        return cls(**data)

@@ -1,0 +1,154 @@
+"""Model zoo: tiny analogues of the paper's Table I roster.
+
+Each entry keeps the *structural* property the paper cares about — the
+positional-embedding family and the supported context length — while shrinking
+width/depth so the models run quickly in NumPy.  The analogy is what matters
+for KV quantization: RoPE models cache rotated keys, ALiBi models cache raw
+keys and bias scores, YaRN models stretch RoPE to very long contexts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.models.config import ModelConfig
+from repro.models.transformer import TransformerLM
+from repro.models.weights import OutlierSpec, build_model
+from repro.utils.rng import SeedLike
+from repro.utils.validation import require
+
+MODEL_ZOO: dict[str, ModelConfig] = {
+    # GPT2-xl: absolute learned positions, 1K context, LayerNorm + GELU.
+    "gpt2-xl-tiny": ModelConfig(
+        name="gpt2-xl-tiny",
+        vocab_size=512,
+        d_model=256,
+        n_layers=4,
+        n_heads=4,
+        max_seq_len=1024,
+        positional="absolute",
+        norm="layernorm",
+        activation="gelu",
+    ),
+    # LLaMA-2-7B: RoPE, 4K context, RMSNorm + SwiGLU.
+    "llama-2-7b-tiny": ModelConfig(
+        name="llama-2-7b-tiny",
+        vocab_size=512,
+        d_model=256,
+        n_layers=4,
+        n_heads=4,
+        max_seq_len=4096,
+        positional="rope",
+        norm="rmsnorm",
+        activation="silu",
+    ),
+    # MPT-7B: ALiBi, 2K context, LayerNorm + GELU.
+    "mpt-7b-tiny": ModelConfig(
+        name="mpt-7b-tiny",
+        vocab_size=512,
+        d_model=256,
+        n_layers=4,
+        n_heads=4,
+        max_seq_len=2048,
+        positional="alibi",
+        norm="layernorm",
+        activation="gelu",
+    ),
+    # Longchat-7B: RoPE stretched to 32K context.
+    "longchat-7b-tiny": ModelConfig(
+        name="longchat-7b-tiny",
+        vocab_size=512,
+        d_model=256,
+        n_layers=4,
+        n_heads=4,
+        max_seq_len=32768,
+        positional="rope",
+        norm="rmsnorm",
+        activation="silu",
+    ),
+    # Yarn-Llama-2-7B: YaRN-extended RoPE, 128K context, GQA to exercise
+    # grouped key/value heads.
+    "yarn-llama-2-7b-tiny": ModelConfig(
+        name="yarn-llama-2-7b-tiny",
+        vocab_size=512,
+        d_model=256,
+        n_layers=4,
+        n_heads=4,
+        n_kv_heads=2,
+        max_seq_len=131072,
+        positional="yarn",
+        rope_scaling_factor=32.0,
+        original_max_seq_len=4096,
+        norm="rmsnorm",
+        activation="silu",
+    ),
+}
+
+# The real models each tiny analogue stands in for (paper Table I).
+PAPER_MODEL_ANALOGUES: dict[str, dict] = {
+    "gpt2-xl-tiny": {"paper_model": "GPT2-xl", "paper_params": "1.5B", "positional": "Absolute", "seq_len": 1024},
+    "llama-2-7b-tiny": {"paper_model": "LLaMA-2-7B", "paper_params": "7B", "positional": "RoPE", "seq_len": 4096},
+    "mpt-7b-tiny": {"paper_model": "MPT-7B", "paper_params": "7B", "positional": "ALiBi", "seq_len": 2048},
+    "longchat-7b-tiny": {"paper_model": "Longchat-7B", "paper_params": "7B", "positional": "RoPE", "seq_len": 32768},
+    "yarn-llama-2-7b-tiny": {"paper_model": "Yarn-LlaMA-2-7B", "paper_params": "7B", "positional": "RoPE (YaRN)", "seq_len": 131072},
+}
+
+
+@dataclass(frozen=True)
+class ModelRosterEntry:
+    """One row of the Table I analogue produced by :func:`model_roster`."""
+
+    name: str
+    paper_model: str
+    paper_params: str
+    tiny_params: int
+    positional: str
+    max_seq_len: int
+
+
+def available_models() -> list[str]:
+    """Names accepted by :func:`load_model`."""
+    return sorted(MODEL_ZOO)
+
+
+def get_model_config(name: str, max_seq_len: Optional[int] = None) -> ModelConfig:
+    """Return the zoo configuration for ``name`` (optionally overriding length)."""
+    require(name in MODEL_ZOO, f"unknown model {name!r}; available: {available_models()}")
+    config = MODEL_ZOO[name]
+    if max_seq_len is not None and max_seq_len != config.max_seq_len:
+        config = ModelConfig(**{**config.to_dict(), "max_seq_len": max_seq_len})
+    return config
+
+
+def load_model(
+    name: str,
+    seed: SeedLike = 0,
+    outlier_spec: Optional[OutlierSpec] = None,
+    max_seq_len: Optional[int] = None,
+    cache_factory=None,
+) -> TransformerLM:
+    """Instantiate a zoo model with structured random weights."""
+    config = get_model_config(name, max_seq_len=max_seq_len)
+    return build_model(
+        config, seed=seed, outlier_spec=outlier_spec, cache_factory=cache_factory
+    )
+
+
+def model_roster() -> list[ModelRosterEntry]:
+    """Rows for the Table I analogue benchmark."""
+    rows = []
+    for name in available_models():
+        config = MODEL_ZOO[name]
+        meta = PAPER_MODEL_ANALOGUES[name]
+        rows.append(
+            ModelRosterEntry(
+                name=name,
+                paper_model=meta["paper_model"],
+                paper_params=meta["paper_params"],
+                tiny_params=config.num_parameters(),
+                positional=meta["positional"],
+                max_seq_len=config.max_seq_len,
+            )
+        )
+    return rows

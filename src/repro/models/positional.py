@@ -1,0 +1,176 @@
+"""Positional-embedding machinery: RoPE, YaRN-scaled RoPE and ALiBi.
+
+The paper's Table I spans four positional-encoding families (absolute
+learned, RoPE, ALiBi and YaRN-extended RoPE); KV quantization interacts with
+each differently because RoPE is applied to keys *before* caching whereas
+ALiBi is a score-time bias, so all four are implemented here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import require, require_divisible
+
+
+def rope_frequencies(head_dim: int, theta: float = 10000.0) -> np.ndarray:
+    """Standard RoPE inverse frequencies, shape ``(head_dim // 2,)``."""
+    require_divisible(head_dim, 2, "RoPE requires an even head dimension")
+    exponents = np.arange(0, head_dim, 2, dtype=np.float64) / head_dim
+    return 1.0 / (theta**exponents)
+
+
+def yarn_frequencies(
+    head_dim: int,
+    theta: float = 10000.0,
+    scaling_factor: float = 1.0,
+    original_max_seq_len: int = 4096,
+    beta_fast: float = 32.0,
+    beta_slow: float = 1.0,
+) -> np.ndarray:
+    """YaRN "NTK-by-parts" interpolated RoPE frequencies.
+
+    High-frequency dimensions (short wavelengths, local information) keep
+    their original frequencies; low-frequency dimensions are divided by the
+    scaling factor (position interpolation); intermediate dimensions are
+    linearly blended.  This follows the YaRN construction used by
+    Yarn-Llama-2 models to extend 4K-trained RoPE to 128K.
+    """
+    require(scaling_factor >= 1.0, "scaling_factor must be >= 1.0")
+    base_freqs = rope_frequencies(head_dim, theta)
+    if scaling_factor == 1.0:
+        return base_freqs
+    wavelengths = 2.0 * math.pi / base_freqs
+    # Number of rotations a dimension completes over the original context.
+    rotations = original_max_seq_len / wavelengths
+    # Ramp from 0 (keep original frequency) to 1 (fully interpolate).
+    ramp = (rotations - beta_fast) / (beta_slow - beta_fast)
+    ramp = np.clip(ramp, 0.0, 1.0)
+    interpolated = base_freqs / scaling_factor
+    return base_freqs * (1.0 - ramp) + interpolated * ramp
+
+
+def yarn_attention_scale(scaling_factor: float) -> float:
+    """Logit temperature correction used by YaRN (``0.1 ln(s) + 1``)."""
+    if scaling_factor <= 1.0:
+        return 1.0
+    return 0.1 * math.log(scaling_factor) + 1.0
+
+
+class RotaryEmbedding:
+    """Precomputed rotary positional embedding.
+
+    Parameters
+    ----------
+    head_dim:
+        Per-head dimension (must be even).
+    max_seq_len:
+        Largest position that will be requested.
+    theta:
+        RoPE base.
+    scaling_factor, original_max_seq_len:
+        When ``scaling_factor > 1`` the YaRN NTK-by-parts frequencies are used
+        together with the YaRN attention-scale correction.
+    """
+
+    def __init__(
+        self,
+        head_dim: int,
+        max_seq_len: int,
+        theta: float = 10000.0,
+        scaling_factor: float = 1.0,
+        original_max_seq_len: Optional[int] = None,
+    ) -> None:
+        require_divisible(head_dim, 2, "RoPE requires an even head dimension")
+        require(max_seq_len >= 1, "max_seq_len must be >= 1")
+        self.head_dim = head_dim
+        self.max_seq_len = max_seq_len
+        self.theta = theta
+        self.scaling_factor = scaling_factor
+        original = original_max_seq_len or max_seq_len
+        if scaling_factor > 1.0:
+            freqs = yarn_frequencies(
+                head_dim,
+                theta=theta,
+                scaling_factor=scaling_factor,
+                original_max_seq_len=original,
+            )
+            self.attention_scale = yarn_attention_scale(scaling_factor)
+        else:
+            freqs = rope_frequencies(head_dim, theta)
+            self.attention_scale = 1.0
+        positions = np.arange(max_seq_len, dtype=np.float64)
+        angles = np.outer(positions, freqs)  # (max_seq_len, head_dim // 2)
+        self._cos = np.cos(angles).astype(np.float32)
+        self._sin = np.sin(angles).astype(np.float32)
+
+    def apply(self, x: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Rotate ``x`` of shape ``(tokens, heads, head_dim)`` by ``positions``.
+
+        The rotation uses the half-split convention (first half paired with
+        second half), matching Llama-family implementations.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        positions = np.asarray(positions, dtype=np.int64)
+        if x.ndim != 3 or x.shape[-1] != self.head_dim:
+            raise ValueError(
+                f"expected x of shape (tokens, heads, {self.head_dim}), got {x.shape}"
+            )
+        if positions.shape != (x.shape[0],):
+            raise ValueError(
+                f"positions shape {positions.shape} does not match token count {x.shape[0]}"
+            )
+        if positions.size and int(positions.max()) >= self.max_seq_len:
+            raise ValueError(
+                f"position {int(positions.max())} exceeds max_seq_len {self.max_seq_len}"
+            )
+        half = self.head_dim // 2
+        cos = self._cos[positions][:, None, :]  # (tokens, 1, half)
+        sin = self._sin[positions][:, None, :]
+        x1 = x[..., :half]
+        x2 = x[..., half:]
+        rotated = np.empty_like(x)
+        rotated[..., :half] = x1 * cos - x2 * sin
+        rotated[..., half:] = x2 * cos + x1 * sin
+        return rotated
+
+
+def alibi_slopes(n_heads: int) -> np.ndarray:
+    """Per-head ALiBi slopes as defined by Press et al. (2022).
+
+    For ``n_heads`` a power of two, slopes are a geometric sequence starting at
+    ``2^(-8 / n_heads)``; otherwise the standard interleaving fallback is used.
+    """
+    require(n_heads >= 1, "n_heads must be >= 1")
+
+    def power_of_two_slopes(n: int) -> list[float]:
+        start = 2.0 ** (-(2.0 ** -(math.log2(n) - 3)))
+        return [start * (start**i) for i in range(n)]
+
+    if math.log2(n_heads).is_integer():
+        slopes = power_of_two_slopes(n_heads)
+    else:
+        closest = 2 ** math.floor(math.log2(n_heads))
+        slopes = power_of_two_slopes(closest)
+        extra = power_of_two_slopes(2 * closest)[0::2][: n_heads - closest]
+        slopes = slopes + extra
+    return np.asarray(slopes, dtype=np.float32)
+
+
+def alibi_bias(
+    slopes: np.ndarray, query_positions: np.ndarray, key_positions: np.ndarray
+) -> np.ndarray:
+    """ALiBi score bias of shape ``(n_heads, n_queries, n_keys)``.
+
+    The bias is ``-slope * (query_pos - key_pos)`` for keys at or before the
+    query; positions after the query are handled separately by the causal
+    mask, so no masking is applied here.
+    """
+    slopes = np.asarray(slopes, dtype=np.float32)
+    q = np.asarray(query_positions, dtype=np.float32)
+    k = np.asarray(key_positions, dtype=np.float32)
+    distance = q[:, None] - k[None, :]
+    return -slopes[:, None, None] * distance[None, :, :]

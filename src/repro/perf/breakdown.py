@@ -1,0 +1,102 @@
+"""Per-operator latency breakdown and speedup analysis (Fig. 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.models.config import ModelConfig
+from repro.perf.device import A40, DeviceSpec
+from repro.perf.memory import is_oom
+from repro.perf.operators import ATTENTION_OPERATORS, decode_step_ops
+from repro.perf.roofline import time_decode_ops
+from repro.perf.schemes import FP16_BASELINE, MILLION_4BIT, KVSchemeSpec
+from repro.perf.streams import schedule_step
+
+
+@dataclass
+class LatencyBreakdown:
+    """Operator-level decode latency for one scheme at one context length."""
+
+    scheme: str
+    context_length: int
+    operator_ms: dict[str, float] = field(default_factory=dict)
+    oom: bool = False
+
+    @property
+    def total_ms(self) -> float:
+        return sum(self.operator_ms.values())
+
+    @property
+    def attention_ms(self) -> float:
+        return sum(
+            value for name, value in self.operator_ms.items() if name in ATTENTION_OPERATORS
+        )
+
+    @property
+    def sdpa_ms(self) -> float:
+        return self.operator_ms.get("sdpa", 0.0)
+
+
+@dataclass
+class SpeedupPoint:
+    """SDPA and end-to-end speedup of MILLION over the baseline (one length)."""
+
+    context_length: int
+    baseline: LatencyBreakdown
+    million: LatencyBreakdown
+
+    @property
+    def sdpa_speedup(self) -> float:
+        if self.baseline.oom or self.million.oom or self.million.sdpa_ms <= 0:
+            return float("nan")
+        return self.baseline.sdpa_ms / self.million.sdpa_ms
+
+    @property
+    def e2e_speedup(self) -> float:
+        if self.baseline.oom or self.million.oom or self.million.total_ms <= 0:
+            return float("nan")
+        return self.baseline.total_ms / self.million.total_ms
+
+
+def latency_breakdown(
+    config: ModelConfig,
+    scheme: KVSchemeSpec,
+    context_length: int,
+    device: DeviceSpec = A40,
+    batch: int = 1,
+) -> LatencyBreakdown:
+    """Per-operator decode-step latency at ``context_length``."""
+    if is_oom(config, scheme, context_length, device, batch):
+        return LatencyBreakdown(
+            scheme=scheme.name, context_length=context_length, oom=True
+        )
+    ops = decode_step_ops(config, scheme, context_length, batch=batch)
+    timings = time_decode_ops(ops, scheme, config, device)
+    step = schedule_step(timings, scheme.async_quant)
+    operator_ms = {t.name: t.time_s * 1e3 for t in timings if t.stream == "main"}
+    if step.exposed_quant_time_s > 0:
+        operator_ms["quant_exposed"] = step.exposed_quant_time_s * 1e3
+    return LatencyBreakdown(
+        scheme=scheme.name, context_length=context_length, operator_ms=operator_ms
+    )
+
+
+def breakdown_sweep(
+    config: ModelConfig,
+    context_lengths: list[int],
+    baseline: KVSchemeSpec = FP16_BASELINE,
+    million: KVSchemeSpec = MILLION_4BIT,
+    device: DeviceSpec = A40,
+    batch: int = 1,
+) -> list[SpeedupPoint]:
+    """Fig. 7 driver: breakdowns + speedups across a context-length sweep."""
+    points: list[SpeedupPoint] = []
+    for context_length in context_lengths:
+        points.append(
+            SpeedupPoint(
+                context_length=context_length,
+                baseline=latency_breakdown(config, baseline, context_length, device, batch),
+                million=latency_breakdown(config, million, context_length, device, batch),
+            )
+        )
+    return points

@@ -1,0 +1,93 @@
+"""GPU device specifications for the analytic performance model.
+
+The paper measures on an NVIDIA A40; we model it (and an A100 for
+sensitivity studies) with the handful of parameters a roofline-style decode
+model needs: memory bandwidth, dense fp16 throughput, CUDA-core fp32
+throughput (de-quantization runs there), HBM capacity and kernel launch
+latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require
+
+GiB = 1024.0**3
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one GPU."""
+
+    name: str
+    memory_gb: float
+    memory_bandwidth_gbs: float
+    fp16_tflops: float
+    fp32_tflops: float
+    sm_count: int
+    l1_kb_per_sm: float
+    kernel_launch_us: float
+
+    def __post_init__(self) -> None:
+        require(self.memory_gb > 0, "memory_gb must be positive")
+        require(self.memory_bandwidth_gbs > 0, "memory_bandwidth_gbs must be positive")
+        require(self.fp16_tflops > 0, "fp16_tflops must be positive")
+        require(self.fp32_tflops > 0, "fp32_tflops must be positive")
+        require(self.sm_count > 0, "sm_count must be positive")
+        require(self.kernel_launch_us >= 0, "kernel_launch_us must be >= 0")
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.memory_gb * GiB
+
+    @property
+    def memory_bandwidth_bytes_per_s(self) -> float:
+        return self.memory_bandwidth_gbs * 1e9
+
+    @property
+    def fp16_flops_per_s(self) -> float:
+        return self.fp16_tflops * 1e12
+
+    @property
+    def fp32_flops_per_s(self) -> float:
+        return self.fp32_tflops * 1e12
+
+    @property
+    def kernel_launch_s(self) -> float:
+        return self.kernel_launch_us * 1e-6
+
+
+# NVIDIA A40: 48 GB GDDR6, 696 GB/s, 74.8 dense fp16 TFLOPS (tensor cores),
+# 37.4 fp32 TFLOPS on CUDA cores, 84 SMs, 128 KB unified L1 per SM.
+A40 = DeviceSpec(
+    name="A40",
+    memory_gb=48.0,
+    memory_bandwidth_gbs=696.0,
+    fp16_tflops=74.8,
+    fp32_tflops=37.4,
+    sm_count=84,
+    l1_kb_per_sm=128.0,
+    kernel_launch_us=8.0,
+)
+
+# NVIDIA A100-80GB SXM: kept for sensitivity studies.
+A100_80GB = DeviceSpec(
+    name="A100-80GB",
+    memory_gb=80.0,
+    memory_bandwidth_gbs=2039.0,
+    fp16_tflops=312.0,
+    fp32_tflops=19.5,
+    sm_count=108,
+    l1_kb_per_sm=192.0,
+    kernel_launch_us=8.0,
+)
+
+DEVICE_PRESETS: dict[str, DeviceSpec] = {"a40": A40, "a100-80gb": A100_80GB}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device preset by case-insensitive name."""
+    key = name.lower()
+    require(key in DEVICE_PRESETS, f"unknown device {name!r}; available: {sorted(DEVICE_PRESETS)}")
+    return DEVICE_PRESETS[key]

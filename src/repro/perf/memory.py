@@ -1,0 +1,100 @@
+"""Device-memory footprint model and out-of-memory detection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+from repro.perf.device import DeviceSpec, GiB
+from repro.perf.operators import FP16, kv_cache_bytes
+from repro.perf.presets import weights_bytes
+from repro.perf.schemes import KVSchemeSpec
+
+# Persistent activations, CUDA context, cuBLAS workspaces, fragmentation slack.
+RUNTIME_OVERHEAD_BYTES = 2.5 * GiB
+
+
+@dataclass
+class MemoryFootprint:
+    """Breakdown of device memory usage at a given context length."""
+
+    weights_bytes: float
+    kv_cache_bytes: float
+    workspace_bytes: float
+    runtime_bytes: float
+    prefill_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return (
+            self.weights_bytes
+            + self.kv_cache_bytes
+            + self.workspace_bytes
+            + self.runtime_bytes
+            + self.prefill_bytes
+        )
+
+    @property
+    def total_gb(self) -> float:
+        return self.total_bytes / GiB
+
+    def fits(self, device: DeviceSpec) -> bool:
+        return self.total_bytes <= device.memory_bytes
+
+
+def memory_footprint(
+    config: ModelConfig,
+    scheme: KVSchemeSpec,
+    context_len: int,
+    batch: int = 1,
+) -> MemoryFootprint:
+    """Model the memory footprint of serving ``config`` under ``scheme``.
+
+    ``workspace_bytes`` models scheme-specific transient buffers as a
+    multiple of the *full-precision* KV footprint (``extra_workspace_factor``)
+    — this is how the KIVI implementation's reported OOM at 16K context is
+    reproduced on a 48 GB A40.  ``prefill_bytes`` is the peak transient
+    memory of the prefill pass (live hidden states and the final logits
+    tensor), which is what pushes the fp16 baseline out of memory around 64K
+    context in Fig. 7.
+    """
+    fp16_kv = batch * context_len * 2 * config.kv_dim * config.n_layers * FP16
+    prefill_peak = batch * context_len * (8.0 * config.d_model + 2.0 * config.vocab_size)
+    return MemoryFootprint(
+        weights_bytes=weights_bytes(config),
+        kv_cache_bytes=kv_cache_bytes(config, scheme, context_len, batch),
+        workspace_bytes=scheme.extra_workspace_factor * fp16_kv,
+        runtime_bytes=RUNTIME_OVERHEAD_BYTES,
+        prefill_bytes=prefill_peak,
+    )
+
+
+def is_oom(
+    config: ModelConfig,
+    scheme: KVSchemeSpec,
+    context_len: int,
+    device: DeviceSpec,
+    batch: int = 1,
+) -> bool:
+    """Whether serving at ``context_len`` exceeds the device memory."""
+    return not memory_footprint(config, scheme, context_len, batch).fits(device)
+
+
+def max_context_length(
+    config: ModelConfig,
+    scheme: KVSchemeSpec,
+    device: DeviceSpec,
+    batch: int = 1,
+    upper_bound: int = 1 << 22,
+) -> int:
+    """Largest context length that still fits on the device (binary search)."""
+    low, high = 0, upper_bound
+    if is_oom(config, scheme, 1, device, batch):
+        return 0
+    while low < high:
+        mid = (low + high + 1) // 2
+        if is_oom(config, scheme, mid, device, batch):
+            high = mid - 1
+        else:
+            low = mid
+    return low

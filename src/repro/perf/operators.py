@@ -1,0 +1,276 @@
+"""Per-operator cost enumeration for one decode step.
+
+Each operator is described by the tensor-core FLOPs, CUDA-core FLOPs, bytes
+moved and kernel count it needs for a *single new token* at a given context
+length.  The roofline model (:mod:`repro.perf.roofline`) turns these into
+times; the breakdown and TPOT modules aggregate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.models.config import ModelConfig
+from repro.perf.schemes import KVSchemeSpec
+from repro.utils.validation import require
+
+FP16 = 2.0
+FP32 = 4.0
+
+# Operators that belong to the attention block (the subset shown in Fig. 7).
+ATTENTION_OPERATORS = (
+    "qkv_proj",
+    "rotary_emb",
+    "cat",
+    "repeat_kv",
+    "causal_mask",
+    "contiguous",
+    "sdpa",
+    "o_proj",
+)
+
+
+@dataclass
+class OpCost:
+    """Resource usage of one operator for one decode step (all layers)."""
+
+    name: str
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    tensor_flops: float = 0.0
+    cuda_flops: float = 0.0
+    n_kernels: int = 1
+    memory_efficiency: float = 0.62
+    compute_efficiency: float = 0.75
+    stream: str = "main"
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+
+def kv_cache_bytes(
+    config: ModelConfig, scheme: KVSchemeSpec, context_len: int, batch: int = 1
+) -> float:
+    """Footprint of the whole KV cache under ``scheme`` at ``context_len``."""
+    per_token_values = 2 * config.kv_dim  # keys + values
+    quantized_tokens = max(context_len - scheme.residual_fp16_tokens, 0)
+    residual_tokens = min(scheme.residual_fp16_tokens, context_len)
+    data = quantized_tokens * per_token_values * scheme.kv_bytes_per_value
+    data += residual_tokens * per_token_values * FP16
+    metadata = quantized_tokens * scheme.metadata_bytes_per_token_per_layer
+    codebooks = scheme.codebook_bytes_per_layer
+    return float(batch * config.n_layers * (data + metadata) + config.n_layers * codebooks)
+
+
+def decode_step_ops(
+    config: ModelConfig,
+    scheme: KVSchemeSpec,
+    context_len: int,
+    batch: int = 1,
+) -> list[OpCost]:
+    """Enumerate operator costs for generating one token at ``context_len``.
+
+    The returned list covers the whole model (all layers), with attention
+    operators named as in Fig. 7 plus the non-attention operators needed for
+    an end-to-end total (ffn, norms, lm_head, embedding, quant).
+    """
+    require(context_len >= 1, "context_len must be >= 1")
+    require(batch >= 1, "batch must be >= 1")
+    L = config.n_layers
+    d = config.d_model
+    kv_dim = config.kv_dim
+    head_dim = config.head_dim
+    n_heads = config.n_heads
+    ffn = config.ffn_dim
+    vocab = config.vocab_size
+    act = batch * d * FP16
+
+    ops: list[OpCost] = []
+
+    # --- attention-block operators (per layer, multiplied by L) -------------
+    qkv_weights = d * (d + 2 * kv_dim) * FP16
+    ops.append(
+        OpCost(
+            name="qkv_proj",
+            bytes_read=L * (qkv_weights + act),
+            bytes_written=L * batch * (d + 2 * kv_dim) * FP16,
+            tensor_flops=L * 2.0 * batch * d * (d + 2 * kv_dim),
+            n_kernels=L * 3,
+            memory_efficiency=0.72,
+        )
+    )
+    ops.append(
+        OpCost(
+            name="rotary_emb",
+            bytes_read=L * batch * (d + kv_dim) * FP16 * 2,
+            bytes_written=L * batch * (d + kv_dim) * FP16,
+            cuda_flops=L * batch * (d + kv_dim) * 6.0,
+            n_kernels=L * 2,
+            memory_efficiency=0.5,
+        )
+    )
+
+    cache_bytes = kv_cache_bytes(config, scheme, context_len, batch)
+    new_token_bytes = batch * 2 * kv_dim * L * (
+        FP16 if scheme.residual_fp16_tokens > 0 or scheme.kv_bits >= 16 else scheme.kv_bytes_per_value
+    )
+    if scheme.cat_rewrites_cache:
+        cat_read, cat_write = cache_bytes, cache_bytes + new_token_bytes
+    else:
+        cat_read, cat_write = 0.0, new_token_bytes
+    ops.append(
+        OpCost(
+            name="cat",
+            bytes_read=cat_read,
+            bytes_written=cat_write,
+            n_kernels=L * 2,
+            memory_efficiency=0.68,
+        )
+    )
+
+    gqa_expand = 1.0 if config.kv_heads == config.n_heads else float(config.gqa_group_size)
+    ops.append(
+        OpCost(
+            name="repeat_kv",
+            bytes_read=L * batch * 2 * kv_dim * FP16,
+            bytes_written=L * batch * 2 * kv_dim * FP16 * gqa_expand,
+            n_kernels=L * (2 if gqa_expand > 1 else 1),
+            memory_efficiency=0.5,
+        )
+    )
+    ops.append(
+        OpCost(
+            name="causal_mask",
+            bytes_read=L * batch * context_len * 1.0,
+            bytes_written=L * batch * context_len * 1.0,
+            n_kernels=L,
+            memory_efficiency=0.4,
+        )
+    )
+    ops.append(
+        OpCost(
+            name="contiguous",
+            bytes_read=L * batch * d * FP16 * 2,
+            bytes_written=L * batch * d * FP16 * 2,
+            n_kernels=L,
+            memory_efficiency=0.5,
+        )
+    )
+
+    # Scaled dot-product attention over the cached context.
+    attn_flops = L * 2.0 * batch * 2.0 * d * context_len  # q·K and p·V
+    if scheme.uses_lut_attention:
+        # LUT build (q x codebooks) on tensor cores + gather/aggregate on CUDA cores.
+        n_centroids = 256
+        lut_flops = L * 2.0 * batch * n_heads * head_dim * n_centroids
+        sdpa = OpCost(
+            name="sdpa",
+            bytes_read=cache_bytes + L * batch * n_heads * context_len * FP16,
+            bytes_written=L * batch * d * FP16,
+            tensor_flops=lut_flops,
+            cuda_flops=L * batch * 2.0 * context_len * (kv_dim / head_dim) * 64.0,
+            n_kernels=L * (3 + scheme.extra_kernels_per_layer),
+            memory_efficiency=scheme.sdpa_memory_efficiency,
+        )
+    else:
+        dequant_flops = (
+            scheme.dequant_flops_per_element * L * batch * 2.0 * kv_dim * context_len
+        )
+        sdpa = OpCost(
+            name="sdpa",
+            bytes_read=cache_bytes + L * batch * n_heads * context_len * FP16,
+            bytes_written=L * batch * d * FP16,
+            tensor_flops=attn_flops,
+            cuda_flops=dequant_flops,
+            n_kernels=L * (4 + scheme.extra_kernels_per_layer),
+            memory_efficiency=scheme.sdpa_memory_efficiency,
+            compute_efficiency=0.35,
+        )
+    ops.append(sdpa)
+
+    ops.append(
+        OpCost(
+            name="o_proj",
+            bytes_read=L * (d * d * FP16 + act),
+            bytes_written=L * act,
+            tensor_flops=L * 2.0 * batch * d * d,
+            n_kernels=L,
+            memory_efficiency=0.72,
+        )
+    )
+
+    # --- the rest of the model ------------------------------------------------
+    if config.activation == "silu":
+        ffn_weights = 3.0 * d * ffn * FP16
+        ffn_flops = 2.0 * batch * 3.0 * d * ffn
+    else:
+        ffn_weights = 2.0 * d * ffn * FP16
+        ffn_flops = 2.0 * batch * 2.0 * d * ffn
+    ops.append(
+        OpCost(
+            name="ffn",
+            bytes_read=L * (ffn_weights + act),
+            bytes_written=L * act,
+            tensor_flops=L * ffn_flops,
+            n_kernels=L * 4,
+            memory_efficiency=0.72,
+        )
+    )
+    ops.append(
+        OpCost(
+            name="norms",
+            bytes_read=(2 * L + 1) * act * 2,
+            bytes_written=(2 * L + 1) * act,
+            cuda_flops=(2 * L + 1) * batch * d * 8.0,
+            n_kernels=2 * L + 1,
+            memory_efficiency=0.45,
+        )
+    )
+    ops.append(
+        OpCost(
+            name="embed",
+            bytes_read=act,
+            bytes_written=act,
+            n_kernels=1,
+            memory_efficiency=0.4,
+        )
+    )
+    ops.append(
+        OpCost(
+            name="lm_head",
+            bytes_read=vocab * d * FP16 + act,
+            bytes_written=batch * vocab * FP16,
+            tensor_flops=2.0 * batch * d * vocab,
+            n_kernels=1,
+            memory_efficiency=0.72,
+        )
+    )
+
+    # --- per-scheme fixed overhead and quantization work ----------------------
+    if scheme.fixed_overhead_us_per_layer > 0:
+        ops.append(
+            OpCost(
+                name="scheme_overhead",
+                bytes_read=0.0,
+                bytes_written=0.0,
+                cuda_flops=0.0,
+                n_kernels=0,
+                memory_efficiency=1.0,
+            )
+        )
+    if scheme.quant_flops_per_element > 0:
+        quant_elements = batch * 2.0 * kv_dim * L
+        ops.append(
+            OpCost(
+                name="quant",
+                bytes_read=quant_elements * FP16,
+                bytes_written=quant_elements * scheme.kv_bytes_per_value,
+                cuda_flops=quant_elements * scheme.quant_flops_per_element,
+                n_kernels=2 * L,
+                memory_efficiency=0.5,
+                compute_efficiency=0.4,
+                stream="quant" if scheme.async_quant else "main",
+            )
+        )
+    return ops

@@ -1,0 +1,52 @@
+"""Full-size model configurations used by the performance model.
+
+Accuracy experiments run on tiny NumPy models, but the latency model needs
+the *real* dimensions of the paper's serving target (Llama-2-7B on an A40),
+so the full-size configurations live here as ordinary :class:`ModelConfig`
+objects that are never instantiated into weights.
+"""
+
+from __future__ import annotations
+
+from repro.models.config import ModelConfig
+
+# Llama-2-7B: 32 layers, d_model 4096, 32 heads of 128, SwiGLU FFN 11008,
+# vocabulary 32000.  max_seq_len is set high enough for the 80K sweep of
+# Fig. 7 (the real model needs RoPE scaling for that, which does not change
+# the cost model).
+LLAMA_2_7B = ModelConfig(
+    name="llama-2-7b",
+    vocab_size=32000,
+    d_model=4096,
+    n_layers=32,
+    n_heads=32,
+    d_ff=11008,
+    max_seq_len=131072,
+    positional="rope",
+    norm="rmsnorm",
+    activation="silu",
+)
+
+# Llama-2-13B, used for sensitivity studies.
+LLAMA_2_13B = ModelConfig(
+    name="llama-2-13b",
+    vocab_size=32000,
+    d_model=5120,
+    n_layers=40,
+    n_heads=40,
+    d_ff=13824,
+    max_seq_len=131072,
+    positional="rope",
+    norm="rmsnorm",
+    activation="silu",
+)
+
+PERF_MODEL_PRESETS: dict[str, ModelConfig] = {
+    "llama-2-7b": LLAMA_2_7B,
+    "llama-2-13b": LLAMA_2_13B,
+}
+
+
+def weights_bytes(config: ModelConfig, bytes_per_param: float = 2.0) -> float:
+    """Approximate fp16 weight footprint of a full-size model."""
+    return float(config.num_parameters() * bytes_per_param)

@@ -1,0 +1,156 @@
+"""Cost-model descriptions of each KV-cache scheme.
+
+A :class:`KVSchemeSpec` captures the properties of a scheme that matter for
+decode latency and memory: how many bits each cached scalar occupies, whether
+attention must de-quantize on CUDA cores, whether the cache is rewritten by a
+``torch.cat``-style append, how much per-token metadata is kept, how much
+scratch memory the implementation needs, and a per-layer fixed kernel
+overhead.
+
+The fixed overheads of the *baseline implementations* (KIVI, KVQuant) cannot
+be derived from first principles without their kernels, so they are
+calibrated once against the paper's 1K-context TPOT anchor (Table IV, first
+column); every other behaviour — how latency scales with context length,
+where OOM happens, how MILLION's savings grow — is predicted by the traffic
+model.  EXPERIMENTS.md spells out which numbers are anchored and which are
+predicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class KVSchemeSpec:
+    """Performance-relevant description of one KV-cache scheme."""
+
+    name: str
+    kv_bits: float
+    metadata_bytes_per_token_per_layer: float = 0.0
+    codebook_bytes_per_layer: float = 0.0
+    dequant_flops_per_element: float = 0.0
+    quant_flops_per_element: float = 0.0
+    uses_lut_attention: bool = False
+    cat_rewrites_cache: bool = True
+    async_quant: bool = False
+    fixed_overhead_us_per_layer: float = 0.0
+    extra_workspace_factor: float = 0.0
+    residual_fp16_tokens: int = 0
+    sdpa_memory_efficiency: float = 0.62
+    extra_kernels_per_layer: int = 0
+
+    def __post_init__(self) -> None:
+        require(self.kv_bits > 0, "kv_bits must be positive")
+        require(0 < self.sdpa_memory_efficiency <= 1.0, "sdpa_memory_efficiency in (0, 1]")
+        require(self.extra_workspace_factor >= 0, "extra_workspace_factor must be >= 0")
+
+    @property
+    def kv_bytes_per_value(self) -> float:
+        return self.kv_bits / 8.0
+
+    def with_updates(self, **kwargs) -> "KVSchemeSpec":
+        return replace(self, **kwargs)
+
+
+# Baseline: fp16 KV cache managed with torch.cat, SDPA reads fp16 keys/values.
+FP16_BASELINE = KVSchemeSpec(
+    name="baseline-fp16",
+    kv_bits=16.0,
+    cat_rewrites_cache=True,
+    sdpa_memory_efficiency=0.62,
+)
+
+# KIVI 4-bit: group-wise asymmetric INT4, per-group scales/zeros, fused
+# dequantization on CUDA cores, a full-precision residual of recent tokens
+# and (in the public implementation) large transient scratch buffers that
+# reproduce the OOM the paper reports at 16K on a 48 GB A40.
+KIVI_4BIT = KVSchemeSpec(
+    name="kivi-4b",
+    kv_bits=4.0,
+    metadata_bytes_per_token_per_layer=512.0,
+    dequant_flops_per_element=6.0,
+    quant_flops_per_element=4.0,
+    cat_rewrites_cache=True,
+    fixed_overhead_us_per_layer=430.0,
+    extra_workspace_factor=4.5,
+    residual_fp16_tokens=128,
+    sdpa_memory_efficiency=0.5,
+    extra_kernels_per_layer=18,
+)
+
+# KVQuant 4-bit: per-channel non-uniform keys + per-token non-uniform values,
+# de-quantized through lookup tables on CUDA cores; heavy fixed overhead from
+# the non-uniform encode/decode path.
+KVQUANT_4BIT = KVSchemeSpec(
+    name="kvquant-4b",
+    kv_bits=4.0,
+    metadata_bytes_per_token_per_layer=288.0,
+    codebook_bytes_per_layer=64 * 1024.0,
+    dequant_flops_per_element=14.0,
+    quant_flops_per_element=10.0,
+    cat_rewrites_cache=True,
+    fixed_overhead_us_per_layer=1280.0,
+    extra_workspace_factor=0.6,
+    sdpa_memory_efficiency=0.5,
+    extra_kernels_per_layer=40,
+)
+
+# KVQuant 4-bit with 1 % sparse outliers: sparse gather/scatter adds work.
+KVQUANT_4BIT_OUTLIER = KVQUANT_4BIT.with_updates(
+    name="kvquant-4b-1pct",
+    fixed_overhead_us_per_layer=1600.0,
+    metadata_bytes_per_token_per_layer=288.0 + 0.01 * 2 * 4096 * 6.0,
+    extra_kernels_per_layer=52,
+)
+
+# MILLION 4-bit: PQ codes read directly by the LUT attention kernel, codes
+# appended in place (no full-cache rewrite), quantization on the async stream.
+MILLION_4BIT = KVSchemeSpec(
+    name="million-4b",
+    kv_bits=4.0,
+    codebook_bytes_per_layer=2 * 64 * 256 * 2 * 2.0,
+    quant_flops_per_element=8.0,
+    uses_lut_attention=True,
+    cat_rewrites_cache=False,
+    async_quant=True,
+    fixed_overhead_us_per_layer=55.0,
+    extra_workspace_factor=0.05,
+    residual_fp16_tokens=0,
+    sdpa_memory_efficiency=0.28,
+    extra_kernels_per_layer=4,
+)
+
+# MILLION 3-bit: (M, nbits) = (32, 12) at head_dim 128.
+MILLION_3BIT = MILLION_4BIT.with_updates(
+    name="million-3b",
+    kv_bits=3.0,
+    codebook_bytes_per_layer=2 * 32 * 4096 * 4 * 2.0,
+)
+
+# Ablation: MILLION with quantization forced onto the main stream.
+MILLION_4BIT_SYNC = MILLION_4BIT.with_updates(
+    name="million-4b-sync",
+    async_quant=False,
+)
+
+SCHEME_PRESETS: dict[str, KVSchemeSpec] = {
+    spec.name: spec
+    for spec in (
+        FP16_BASELINE,
+        KIVI_4BIT,
+        KVQUANT_4BIT,
+        KVQUANT_4BIT_OUTLIER,
+        MILLION_4BIT,
+        MILLION_3BIT,
+        MILLION_4BIT_SYNC,
+    )
+}
+
+
+def get_scheme(name: str) -> KVSchemeSpec:
+    """Look up a scheme preset by name."""
+    require(name in SCHEME_PRESETS, f"unknown scheme {name!r}; available: {sorted(SCHEME_PRESETS)}")
+    return SCHEME_PRESETS[name]

@@ -1,0 +1,134 @@
+"""Time-per-output-token estimation (Table IV).
+
+TPOT is the mean decode-step latency over a generation of ``n_decode_tokens``
+tokens following a prefill of ``prefill_length`` tokens, exactly the protocol
+of the paper's Table IV (100 generated tokens per prefill length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.perf.device import A40, DeviceSpec
+from repro.perf.memory import memory_footprint
+from repro.perf.operators import decode_step_ops
+from repro.perf.roofline import time_decode_ops
+from repro.perf.schemes import KVSchemeSpec, get_scheme
+from repro.perf.streams import DEFAULT_OVERLAP_FRACTION, schedule_step
+from repro.utils.validation import require
+
+
+@dataclass
+class TPOTResult:
+    """Decode-latency estimate for one (scheme, prefill length) point."""
+
+    scheme: str
+    prefill_length: int
+    n_decode_tokens: int
+    tpot_ms: float
+    breakdown_ms: dict[str, float] = field(default_factory=dict)
+    oom: bool = False
+    memory_gb: float = 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.oom:
+            return f"{self.scheme} @ {self.prefill_length}: OOM ({self.memory_gb:.1f} GiB)"
+        return f"{self.scheme} @ {self.prefill_length}: {self.tpot_ms:.2f} ms/token"
+
+
+def decode_step_latency_ms(
+    config: ModelConfig,
+    scheme: KVSchemeSpec,
+    context_len: int,
+    device: DeviceSpec = A40,
+    batch: int = 1,
+    overlap_fraction: float = DEFAULT_OVERLAP_FRACTION,
+) -> tuple[float, dict[str, float]]:
+    """Latency of a single decode step and its per-operator breakdown (ms)."""
+    ops = decode_step_ops(config, scheme, context_len, batch=batch)
+    timings = time_decode_ops(ops, scheme, config, device)
+    step = schedule_step(timings, scheme.async_quant, overlap_fraction)
+    breakdown = {t.name: t.time_s * 1e3 for t in timings if t.stream == "main"}
+    breakdown["quant_exposed"] = step.exposed_quant_time_s * 1e3
+    return step.total_time_ms, breakdown
+
+
+def estimate_tpot(
+    config: ModelConfig,
+    scheme: KVSchemeSpec | str,
+    prefill_length: int,
+    device: DeviceSpec = A40,
+    n_decode_tokens: int = 100,
+    batch: int = 1,
+    overlap_fraction: float = DEFAULT_OVERLAP_FRACTION,
+    context_samples: int = 5,
+) -> TPOTResult:
+    """Average decode latency over ``n_decode_tokens`` generated tokens.
+
+    The context grows during generation; rather than timing every step, the
+    model samples ``context_samples`` context lengths across the generation
+    window and averages them (step latency is affine in context length, so
+    the sampled mean equals the true mean).
+    """
+    require(prefill_length >= 1, "prefill_length must be >= 1")
+    require(n_decode_tokens >= 1, "n_decode_tokens must be >= 1")
+    if isinstance(scheme, str):
+        scheme = get_scheme(scheme)
+    final_context = prefill_length + n_decode_tokens
+    footprint = memory_footprint(config, scheme, final_context, batch=batch)
+    if not footprint.fits(device):
+        return TPOTResult(
+            scheme=scheme.name,
+            prefill_length=prefill_length,
+            n_decode_tokens=n_decode_tokens,
+            tpot_ms=float("nan"),
+            oom=True,
+            memory_gb=footprint.total_gb,
+        )
+    contexts = np.linspace(prefill_length, final_context, context_samples).astype(int)
+    totals: list[float] = []
+    breakdown_acc: dict[str, float] = {}
+    for context in contexts:
+        total_ms, breakdown = decode_step_latency_ms(
+            config, scheme, int(context), device, batch, overlap_fraction
+        )
+        totals.append(total_ms)
+        for name, value in breakdown.items():
+            breakdown_acc[name] = breakdown_acc.get(name, 0.0) + value / len(contexts)
+    return TPOTResult(
+        scheme=scheme.name,
+        prefill_length=prefill_length,
+        n_decode_tokens=n_decode_tokens,
+        tpot_ms=float(np.mean(totals)),
+        breakdown_ms=breakdown_acc,
+        oom=False,
+        memory_gb=footprint.total_gb,
+    )
+
+
+def tpot_table(
+    config: ModelConfig,
+    schemes: list[str],
+    prefill_lengths: list[int],
+    device: DeviceSpec = A40,
+    n_decode_tokens: int = 100,
+    batch: int = 1,
+) -> dict[str, list[TPOTResult]]:
+    """Table IV driver: TPOT per scheme per prefill length."""
+    table: dict[str, list[TPOTResult]] = {}
+    for scheme_name in schemes:
+        table[scheme_name] = [
+            estimate_tpot(
+                config,
+                scheme_name,
+                prefill_length,
+                device=device,
+                n_decode_tokens=n_decode_tokens,
+                batch=batch,
+            )
+            for prefill_length in prefill_lengths
+        ]
+    return table

@@ -1,0 +1,57 @@
+"""Quantization substrates and baseline KV-cache schemes (KIVI/KVQuant-like)."""
+
+from repro.quant.cache_adapters import (
+    DequantizingKVCache,
+    KiviCacheFactory,
+    KiviKVCache,
+    KVQuantCacheFactory,
+    KVQuantKVCache,
+    StreamingQuantizedKVCache,
+)
+from repro.quant.integer import (
+    UniformQuantized,
+    UniformQuantParams,
+    dequantize_uniform,
+    quantization_mse,
+    quantization_snr_db,
+    quantize_groupwise,
+    quantize_uniform,
+)
+from repro.quant.kivi import KiviConfig, KiviQuantizer
+from repro.quant.kmeans import KMeansResult, assign_to_centroids, kmeans
+from repro.quant.kvquant import KVQuantEncodedBlock, KVQuantQuantizer
+from repro.quant.nuq import NonUniformQuantizer1D
+from repro.quant.outliers import (
+    SparseOutliers,
+    outlier_channel_indices,
+    outlier_threshold,
+    split_outliers,
+)
+
+__all__ = [
+    "DequantizingKVCache",
+    "KiviCacheFactory",
+    "KiviKVCache",
+    "KVQuantCacheFactory",
+    "KVQuantKVCache",
+    "StreamingQuantizedKVCache",
+    "UniformQuantized",
+    "UniformQuantParams",
+    "dequantize_uniform",
+    "quantization_mse",
+    "quantization_snr_db",
+    "quantize_groupwise",
+    "quantize_uniform",
+    "KiviConfig",
+    "KiviQuantizer",
+    "KMeansResult",
+    "assign_to_centroids",
+    "kmeans",
+    "KVQuantEncodedBlock",
+    "KVQuantQuantizer",
+    "NonUniformQuantizer1D",
+    "SparseOutliers",
+    "outlier_channel_indices",
+    "outlier_threshold",
+    "split_outliers",
+]

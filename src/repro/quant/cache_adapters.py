@@ -1,0 +1,345 @@
+"""Streaming quantized KV caches.
+
+Every quantized cache follows the paper's dataflow (Fig. 5): keys/values of
+the most recent append stay in a full-precision *pending* block, an optional
+*residual window* of recent tokens also stays full precision, and everything
+older is quantized in blocks.  Attention concatenates the quantized-past
+scores with the full-precision recent scores before a single softmax — which
+is mathematically identical to the online-softmax merge of Eq. (7) (a test
+asserts this) but simpler to express in NumPy.
+
+:class:`StreamingQuantizedKVCache` implements the streaming/bookkeeping part
+and leaves three hooks to subclasses:
+
+* ``_quantize_and_store``: compress a flushed block,
+* ``_quantized_scores``: attention logits of the queries against the stored
+  (compressed) keys,
+* ``_quantized_weighted_values``: probability-weighted sum over the stored
+  (compressed) values.
+
+:class:`DequantizingKVCache` is the convenience base for schemes that
+materialise ``(K̂, V̂)`` (KIVI-like and KVQuant-like); MILLION's cache extends
+the streaming base directly and never de-quantizes keys.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.models.attention_math import attention_scores, repeat_kv_heads
+from repro.models.config import ModelConfig
+from repro.models.kv_cache import FP16_BYTES, KVCacheLayer
+from repro.models.positional import alibi_bias
+from repro.models.tensor_ops import softmax
+from repro.quant.kivi import KiviConfig, KiviQuantizer
+from repro.quant.kvquant import KVQuantEncodedBlock, KVQuantQuantizer
+from repro.utils.validation import require
+
+
+class StreamingQuantizedKVCache(KVCacheLayer):
+    """Base class handling pending blocks, the residual window and attention."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        residual_window: int = 0,
+        flush_block_multiple: int = 1,
+    ) -> None:
+        super().__init__(config)
+        require(residual_window >= 0, "residual_window must be >= 0")
+        require(flush_block_multiple >= 1, "flush_block_multiple must be >= 1")
+        self.residual_window = residual_window
+        self.flush_block_multiple = flush_block_multiple
+        self._pending_keys: list[np.ndarray] = []
+        self._pending_values: list[np.ndarray] = []
+        self._stored_tokens = 0
+
+    # Streaming bookkeeping ------------------------------------------------
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=np.float32)
+        values = np.asarray(values, dtype=np.float32)
+        self._validate_append(keys, values)
+        # Quantize whatever the residual window no longer protects *before*
+        # adding the new block, mirroring the asynchronous quantization stream
+        # that compresses older tokens while the new token is being processed.
+        self._flush(keep=self.residual_window)
+        self._pending_keys.append(keys)
+        self._pending_values.append(values)
+        self._seq_len += keys.shape[0]
+
+    def flush_all(self) -> None:
+        """Force-quantize every pending token (used by tests and calibration)."""
+        self._flush(keep=0)
+
+    def _pending_token_count(self) -> int:
+        return sum(block.shape[0] for block in self._pending_keys)
+
+    def _flush(self, keep: int) -> None:
+        pending = self._pending_token_count()
+        flushable = pending - keep
+        if self.flush_block_multiple > 1:
+            flushable = (flushable // self.flush_block_multiple) * self.flush_block_multiple
+        if flushable <= 0:
+            return
+        keys = np.concatenate(self._pending_keys, axis=0)
+        values = np.concatenate(self._pending_values, axis=0)
+        to_store_k, rest_k = keys[:flushable], keys[flushable:]
+        to_store_v, rest_v = values[:flushable], values[flushable:]
+        self._quantize_and_store(to_store_k, to_store_v)
+        self._stored_tokens += flushable
+        self._pending_keys = [rest_k] if rest_k.shape[0] else []
+        self._pending_values = [rest_v] if rest_v.shape[0] else []
+
+    def reset(self) -> None:
+        super().reset()
+        self._pending_keys.clear()
+        self._pending_values.clear()
+        self._stored_tokens = 0
+
+    @property
+    def stored_tokens(self) -> int:
+        """Number of tokens currently held in compressed form."""
+        return self._stored_tokens
+
+    @property
+    def pending_tokens(self) -> int:
+        """Number of tokens currently held in full precision."""
+        return self._pending_token_count()
+
+    # Attention -------------------------------------------------------------
+
+    def attend(
+        self,
+        queries: np.ndarray,
+        query_positions: np.ndarray,
+        scale: float,
+        alibi_head_slopes: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        queries = np.asarray(queries, dtype=np.float32)
+        n_queries, n_heads, head_dim = queries.shape
+        score_blocks: list[np.ndarray] = []
+        stored = self._stored_tokens
+        if stored > 0:
+            stored_positions = np.arange(stored)
+            stored_scores = self._quantized_scores(queries, scale)
+            if alibi_head_slopes is not None:
+                stored_scores = stored_scores + alibi_bias(
+                    alibi_head_slopes, query_positions, stored_positions
+                )
+            score_blocks.append(stored_scores)
+        pending_keys = (
+            np.concatenate(self._pending_keys, axis=0)
+            if self._pending_keys
+            else np.zeros((0, self.config.kv_heads, head_dim), dtype=np.float32)
+        )
+        pending_values = (
+            np.concatenate(self._pending_values, axis=0)
+            if self._pending_values
+            else np.zeros((0, self.config.kv_heads, head_dim), dtype=np.float32)
+        )
+        pending_positions = np.arange(stored, stored + pending_keys.shape[0])
+        if pending_keys.shape[0] > 0:
+            pending_scores = attention_scores(
+                queries,
+                pending_keys,
+                query_positions,
+                pending_positions,
+                scale,
+                alibi_head_slopes=alibi_head_slopes,
+                causal=True,
+            )
+            score_blocks.append(pending_scores)
+        if not score_blocks:
+            raise RuntimeError("attend called on an empty cache")
+        scores = np.concatenate(score_blocks, axis=-1)
+        probs = softmax(scores, axis=-1)
+        context = np.zeros((n_queries, n_heads, head_dim), dtype=np.float32)
+        if stored > 0:
+            context += self._quantized_weighted_values(probs[..., :stored])
+        if pending_keys.shape[0] > 0:
+            pending_probs = probs[..., stored:]
+            expanded_values = repeat_kv_heads(pending_values, n_heads)
+            context += np.einsum("hqk,khd->qhd", pending_probs, expanded_values).astype(
+                np.float32
+            )
+        return context
+
+    # Memory accounting -------------------------------------------------------
+
+    def memory_bytes(self) -> float:
+        pending = self._pending_token_count()
+        per_token_fp = 2 * self.config.kv_heads * self.config.head_dim * FP16_BYTES
+        return float(pending * per_token_fp) + self.quantized_memory_bytes()
+
+    def compression_ratio(self) -> float:
+        """Full-precision footprint divided by the actual footprint."""
+        per_token_fp = 2 * self.config.kv_heads * self.config.head_dim * FP16_BYTES
+        full = self.seq_len * per_token_fp
+        actual = self.memory_bytes()
+        if actual <= 0:
+            return 1.0
+        return float(full / actual)
+
+    # Hooks -------------------------------------------------------------------
+
+    @abstractmethod
+    def _quantize_and_store(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Compress and store a flushed ``(t, kv_heads, head_dim)`` block."""
+
+    @abstractmethod
+    def _quantized_scores(self, queries: np.ndarray, scale: float) -> np.ndarray:
+        """Attention logits against stored tokens, shape ``(heads, nq, stored)``."""
+
+    @abstractmethod
+    def _quantized_weighted_values(self, probs: np.ndarray) -> np.ndarray:
+        """Probability-weighted sum over stored values, shape ``(nq, heads, d)``."""
+
+    @abstractmethod
+    def quantized_memory_bytes(self) -> float:
+        """Footprint of the compressed storage (codes + metadata + codebooks)."""
+
+
+class DequantizingKVCache(StreamingQuantizedKVCache):
+    """Base for schemes that materialise de-quantized keys/values for attention."""
+
+    def _quantized_scores(self, queries: np.ndarray, scale: float) -> np.ndarray:
+        keys, _ = self._materialize_quantized()
+        expanded = repeat_kv_heads(keys, queries.shape[1])
+        return (np.einsum("qhd,khd->hqk", queries, expanded) * scale).astype(np.float32)
+
+    def _quantized_weighted_values(self, probs: np.ndarray) -> np.ndarray:
+        _, values = self._materialize_quantized()
+        expanded = repeat_kv_heads(values, probs.shape[0])
+        return np.einsum("hqk,khd->qhd", probs, expanded).astype(np.float32)
+
+    @abstractmethod
+    def _materialize_quantized(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return de-quantized ``(keys, values)`` of shape ``(stored, kv_heads, d)``."""
+
+    def dequantization_error(self) -> dict[str, float]:
+        """Diagnostics hook: subclasses may override to report reconstruction MSE."""
+        return {}
+
+
+class KiviKVCache(DequantizingKVCache):
+    """KIVI-like cache: per-channel keys, per-token values, grouped flushing."""
+
+    def __init__(self, config: ModelConfig, kivi_config: KiviConfig | None = None) -> None:
+        kivi_config = kivi_config or KiviConfig()
+        super().__init__(
+            config,
+            residual_window=kivi_config.residual_length,
+            flush_block_multiple=kivi_config.group_size,
+        )
+        self.quantizer = KiviQuantizer(kivi_config)
+        self._key_blocks: list = []
+        self._value_blocks: list = []
+
+    def _flatten(self, block: np.ndarray) -> np.ndarray:
+        return block.reshape(block.shape[0], -1)
+
+    def _unflatten(self, block: np.ndarray) -> np.ndarray:
+        return block.reshape(block.shape[0], self.config.kv_heads, self.config.head_dim)
+
+    def _quantize_and_store(self, keys: np.ndarray, values: np.ndarray) -> None:
+        self._key_blocks.append(self.quantizer.quantize_keys(self._flatten(keys)))
+        self._value_blocks.append(self.quantizer.quantize_values(self._flatten(values)))
+
+    def _materialize_quantized(self) -> tuple[np.ndarray, np.ndarray]:
+        if not self._key_blocks:
+            empty = np.zeros((0, self.config.kv_heads, self.config.head_dim), np.float32)
+            return empty, empty.copy()
+        keys = np.concatenate([b.dequantize() for b in self._key_blocks], axis=0)
+        values = np.concatenate([b.dequantize() for b in self._value_blocks], axis=0)
+        return self._unflatten(keys), self._unflatten(values)
+
+    def quantized_memory_bytes(self) -> float:
+        return float(
+            sum(b.memory_bytes() for b in self._key_blocks)
+            + sum(b.memory_bytes() for b in self._value_blocks)
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._key_blocks.clear()
+        self._value_blocks.clear()
+
+
+class KVQuantKVCache(DequantizingKVCache):
+    """KVQuant-like cache: calibrated non-uniform quantization, optional outliers."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        quantizer: KVQuantQuantizer,
+        residual_window: int = 0,
+    ) -> None:
+        super().__init__(config, residual_window=residual_window)
+        require(quantizer.is_fitted, "KVQuantKVCache requires a fitted quantizer")
+        self.quantizer = quantizer
+        self._key_blocks: list[KVQuantEncodedBlock] = []
+        self._value_blocks: list[KVQuantEncodedBlock] = []
+
+    def _quantize_and_store(self, keys: np.ndarray, values: np.ndarray) -> None:
+        flat_keys = keys.reshape(keys.shape[0], -1)
+        flat_values = values.reshape(values.shape[0], -1)
+        self._key_blocks.append(self.quantizer.encode_keys(flat_keys))
+        self._value_blocks.append(self.quantizer.encode_values(flat_values))
+
+    def _materialize_quantized(self) -> tuple[np.ndarray, np.ndarray]:
+        if not self._key_blocks:
+            empty = np.zeros((0, self.config.kv_heads, self.config.head_dim), np.float32)
+            return empty, empty.copy()
+        keys = np.concatenate(
+            [self.quantizer.decode_keys(b) for b in self._key_blocks], axis=0
+        )
+        values = np.concatenate(
+            [self.quantizer.decode_values(b) for b in self._value_blocks], axis=0
+        )
+        shape = (-1, self.config.kv_heads, self.config.head_dim)
+        return keys.reshape(shape), values.reshape(shape)
+
+    def quantized_memory_bytes(self) -> float:
+        blocks = sum(b.memory_bytes() for b in self._key_blocks) + sum(
+            b.memory_bytes() for b in self._value_blocks
+        )
+        return float(blocks + self.quantizer.codebook_bytes())
+
+    def reset(self) -> None:
+        super().reset()
+        self._key_blocks.clear()
+        self._value_blocks.clear()
+
+
+class KiviCacheFactory:
+    """Creates one :class:`KiviKVCache` per layer."""
+
+    def __init__(self, kivi_config: KiviConfig | None = None) -> None:
+        self.kivi_config = kivi_config or KiviConfig()
+
+    def create(self, layer_index: int, config: ModelConfig) -> KVCacheLayer:
+        return KiviKVCache(config, self.kivi_config)
+
+
+class KVQuantCacheFactory:
+    """Creates :class:`KVQuantKVCache` layers from per-layer fitted quantizers."""
+
+    def __init__(
+        self,
+        quantizers: dict[int, KVQuantQuantizer],
+        residual_window: int = 0,
+    ) -> None:
+        require(len(quantizers) > 0, "quantizers mapping must not be empty")
+        self.quantizers = dict(quantizers)
+        self.residual_window = residual_window
+
+    def create(self, layer_index: int, config: ModelConfig) -> KVCacheLayer:
+        if layer_index not in self.quantizers:
+            raise KeyError(f"no fitted KVQuant quantizer for layer {layer_index}")
+        return KVQuantKVCache(
+            config, self.quantizers[layer_index], residual_window=self.residual_window
+        )

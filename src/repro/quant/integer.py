@@ -1,0 +1,155 @@
+"""Uniform integer quantization (Eq. 2/3 of the paper).
+
+Supports per-tensor, per-axis and group-wise granularity in both symmetric
+and asymmetric forms.  This is the workhorse behind the KIVI-like baseline
+and the "uniform quantization struggles with outliers" motivation study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+@dataclass
+class UniformQuantParams:
+    """Scale/zero-point metadata for a uniformly quantized tensor."""
+
+    scale: np.ndarray
+    zero_point: np.ndarray
+    nbits: int
+    symmetric: bool
+    shape: tuple[int, ...]
+
+    def metadata_bytes(self, bytes_per_value: float = 2.0) -> float:
+        """Footprint of the scales and zero points (fp16 accounting)."""
+        count = self.scale.size + (0 if self.symmetric else self.zero_point.size)
+        return float(count * bytes_per_value)
+
+
+@dataclass
+class UniformQuantized:
+    """Quantized codes plus the parameters needed to de-quantize them."""
+
+    codes: np.ndarray
+    params: UniformQuantParams
+
+    def dequantize(self) -> np.ndarray:
+        return dequantize_uniform(self.codes, self.params)
+
+    def memory_bytes(self, metadata_bytes_per_value: float = 2.0) -> float:
+        code_bits = self.codes.size * self.params.nbits
+        return code_bits / 8.0 + self.params.metadata_bytes(metadata_bytes_per_value)
+
+
+def _reduction_axes(ndim: int, keep_axes: Optional[Sequence[int]]) -> tuple[int, ...]:
+    if keep_axes is None:
+        return tuple(range(ndim))
+    keep = {a % ndim for a in keep_axes}
+    return tuple(a for a in range(ndim) if a not in keep)
+
+
+def quantize_uniform(
+    x: np.ndarray,
+    nbits: int,
+    symmetric: bool = False,
+    keep_axes: Optional[Sequence[int]] = None,
+) -> UniformQuantized:
+    """Quantize ``x`` to ``nbits`` with one (scale, zero) per kept-axis slice.
+
+    ``keep_axes=None`` gives per-tensor parameters; ``keep_axes=(1,)`` on a
+    ``(tokens, channels)`` tensor gives per-channel parameters, and
+    ``keep_axes=(0,)`` gives per-token parameters.
+    """
+    require(1 <= nbits <= 16, f"nbits must be in [1, 16], got {nbits}")
+    x = np.asarray(x, dtype=np.float32)
+    reduce_axes = _reduction_axes(x.ndim, keep_axes)
+    if symmetric:
+        qmax = float(2 ** (nbits - 1) - 1)
+        max_abs = np.max(np.abs(x), axis=reduce_axes, keepdims=True) if reduce_axes else np.abs(x)
+        scale = np.maximum(max_abs, 1e-12) / max(qmax, 1.0)
+        zero = np.zeros_like(scale)
+        codes = np.clip(np.rint(x / scale), -qmax - 1, qmax).astype(np.int32)
+    else:
+        levels = float(2**nbits - 1)
+        x_min = np.min(x, axis=reduce_axes, keepdims=True) if reduce_axes else x
+        x_max = np.max(x, axis=reduce_axes, keepdims=True) if reduce_axes else x
+        scale = np.maximum(x_max - x_min, 1e-12) / levels
+        zero = np.rint(-x_min / scale)
+        codes = np.clip(np.rint(x / scale + zero), 0, levels).astype(np.int32)
+    params = UniformQuantParams(
+        scale=scale.astype(np.float32),
+        zero_point=zero.astype(np.float32),
+        nbits=nbits,
+        symmetric=symmetric,
+        shape=x.shape,
+    )
+    return UniformQuantized(codes=codes, params=params)
+
+
+def dequantize_uniform(codes: np.ndarray, params: UniformQuantParams) -> np.ndarray:
+    """Inverse of :func:`quantize_uniform` (Eq. 3)."""
+    codes = np.asarray(codes, dtype=np.float32)
+    if params.symmetric:
+        return (codes * params.scale).astype(np.float32)
+    return ((codes - params.zero_point) * params.scale).astype(np.float32)
+
+
+def quantize_groupwise(
+    x: np.ndarray,
+    nbits: int,
+    group_size: int,
+    axis: int = -1,
+    symmetric: bool = False,
+) -> tuple[UniformQuantized, np.ndarray]:
+    """Group-wise quantization along ``axis``.
+
+    The axis is padded to a multiple of ``group_size`` (padding is removed by
+    the returned reconstruction).  Returns ``(quantized, reconstruction)``
+    where the quantized object covers the padded/reshaped tensor.
+    """
+    require(group_size >= 1, f"group_size must be >= 1, got {group_size}")
+    x = np.asarray(x, dtype=np.float32)
+    axis = axis % x.ndim
+    length = x.shape[axis]
+    padded_length = int(np.ceil(length / group_size) * group_size)
+    if padded_length != length:
+        pad_width = [(0, 0)] * x.ndim
+        pad_width[axis] = (0, padded_length - length)
+        x_padded = np.pad(x, pad_width, mode="edge")
+    else:
+        x_padded = x
+    moved = np.moveaxis(x_padded, axis, -1)
+    grouped_shape = moved.shape[:-1] + (padded_length // group_size, group_size)
+    grouped = moved.reshape(grouped_shape)
+    quantized = quantize_uniform(
+        grouped, nbits, symmetric=symmetric, keep_axes=tuple(range(grouped.ndim - 1))
+    )
+    reconstructed = quantized.dequantize().reshape(moved.shape)
+    reconstructed = np.moveaxis(reconstructed, -1, axis)
+    slicer = [slice(None)] * x.ndim
+    slicer[axis] = slice(0, length)
+    return quantized, reconstructed[tuple(slicer)].astype(np.float32)
+
+
+def quantization_mse(x: np.ndarray, x_hat: np.ndarray) -> float:
+    """Mean squared reconstruction error."""
+    x = np.asarray(x, dtype=np.float64)
+    x_hat = np.asarray(x_hat, dtype=np.float64)
+    if x.shape != x_hat.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {x_hat.shape}")
+    return float(np.mean((x - x_hat) ** 2))
+
+
+def quantization_snr_db(x: np.ndarray, x_hat: np.ndarray) -> float:
+    """Signal-to-quantization-noise ratio in dB (higher is better)."""
+    x = np.asarray(x, dtype=np.float64)
+    noise = np.mean((x - np.asarray(x_hat, dtype=np.float64)) ** 2)
+    signal = np.mean(x**2)
+    if noise <= 0:
+        return float("inf")
+    return float(10.0 * np.log10(max(signal, 1e-30) / noise))

@@ -1,0 +1,84 @@
+"""KIVI-like asymmetric integer quantization of the KV cache.
+
+KIVI (Liu et al., 2024) quantizes the **key** cache per-channel (statistics
+shared across the tokens of a group, separate per channel — which absorbs the
+key channel outliers) and the **value** cache per-token, keeping a small
+residual of recent tokens in full precision until a group fills up.  This
+module provides the per-block quantizer; the streaming cache adapter in
+:mod:`repro.quant.cache_adapters` handles grouping and the residual window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.integer import UniformQuantized, quantize_uniform
+from repro.utils.validation import require, require_in
+
+_GRANULARITIES = ("per-channel", "per-token", "per-tensor")
+
+
+@dataclass(frozen=True)
+class KiviConfig:
+    """Configuration of the KIVI-like quantizer."""
+
+    nbits: int = 4
+    key_granularity: str = "per-channel"
+    value_granularity: str = "per-token"
+    symmetric: bool = False
+    group_size: int = 32
+    residual_length: int = 32
+
+    def __post_init__(self) -> None:
+        require(1 <= self.nbits <= 8, f"nbits must be in [1, 8], got {self.nbits}")
+        require_in(self.key_granularity, _GRANULARITIES, "key_granularity")
+        require_in(self.value_granularity, _GRANULARITIES, "value_granularity")
+        require(self.group_size >= 1, "group_size must be >= 1")
+        require(self.residual_length >= 0, "residual_length must be >= 0")
+
+
+def _keep_axes(granularity: str) -> tuple[int, ...] | None:
+    if granularity == "per-channel":
+        return (1,)
+    if granularity == "per-token":
+        return (0,)
+    return None
+
+
+class KiviQuantizer:
+    """Quantizes one block of flattened keys or values at a time.
+
+    Blocks are 2-D ``(tokens, kv_heads * head_dim)`` tensors — the layout the
+    streaming cache hands over when a token group is complete.
+    """
+
+    def __init__(self, config: KiviConfig | None = None) -> None:
+        self.config = config or KiviConfig()
+
+    def quantize_keys(self, keys: np.ndarray) -> UniformQuantized:
+        """Per-channel (default) quantization of a key block."""
+        keys = np.asarray(keys, dtype=np.float32)
+        require(keys.ndim == 2, f"keys block must be 2-D, got shape {keys.shape}")
+        return quantize_uniform(
+            keys,
+            self.config.nbits,
+            symmetric=self.config.symmetric,
+            keep_axes=_keep_axes(self.config.key_granularity),
+        )
+
+    def quantize_values(self, values: np.ndarray) -> UniformQuantized:
+        """Per-token (default) quantization of a value block."""
+        values = np.asarray(values, dtype=np.float32)
+        require(values.ndim == 2, f"values block must be 2-D, got shape {values.shape}")
+        return quantize_uniform(
+            values,
+            self.config.nbits,
+            symmetric=self.config.symmetric,
+            keep_axes=_keep_axes(self.config.value_granularity),
+        )
+
+    def bits_per_value(self) -> float:
+        """Nominal code bits per cached scalar (excluding scale metadata)."""
+        return float(self.config.nbits)

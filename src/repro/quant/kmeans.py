@@ -1,0 +1,151 @@
+"""Lloyd's k-means with k-means++ seeding.
+
+Shared by the product quantizer (per-subspace codebooks) and the KVQuant-like
+baseline (1-D non-uniform quantization).  Pure NumPy, deterministic for a
+given seed, and robust to degenerate inputs (fewer samples than clusters,
+empty clusters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, get_rng
+from repro.utils.validation import require
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of a k-means run."""
+
+    centroids: np.ndarray  # (n_clusters, dim)
+    assignments: np.ndarray  # (n_samples,)
+    inertia: float
+    n_iter: int
+
+    @property
+    def n_clusters(self) -> int:
+        return self.centroids.shape[0]
+
+
+def _pairwise_sq_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, shape ``(n_points, n_centroids)``."""
+    p_sq = np.einsum("nd,nd->n", points, points)[:, None]
+    c_sq = np.einsum("kd,kd->k", centroids, centroids)[None, :]
+    cross = points @ centroids.T
+    distances = p_sq + c_sq - 2.0 * cross
+    return np.maximum(distances, 0.0)
+
+
+def _kmeans_plus_plus(
+    data: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ initial centroids."""
+    n = data.shape[0]
+    centroids = np.empty((n_clusters, data.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centroids[0] = data[first]
+    closest = _pairwise_sq_distances(data, centroids[:1]).reshape(-1)
+    for i in range(1, n_clusters):
+        total = closest.sum()
+        if total <= 0.0:
+            # All points coincide with chosen centroids; pick uniformly.
+            idx = int(rng.integers(n))
+        else:
+            probs = closest / total
+            idx = int(rng.choice(n, p=probs))
+        centroids[i] = data[idx]
+        new_dist = _pairwise_sq_distances(data, centroids[i : i + 1]).reshape(-1)
+        closest = np.minimum(closest, new_dist)
+    return centroids
+
+
+def kmeans(
+    data: np.ndarray,
+    n_clusters: int,
+    n_iters: int = 25,
+    seed: SeedLike = None,
+    init: str = "kmeans++",
+    tol: float = 1e-6,
+) -> KMeansResult:
+    """Cluster ``data`` of shape ``(n_samples, dim)`` into ``n_clusters`` groups.
+
+    When ``n_samples < n_clusters`` the surplus centroids are jittered copies
+    of existing samples so the returned codebook always has the requested
+    size (product quantization relies on a fixed codebook shape).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim == 1:
+        data = data[:, None]
+    require(data.ndim == 2, f"data must be 2-D, got shape {data.shape}")
+    require(data.shape[0] >= 1, "data must contain at least one sample")
+    require(n_clusters >= 1, f"n_clusters must be >= 1, got {n_clusters}")
+    require(n_iters >= 1, f"n_iters must be >= 1, got {n_iters}")
+    require(init in ("kmeans++", "random"), f"unknown init {init!r}")
+    rng = get_rng(seed)
+    n_samples, dim = data.shape
+
+    if n_samples <= n_clusters:
+        # Degenerate: every sample is its own centroid, pad with jitter.
+        scale = float(np.std(data)) if n_samples > 1 else 1.0
+        scale = scale if scale > 0 else 1.0
+        pad = data[rng.integers(0, n_samples, size=n_clusters - n_samples)]
+        pad = pad + rng.normal(0.0, 1e-3 * scale, size=pad.shape)
+        centroids = np.concatenate([data, pad], axis=0)
+        assignments = np.arange(n_samples)
+        return KMeansResult(
+            centroids=centroids.astype(np.float32),
+            assignments=assignments.astype(np.int64),
+            inertia=0.0,
+            n_iter=0,
+        )
+
+    if init == "kmeans++":
+        centroids = _kmeans_plus_plus(data, n_clusters, rng)
+    else:
+        centroids = data[rng.choice(n_samples, size=n_clusters, replace=False)].copy()
+
+    assignments = np.zeros(n_samples, dtype=np.int64)
+    prev_inertia = np.inf
+    n_iter = 0
+    for n_iter in range(1, n_iters + 1):
+        distances = _pairwise_sq_distances(data, centroids)
+        assignments = np.argmin(distances, axis=1)
+        inertia = float(distances[np.arange(n_samples), assignments].sum())
+        # Update step.
+        counts = np.bincount(assignments, minlength=n_clusters).astype(np.float64)
+        sums = np.zeros_like(centroids)
+        np.add.at(sums, assignments, data)
+        non_empty = counts > 0
+        centroids[non_empty] = sums[non_empty] / counts[non_empty, None]
+        # Re-seed empty clusters at the points farthest from their centroid.
+        empty = np.flatnonzero(~non_empty)
+        if empty.size:
+            farthest = np.argsort(-distances[np.arange(n_samples), assignments])
+            centroids[empty] = data[farthest[: empty.size]]
+        if prev_inertia - inertia <= tol * max(prev_inertia, 1.0):
+            prev_inertia = inertia
+            break
+        prev_inertia = inertia
+
+    distances = _pairwise_sq_distances(data, centroids)
+    assignments = np.argmin(distances, axis=1)
+    inertia = float(distances[np.arange(n_samples), assignments].sum())
+    return KMeansResult(
+        centroids=centroids.astype(np.float32),
+        assignments=assignments.astype(np.int64),
+        inertia=inertia,
+        n_iter=n_iter,
+    )
+
+
+def assign_to_centroids(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest-centroid assignment for ``data`` (used at encode time)."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim == 1:
+        data = data[:, None]
+    centroids = np.asarray(centroids, dtype=np.float64)
+    distances = _pairwise_sq_distances(data, centroids)
+    return np.argmin(distances, axis=1).astype(np.int64)

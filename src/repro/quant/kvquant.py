@@ -1,0 +1,156 @@
+"""KVQuant-like non-uniform KV quantization with optional outlier isolation.
+
+The scheme follows Hooper et al. (2024) at the algorithmic level:
+
+* **keys** are quantized per-channel with a non-uniform (k-means) codebook
+  fitted offline on calibration samples,
+* **values** are quantized per-token: each token vector is scaled by its
+  maximum magnitude and the normalised entries are snapped to a shared
+  non-uniform level table,
+* optionally the top ``outlier_fraction`` of entries (by magnitude) are kept
+  in a sparse full-precision side structure and restored after
+  de-quantization — the "-1%" configurations of Tables II and III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.quant.kmeans import kmeans
+from repro.quant.nuq import NonUniformQuantizer1D
+from repro.quant.outliers import SparseOutliers, split_outliers
+from repro.utils.rng import SeedLike, get_rng
+from repro.utils.validation import require
+
+
+@dataclass
+class KVQuantEncodedBlock:
+    """One encoded block of keys or values."""
+
+    codes: np.ndarray
+    scales: Optional[np.ndarray]
+    outliers: Optional[SparseOutliers]
+    nbits: int
+
+    def memory_bytes(self, metadata_bytes_per_value: float = 2.0) -> float:
+        total = self.codes.size * self.nbits / 8.0
+        if self.scales is not None:
+            total += self.scales.size * metadata_bytes_per_value
+        if self.outliers is not None:
+            total += self.outliers.memory_bytes()
+        return float(total)
+
+
+class KVQuantQuantizer:
+    """Calibrated non-uniform quantizer for one layer's KV cache.
+
+    Call :meth:`fit` with calibration keys/values of shape
+    ``(samples, kv_heads * head_dim)`` before encoding.
+    """
+
+    def __init__(
+        self,
+        nbits: int = 4,
+        outlier_fraction: float = 0.0,
+        seed: SeedLike = 0,
+    ) -> None:
+        require(1 <= nbits <= 8, f"nbits must be in [1, 8], got {nbits}")
+        require(0.0 <= outlier_fraction < 1.0, "outlier_fraction must be in [0, 1)")
+        self.nbits = nbits
+        self.n_levels = 2**nbits
+        self.outlier_fraction = outlier_fraction
+        self.seed = seed
+        self._key_quantizer = NonUniformQuantizer1D(nbits)
+        self._value_levels: np.ndarray | None = None  # (n_levels,) in [-1, 1]
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._key_quantizer.is_fitted and self._value_levels is not None
+
+    def fit(self, key_samples: np.ndarray, value_samples: np.ndarray) -> "KVQuantQuantizer":
+        """Fit key channel codebooks and the shared normalised value levels."""
+        key_samples = np.asarray(key_samples, dtype=np.float32)
+        value_samples = np.asarray(value_samples, dtype=np.float32)
+        require(key_samples.ndim == 2, "key_samples must be 2-D (samples, channels)")
+        require(value_samples.ndim == 2, "value_samples must be 2-D (samples, channels)")
+        rng = get_rng(self.seed)
+        calibration_keys = key_samples
+        if self.outlier_fraction > 0.0:
+            calibration_keys, _ = split_outliers(key_samples, self.outlier_fraction)
+        self._key_quantizer.fit(calibration_keys, seed=rng)
+        normalized = self._normalize_values(value_samples)[0].reshape(-1, 1)
+        max_fit_samples = 16384
+        if normalized.shape[0] > max_fit_samples:
+            idx = rng.choice(normalized.shape[0], size=max_fit_samples, replace=False)
+            normalized = normalized[idx]
+        result = kmeans(normalized, self.n_levels, n_iters=20, seed=rng)
+        self._value_levels = np.sort(result.centroids.reshape(-1)).astype(np.float32)
+        return self
+
+    # Keys ----------------------------------------------------------------
+
+    def encode_keys(self, keys: np.ndarray) -> KVQuantEncodedBlock:
+        """Encode a ``(tokens, channels)`` key block."""
+        self._require_fitted()
+        keys = np.asarray(keys, dtype=np.float32)
+        outliers = None
+        dense = keys
+        if self.outlier_fraction > 0.0:
+            dense, outliers = split_outliers(keys, self.outlier_fraction)
+        codes = self._key_quantizer.encode(dense)
+        return KVQuantEncodedBlock(codes=codes, scales=None, outliers=outliers, nbits=self.nbits)
+
+    def decode_keys(self, block: KVQuantEncodedBlock) -> np.ndarray:
+        """Reconstruct keys from an encoded block (restoring sparse outliers)."""
+        self._require_fitted()
+        decoded = self._key_quantizer.decode(block.codes)
+        if block.outliers is not None:
+            decoded = block.outliers.restore(decoded)
+        return decoded
+
+    # Values --------------------------------------------------------------
+
+    def encode_values(self, values: np.ndarray) -> KVQuantEncodedBlock:
+        """Encode a ``(tokens, channels)`` value block per token."""
+        self._require_fitted()
+        values = np.asarray(values, dtype=np.float32)
+        outliers = None
+        dense = values
+        if self.outlier_fraction > 0.0:
+            dense, outliers = split_outliers(values, self.outlier_fraction)
+        normalized, scales = self._normalize_values(dense)
+        boundaries = 0.5 * (self._value_levels[1:] + self._value_levels[:-1])
+        codes = np.searchsorted(boundaries, normalized).astype(
+            np.uint8 if self.nbits <= 8 else np.uint16
+        )
+        return KVQuantEncodedBlock(codes=codes, scales=scales, outliers=outliers, nbits=self.nbits)
+
+    def decode_values(self, block: KVQuantEncodedBlock) -> np.ndarray:
+        """Reconstruct values from an encoded block (restoring sparse outliers)."""
+        self._require_fitted()
+        require(block.scales is not None, "value block is missing per-token scales")
+        decoded = self._value_levels[block.codes] * block.scales
+        if block.outliers is not None:
+            decoded = block.outliers.restore(decoded.astype(np.float32))
+        return decoded.astype(np.float32)
+
+    # Internals -------------------------------------------------------------
+
+    @staticmethod
+    def _normalize_values(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        scales = np.maximum(np.max(np.abs(values), axis=1, keepdims=True), 1e-12)
+        return (values / scales).astype(np.float32), scales.astype(np.float32)
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("KVQuantQuantizer must be fitted before use")
+
+    def codebook_bytes(self, bytes_per_value: float = 2.0) -> float:
+        """Footprint of the key channel codebooks and value level table."""
+        total = self._key_quantizer.codebook_bytes(bytes_per_value)
+        if self._value_levels is not None:
+            total += self._value_levels.size * bytes_per_value
+        return float(total)

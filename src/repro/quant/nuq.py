@@ -1,0 +1,106 @@
+"""Per-channel 1-D non-uniform quantization (KVQuant-style "nuq" datatype).
+
+Each channel gets its own codebook of ``2**nbits`` scalar levels fitted with
+1-D k-means on calibration data.  Encoding maps a value to its nearest level,
+so high-density regions receive more levels than a uniform grid would give
+them — this is the "non-uniform quantization" the paper compares against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.kmeans import kmeans
+from repro.utils.rng import SeedLike, get_rng
+from repro.utils.validation import require
+
+
+class NonUniformQuantizer1D:
+    """Per-channel scalar non-uniform quantizer.
+
+    Parameters
+    ----------
+    nbits:
+        Bits per value; the codebook has ``2**nbits`` levels per channel.
+    """
+
+    def __init__(self, nbits: int) -> None:
+        require(1 <= nbits <= 8, f"nbits must be in [1, 8], got {nbits}")
+        self.nbits = nbits
+        self.n_levels = 2**nbits
+        self.levels: np.ndarray | None = None  # (channels, n_levels), sorted
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.levels is not None
+
+    @property
+    def n_channels(self) -> int:
+        if self.levels is None:
+            raise RuntimeError("quantizer is not fitted")
+        return self.levels.shape[0]
+
+    def fit(
+        self,
+        data: np.ndarray,
+        seed: SeedLike = None,
+        max_samples_per_channel: int = 4096,
+        n_iters: int = 20,
+    ) -> "NonUniformQuantizer1D":
+        """Fit per-channel codebooks on ``data`` of shape ``(samples, channels)``."""
+        data = np.asarray(data, dtype=np.float32)
+        require(data.ndim == 2, f"data must be 2-D, got shape {data.shape}")
+        require(data.shape[0] >= 1, "data must contain at least one sample")
+        rng = get_rng(seed)
+        n_samples, n_channels = data.shape
+        levels = np.empty((n_channels, self.n_levels), dtype=np.float32)
+        for channel in range(n_channels):
+            column = data[:, channel]
+            if n_samples > max_samples_per_channel:
+                idx = rng.choice(n_samples, size=max_samples_per_channel, replace=False)
+                column = column[idx]
+            result = kmeans(
+                column[:, None], self.n_levels, n_iters=n_iters, seed=rng, init="kmeans++"
+            )
+            levels[channel] = np.sort(result.centroids.reshape(-1))
+        self.levels = levels
+        return self
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Map ``x`` of shape ``(tokens, channels)`` to level indices."""
+        if self.levels is None:
+            raise RuntimeError("quantizer must be fitted before encoding")
+        x = np.asarray(x, dtype=np.float32)
+        require(
+            x.ndim == 2 and x.shape[1] == self.levels.shape[0],
+            f"x must have shape (tokens, {self.levels.shape[0]}), got {x.shape}",
+        )
+        codes = np.empty(x.shape, dtype=np.uint8 if self.nbits <= 8 else np.uint16)
+        for channel in range(x.shape[1]):
+            boundaries = 0.5 * (self.levels[channel, 1:] + self.levels[channel, :-1])
+            codes[:, channel] = np.searchsorted(boundaries, x[:, channel])
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct values from level indices."""
+        if self.levels is None:
+            raise RuntimeError("quantizer must be fitted before decoding")
+        codes = np.asarray(codes)
+        require(
+            codes.ndim == 2 and codes.shape[1] == self.levels.shape[0],
+            f"codes must have shape (tokens, {self.levels.shape[0]}), got {codes.shape}",
+        )
+        out = np.empty(codes.shape, dtype=np.float32)
+        for channel in range(codes.shape[1]):
+            out[:, channel] = self.levels[channel][codes[:, channel]]
+        return out
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round-trip convenience: ``decode(encode(x))``."""
+        return self.decode(self.encode(x))
+
+    def codebook_bytes(self, bytes_per_value: float = 2.0) -> float:
+        """Footprint of the per-channel level tables."""
+        if self.levels is None:
+            return 0.0
+        return float(self.levels.size * bytes_per_value)

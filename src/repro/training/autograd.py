@@ -1,0 +1,395 @@
+"""Minimal reverse-mode automatic differentiation over NumPy arrays.
+
+Just enough machinery to train the tiny transformer language models used by
+the accuracy experiments: a tape-based :class:`Tensor`, broadcasting-aware
+elementwise ops, (batched) matmul, embedding lookup, the normalisation and
+activation functions the models need, a fused causal self-attention primitive
+and a fused softmax cross-entropy loss.
+
+Design notes
+------------
+* Forward values are plain ``numpy`` arrays in float32; gradients are
+  accumulated in float32 as well.
+* Each primitive appends a closure to the tape via the ``parents`` /
+  ``backward_fn`` arguments of the output tensor; ``Tensor.backward`` runs a
+  topological sort and calls the closures in reverse order.
+* Gradients flow only into tensors with ``requires_grad=True`` (parameters
+  and anything computed from them).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of NumPy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array with an optional gradient and a backward closure."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        parents: Sequence["Tensor"] = (),
+        backward_fn: Optional[Callable[[np.ndarray], None]] = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) or any(p.requires_grad for p in parents)
+        self._parents = tuple(parents)
+        self._backward_fn = backward_fn
+
+    # Basic introspection ---------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """A view of the same data with no history."""
+        return Tensor(self.data, requires_grad=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    # Gradient machinery -----------------------------------------------------
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float32)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Back-propagate from this tensor (must be scalar unless ``grad`` given)."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without a gradient requires a scalar output")
+            grad = np.ones_like(self.data)
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+
+        def visit(node: "Tensor") -> None:
+            if id(node) in visited or not node.requires_grad:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            topo.append(node)
+
+        visit(self)
+        self.accumulate_grad(grad)
+        for node in reversed(topo):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+
+    # Operator sugar -----------------------------------------------------------
+
+    def __add__(self, other):
+        return add(self, other)
+
+    def __radd__(self, other):
+        return add(self, other)
+
+    def __mul__(self, other):
+        return mul(self, other)
+
+    def __rmul__(self, other):
+        return mul(self, other)
+
+    def __sub__(self, other):
+        return add(self, mul(other, -1.0))
+
+    def __neg__(self):
+        return mul(self, -1.0)
+
+    def __matmul__(self, other):
+        return matmul(self, other)
+
+
+def as_tensor(value) -> Tensor:
+    """Wrap a value in a (constant) :class:`Tensor` if it is not one already."""
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+# --- elementwise / structural primitives --------------------------------------
+
+
+def add(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data + b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(grad, b.shape))
+
+    return Tensor(out_data, parents=(a, b), backward_fn=backward)
+
+
+def mul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data * b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad * b.data, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(grad * a.data, b.shape))
+
+    return Tensor(out_data, parents=(a, b), backward_fn=backward)
+
+
+def matmul(a, b) -> Tensor:
+    """Matrix product supporting 2-D and batched operands via ``numpy.matmul``."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            grad_a = grad @ np.swapaxes(b.data, -1, -2)
+            a.accumulate_grad(_unbroadcast(grad_a, a.shape))
+        if b.requires_grad:
+            grad_b = np.swapaxes(a.data, -1, -2) @ grad
+            b.accumulate_grad(_unbroadcast(grad_b, b.shape))
+
+    return Tensor(out_data, parents=(a, b), backward_fn=backward)
+
+
+def reshape(a, shape: tuple[int, ...]) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data.reshape(shape)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad.reshape(a.shape))
+
+    return Tensor(out_data, parents=(a,), backward_fn=backward)
+
+
+def transpose(a, axes: tuple[int, ...]) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.transpose(a.data, axes)
+    inverse = np.argsort(axes)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(np.transpose(grad, inverse))
+
+    return Tensor(out_data, parents=(a,), backward_fn=backward)
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Row gather ``weight[indices]`` with scatter-add backward."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = weight.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            grad_weight = np.zeros_like(weight.data)
+            np.add.at(grad_weight, indices.reshape(-1), grad.reshape(-1, weight.data.shape[1]))
+            weight.accumulate_grad(grad_weight)
+
+    return Tensor(out_data, parents=(weight,), backward_fn=backward)
+
+
+# --- normalisation and activations ---------------------------------------------
+
+
+def rms_norm(x: Tensor, weight: Tensor, eps: float = 1e-5) -> Tensor:
+    x, weight = as_tensor(x), as_tensor(weight)
+    x64 = x.data.astype(np.float64)
+    mean_sq = np.mean(x64 * x64, axis=-1, keepdims=True)
+    inv_rms = 1.0 / np.sqrt(mean_sq + eps)
+    normalized = x64 * inv_rms
+    out_data = (normalized * weight.data).astype(np.float32)
+
+    def backward(grad: np.ndarray) -> None:
+        grad64 = grad.astype(np.float64)
+        d = x.shape[-1]
+        if weight.requires_grad:
+            grad_weight = (grad64 * normalized).reshape(-1, d).sum(axis=0)
+            weight.accumulate_grad(grad_weight.astype(np.float32))
+        if x.requires_grad:
+            grad_norm = grad64 * weight.data
+            dot = np.sum(grad_norm * x64, axis=-1, keepdims=True)
+            grad_x = inv_rms * grad_norm - (x64 * inv_rms**3) * dot / d
+            x.accumulate_grad(grad_x.astype(np.float32))
+
+    return Tensor(out_data, parents=(x, weight), backward_fn=backward)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    x, weight, bias = as_tensor(x), as_tensor(weight), as_tensor(bias)
+    x64 = x.data.astype(np.float64)
+    mean = x64.mean(axis=-1, keepdims=True)
+    var = x64.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    normalized = (x64 - mean) * inv_std
+    out_data = (normalized * weight.data + bias.data).astype(np.float32)
+
+    def backward(grad: np.ndarray) -> None:
+        grad64 = grad.astype(np.float64)
+        d = x.shape[-1]
+        if weight.requires_grad:
+            weight.accumulate_grad(
+                (grad64 * normalized).reshape(-1, d).sum(axis=0).astype(np.float32)
+            )
+        if bias.requires_grad:
+            bias.accumulate_grad(grad64.reshape(-1, d).sum(axis=0).astype(np.float32))
+        if x.requires_grad:
+            grad_norm = grad64 * weight.data
+            grad_x = (
+                grad_norm
+                - grad_norm.mean(axis=-1, keepdims=True)
+                - normalized * (grad_norm * normalized).mean(axis=-1, keepdims=True)
+            ) * inv_std
+            x.accumulate_grad(grad_x.astype(np.float32))
+
+    return Tensor(out_data, parents=(x, weight, bias), backward_fn=backward)
+
+
+def silu(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    sigmoid = 1.0 / (1.0 + np.exp(-x.data.astype(np.float64)))
+    out_data = (x.data * sigmoid).astype(np.float32)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            derivative = sigmoid * (1.0 + x.data * (1.0 - sigmoid))
+            x.accumulate_grad((grad * derivative).astype(np.float32))
+
+    return Tensor(out_data, parents=(x,), backward_fn=backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    x64 = x.data.astype(np.float64)
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (x64 + 0.044715 * x64**3)
+    tanh = np.tanh(inner)
+    out_data = (0.5 * x64 * (1.0 + tanh)).astype(np.float32)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            sech2 = 1.0 - tanh**2
+            derivative = 0.5 * (1.0 + tanh) + 0.5 * x64 * sech2 * c * (1.0 + 3 * 0.044715 * x64**2)
+            x.accumulate_grad((grad * derivative).astype(np.float32))
+
+    return Tensor(out_data, parents=(x,), backward_fn=backward)
+
+
+# --- fused attention and loss ----------------------------------------------------
+
+
+def rope_rotate(x: Tensor, cos: np.ndarray, sin: np.ndarray) -> Tensor:
+    """Apply a rotary rotation (constants ``cos``/``sin`` broadcast over heads).
+
+    The rotation is orthogonal, so the backward pass applies the inverse
+    rotation (same cosines, negated sines) to the incoming gradient.
+    """
+    x = as_tensor(x)
+    half = x.shape[-1] // 2
+    x1, x2 = x.data[..., :half], x.data[..., half:]
+    out_data = np.empty_like(x.data)
+    out_data[..., :half] = x1 * cos - x2 * sin
+    out_data[..., half:] = x2 * cos + x1 * sin
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            g1, g2 = grad[..., :half], grad[..., half:]
+            grad_x = np.empty_like(grad)
+            grad_x[..., :half] = g1 * cos + g2 * sin
+            grad_x[..., half:] = g2 * cos - g1 * sin
+            x.accumulate_grad(grad_x)
+
+    return Tensor(out_data, parents=(x,), backward_fn=backward)
+
+
+def causal_self_attention(
+    q: Tensor, k: Tensor, v: Tensor, scale: float, bias: Optional[np.ndarray] = None
+) -> Tensor:
+    """Fused causal attention over ``(batch, tokens, heads, head_dim)`` tensors.
+
+    ``bias`` is an optional constant additive score bias of shape
+    ``(heads, tokens, tokens)`` (used for ALiBi).  Returns a tensor with the
+    same shape as ``q``.
+    """
+    q, k, v = as_tensor(q), as_tensor(k), as_tensor(v)
+    batch, tokens, heads, head_dim = q.shape
+    scores = np.einsum("bqhd,bkhd->bhqk", q.data, k.data) * scale
+    if bias is not None:
+        scores = scores + bias[None, ...]
+    mask = np.triu(np.full((tokens, tokens), -1e30, dtype=np.float32), k=1)
+    scores = scores + mask[None, None, :, :]
+    scores64 = scores.astype(np.float64)
+    scores64 -= scores64.max(axis=-1, keepdims=True)
+    exp = np.exp(scores64)
+    probs = (exp / exp.sum(axis=-1, keepdims=True)).astype(np.float32)
+    out_data = np.einsum("bhqk,bkhd->bqhd", probs, v.data)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_probs = np.einsum("bqhd,bkhd->bhqk", grad, v.data)
+        if v.requires_grad:
+            v.accumulate_grad(np.einsum("bhqk,bqhd->bkhd", probs, grad))
+        # Softmax backward.
+        dot = np.sum(grad_probs * probs, axis=-1, keepdims=True)
+        grad_scores = probs * (grad_probs - dot)
+        if q.requires_grad:
+            q.accumulate_grad(np.einsum("bhqk,bkhd->bqhd", grad_scores, k.data) * scale)
+        if k.requires_grad:
+            k.accumulate_grad(np.einsum("bhqk,bqhd->bkhd", grad_scores, q.data) * scale)
+
+    return Tensor(out_data, parents=(q, k, v), backward_fn=backward)
+
+
+def softmax_cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean next-token cross-entropy over ``(n, vocab)`` logits (fused backward)."""
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+    if logits.ndim != 2 or logits.shape[0] != targets.shape[0]:
+        raise ValueError(
+            f"logits shape {logits.shape} incompatible with targets shape {targets.shape}"
+        )
+    logits64 = logits.data.astype(np.float64)
+    logits64 -= logits64.max(axis=-1, keepdims=True)
+    log_probs = logits64 - np.log(np.exp(logits64).sum(axis=-1, keepdims=True))
+    n = targets.shape[0]
+    loss = -log_probs[np.arange(n), targets].mean()
+
+    def backward(grad: np.ndarray) -> None:
+        if logits.requires_grad:
+            probs = np.exp(log_probs)
+            probs[np.arange(n), targets] -= 1.0
+            logits.accumulate_grad((float(grad) * probs / n).astype(np.float32))
+
+    return Tensor(np.asarray(loss, dtype=np.float32), parents=(logits,), backward_fn=backward)

@@ -1,0 +1,267 @@
+"""Trainable transformer language model built on the tiny autograd engine.
+
+The architecture mirrors :class:`repro.models.transformer.TransformerLM`
+(pre-norm blocks, RoPE/ALiBi/absolute positions, SwiGLU or GELU MLPs, tied
+embeddings) so that trained weights can be exported one-to-one into the
+inference substrate and then evaluated under any KV-cache scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.models.attention import AttentionBlock
+from repro.models.linear import Embedding, Linear
+from repro.models.positional import RotaryEmbedding, alibi_bias, alibi_slopes
+from repro.models.transformer import FeedForward, Norm, TransformerBlock, TransformerLM
+from repro.models.weights import OutlierSpec
+from repro.training import autograd as ag
+from repro.training.autograd import Tensor
+from repro.utils.rng import SeedLike, get_rng
+from repro.utils.validation import require
+
+
+def _parameter(rng: np.random.Generator, shape: tuple[int, ...], std: float) -> Tensor:
+    return Tensor(rng.normal(0.0, std, size=shape).astype(np.float32), requires_grad=True)
+
+
+def _ones(shape: tuple[int, ...]) -> Tensor:
+    return Tensor(np.ones(shape, dtype=np.float32), requires_grad=True)
+
+
+def _zeros(shape: tuple[int, ...]) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=True)
+
+
+class TrainableTransformerLM:
+    """Decoder-only LM whose parameters are autograd tensors.
+
+    Limitations compared to the inference model (documented, not silent):
+    grouped-query attention is not supported for training (``n_kv_heads`` must
+    equal ``n_heads``); everything else in :class:`ModelConfig` is honoured.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        seed: SeedLike = 0,
+        outlier_spec: Optional[OutlierSpec] = None,
+    ) -> None:
+        require(
+            config.kv_heads == config.n_heads,
+            "training does not support grouped-query attention (set n_kv_heads=None)",
+        )
+        self.config = config
+        # Real LLMs develop key-channel outliers during pretraining (Fig. 2/3);
+        # short synthetic training cannot reproduce that emergence, so the key
+        # projection starts from the same outlier-structured initialisation the
+        # inference models use and training proceeds from there.
+        spec = outlier_spec or OutlierSpec()
+        rng = get_rng(seed)
+        d, v = config.d_model, config.vocab_size
+        proj_std = 1.0 / np.sqrt(d)
+        residual_std = proj_std / np.sqrt(2.0 * config.n_layers)
+
+        self.params: dict[str, Tensor] = {}
+        self.params["token_embedding"] = _parameter(rng, (v, d), 0.05)
+        if config.positional == "absolute":
+            self.params["position_embedding"] = _parameter(rng, (config.max_seq_len, d), 0.02)
+        for layer in range(config.n_layers):
+            prefix = f"layer{layer}."
+            self.params[prefix + "wq"] = _parameter(rng, (d, d), proj_std)
+            wk = _parameter(rng, (d, d), proj_std)
+            n_outlier = int(round(spec.key_channel_fraction * d))
+            if n_outlier > 0 and spec.key_channel_scale != 1.0:
+                outlier_channels = rng.choice(d, size=n_outlier, replace=False)
+                wk.data[:, outlier_channels] *= spec.key_channel_scale
+            self.params[prefix + "wk"] = wk
+            wv = _parameter(rng, (d, d), proj_std)
+            if spec.value_element_fraction > 0 and spec.value_element_scale != 1.0:
+                mask = rng.random(wv.data.shape) < spec.value_element_fraction
+                wv.data[mask] *= spec.value_element_scale
+            self.params[prefix + "wv"] = wv
+            self.params[prefix + "wo"] = _parameter(rng, (d, d), residual_std)
+            self.params[prefix + "attn_norm.weight"] = _ones((d,))
+            self.params[prefix + "ffn_norm.weight"] = _ones((d,))
+            if config.norm == "layernorm":
+                self.params[prefix + "attn_norm.bias"] = _zeros((d,))
+                self.params[prefix + "ffn_norm.bias"] = _zeros((d,))
+            ffn_out_std = 1.0 / np.sqrt(config.ffn_dim) / np.sqrt(2.0 * config.n_layers)
+            self.params[prefix + "w_in"] = _parameter(rng, (d, config.ffn_dim), proj_std)
+            self.params[prefix + "w_out"] = _parameter(rng, (config.ffn_dim, d), ffn_out_std)
+            if config.activation == "silu":
+                self.params[prefix + "w_gate"] = _parameter(rng, (d, config.ffn_dim), proj_std)
+        self.params["final_norm.weight"] = _ones((d,))
+        if config.norm == "layernorm":
+            self.params["final_norm.bias"] = _zeros((d,))
+
+        # Positional constants (not trained).
+        self._rope: Optional[RotaryEmbedding] = None
+        self._alibi_slopes: Optional[np.ndarray] = None
+        if config.positional in ("rope", "yarn"):
+            self._rope = RotaryEmbedding(
+                config.head_dim,
+                config.max_seq_len,
+                theta=config.rope_theta,
+                scaling_factor=config.rope_scaling_factor if config.positional == "yarn" else 1.0,
+                original_max_seq_len=config.original_max_seq_len or config.max_seq_len,
+            )
+        elif config.positional == "alibi":
+            self._alibi_slopes = alibi_slopes(config.n_heads)
+
+    # Parameter access ----------------------------------------------------------
+
+    def parameters(self) -> dict[str, Tensor]:
+        """Name → parameter tensor mapping (shared with the optimizer)."""
+        return self.params
+
+    def num_parameters(self) -> int:
+        return int(sum(p.data.size for p in self.params.values()))
+
+    def zero_grad(self) -> None:
+        for param in self.params.values():
+            param.zero_grad()
+
+    # Forward -------------------------------------------------------------------
+
+    def _norm(self, x: Tensor, name: str) -> Tensor:
+        if self.config.norm == "rmsnorm":
+            return ag.rms_norm(x, self.params[name + ".weight"], eps=self.config.norm_eps)
+        return ag.layer_norm(
+            x,
+            self.params[name + ".weight"],
+            self.params[name + ".bias"],
+            eps=self.config.norm_eps,
+        )
+
+    def _rope_constants(self, n_tokens: int) -> tuple[np.ndarray, np.ndarray]:
+        positions = np.arange(n_tokens)
+        cos = self._rope._cos[positions][None, :, None, :]  # (1, T, 1, half)
+        sin = self._rope._sin[positions][None, :, None, :]
+        return cos, sin
+
+    def forward(self, token_batch: np.ndarray) -> Tensor:
+        """Logits for a batch of token windows, shape ``(batch, tokens, vocab)``."""
+        token_batch = np.asarray(token_batch, dtype=np.int64)
+        require(token_batch.ndim == 2, "token_batch must be 2-D (batch, tokens)")
+        batch, tokens = token_batch.shape
+        config = self.config
+        h = ag.embedding(self.params["token_embedding"], token_batch)
+        if config.positional == "absolute":
+            h = ag.add(h, ag.embedding(self.params["position_embedding"], np.arange(tokens)))
+
+        scale = 1.0 / np.sqrt(config.head_dim)
+        if self._rope is not None:
+            scale *= self._rope.attention_scale
+        bias = None
+        if self._alibi_slopes is not None:
+            bias = alibi_bias(self._alibi_slopes, np.arange(tokens), np.arange(tokens))
+
+        for layer in range(config.n_layers):
+            prefix = f"layer{layer}."
+            x = self._norm(h, prefix + "attn_norm")
+            q = ag.reshape(
+                ag.matmul(x, self.params[prefix + "wq"]),
+                (batch, tokens, config.n_heads, config.head_dim),
+            )
+            k = ag.reshape(
+                ag.matmul(x, self.params[prefix + "wk"]),
+                (batch, tokens, config.n_heads, config.head_dim),
+            )
+            v = ag.reshape(
+                ag.matmul(x, self.params[prefix + "wv"]),
+                (batch, tokens, config.n_heads, config.head_dim),
+            )
+            if self._rope is not None:
+                cos, sin = self._rope_constants(tokens)
+                q = ag.rope_rotate(q, cos, sin)
+                k = ag.rope_rotate(k, cos, sin)
+            context = ag.causal_self_attention(q, k, v, scale, bias=bias)
+            context = ag.reshape(context, (batch, tokens, config.d_model))
+            h = ag.add(h, ag.matmul(context, self.params[prefix + "wo"]))
+
+            x = self._norm(h, prefix + "ffn_norm")
+            if config.activation == "silu":
+                gated = ag.mul(
+                    ag.silu(ag.matmul(x, self.params[prefix + "w_gate"])),
+                    ag.matmul(x, self.params[prefix + "w_in"]),
+                )
+            else:
+                gated = ag.gelu(ag.matmul(x, self.params[prefix + "w_in"]))
+            h = ag.add(h, ag.matmul(gated, self.params[prefix + "w_out"]))
+
+        h = self._norm(h, "final_norm")
+        logits = ag.matmul(h, ag.transpose(self.params["token_embedding"], (1, 0)))
+        return logits
+
+    def loss(self, inputs: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Mean next-token cross entropy for teacher-forced windows."""
+        logits = self.forward(inputs)
+        flat = ag.reshape(logits, (-1, self.config.vocab_size))
+        return ag.softmax_cross_entropy(flat, np.asarray(targets).reshape(-1))
+
+    # Export --------------------------------------------------------------------
+
+    def to_inference_model(self) -> TransformerLM:
+        """Copy the trained weights into the inference :class:`TransformerLM`."""
+        config = self.config
+        token_embedding = Embedding(self.params["token_embedding"].data.copy())
+        position_embedding = None
+        if config.positional == "absolute":
+            position_embedding = Embedding(self.params["position_embedding"].data.copy())
+        rope = self._rope
+        head_slopes = self._alibi_slopes
+        blocks = []
+        for layer in range(config.n_layers):
+            prefix = f"layer{layer}."
+            attention = AttentionBlock(
+                config,
+                wq=Linear(self.params[prefix + "wq"].data.copy()),
+                wk=Linear(self.params[prefix + "wk"].data.copy()),
+                wv=Linear(self.params[prefix + "wv"].data.copy()),
+                wo=Linear(self.params[prefix + "wo"].data.copy()),
+                rope=rope,
+                alibi_head_slopes=head_slopes,
+            )
+            if config.activation == "silu":
+                feed_forward = FeedForward(
+                    "silu",
+                    w_in=Linear(self.params[prefix + "w_in"].data.copy()),
+                    w_out=Linear(self.params[prefix + "w_out"].data.copy()),
+                    w_gate=Linear(self.params[prefix + "w_gate"].data.copy()),
+                )
+            else:
+                feed_forward = FeedForward(
+                    "gelu",
+                    w_in=Linear(self.params[prefix + "w_in"].data.copy()),
+                    w_out=Linear(self.params[prefix + "w_out"].data.copy()),
+                )
+            blocks.append(
+                TransformerBlock(
+                    attention,
+                    feed_forward,
+                    attention_norm=self._export_norm(prefix + "attn_norm"),
+                    ffn_norm=self._export_norm(prefix + "ffn_norm"),
+                )
+            )
+        return TransformerLM(
+            config,
+            token_embedding,
+            blocks,
+            final_norm=self._export_norm("final_norm"),
+            position_embedding=position_embedding,
+        )
+
+    def _export_norm(self, name: str) -> Norm:
+        bias = None
+        if self.config.norm == "layernorm":
+            bias = self.params[name + ".bias"].data.copy()
+        return Norm(
+            self.config.norm,
+            self.params[name + ".weight"].data.copy(),
+            bias,
+            eps=self.config.norm_eps,
+        )

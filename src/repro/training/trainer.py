@@ -1,0 +1,228 @@
+"""Language-model training loop for the tiny evaluation models.
+
+Training serves one purpose in this reproduction: giving the accuracy
+experiments (Tables II/III, Fig. 6) models whose predictions actually depend
+on the context, so that KV-cache quantization error shows up as a perplexity
+or task-score change the way it does for real LLMs.  A fraction of training
+windows contain a literal repetition of their first half
+(``induction_fraction``), which teaches the models the copy/induction
+behaviour the long-context retrieval tasks rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.data.corpus import load_corpus
+from repro.data.longcontext import SPECIAL_TOKENS, SpecialTokens
+from repro.models.config import ModelConfig
+from repro.models.transformer import TransformerLM
+from repro.training.layers import TrainableTransformerLM
+from repro.training.optim import Adam, clip_grad_norm, cosine_lr
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedLike, derive_seed, get_rng
+from repro.utils.validation import require
+
+logger = get_logger("training")
+
+CorpusNames = Union[str, Sequence[str]]
+
+
+@dataclass
+class TrainingHistory:
+    """Loss curve and evaluation results of one training run."""
+
+    steps: list[int] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+    grad_norms: list[float] = field(default_factory=list)
+    final_validation_ppl: float = float("nan")
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    def improved(self) -> bool:
+        """Whether the smoothed loss decreased over training."""
+        if len(self.losses) < 4:
+            return False
+        head = float(np.mean(self.losses[: max(2, len(self.losses) // 5)]))
+        tail = float(np.mean(self.losses[-max(2, len(self.losses) // 5) :]))
+        return tail < head
+
+
+def sample_batch(
+    stream: np.ndarray,
+    batch_size: int,
+    seq_len: int,
+    rng: np.random.Generator,
+    induction_fraction: float = 0.25,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``(inputs, targets)`` windows from a token stream.
+
+    With probability ``induction_fraction`` a window's second half repeats its
+    first half, injecting copy structure the models must learn to exploit.
+    """
+    require(seq_len >= 4, "seq_len must be >= 4")
+    require(stream.size > seq_len + 1, "stream too short for the requested seq_len")
+    inputs = np.empty((batch_size, seq_len), dtype=np.int64)
+    for row in range(batch_size):
+        start = int(rng.integers(0, stream.size - seq_len - 1))
+        window = stream[start : start + seq_len + 1].copy()
+        if rng.random() < induction_fraction:
+            half = (seq_len + 1) // 2
+            window[half : 2 * half] = window[:half]
+        inputs[row] = window[:seq_len]
+        # Targets are the next token at each position.
+        if row == 0:
+            targets = np.empty((batch_size, seq_len), dtype=np.int64)
+        targets[row] = window[1 : seq_len + 1]
+    return inputs, targets
+
+
+def sample_task_episode(
+    stream: np.ndarray,
+    seq_len: int,
+    rng: np.random.Generator,
+    vocab_size: int,
+    specials: SpecialTokens = SPECIAL_TOKENS,
+) -> np.ndarray:
+    """Build one retrieval-formatted training window of ``seq_len + 1`` tokens.
+
+    Layout: ``filler | KEY k VALUE v | filler | QUESTION k ANSWER v`` with the
+    answer at the very end, using the same marker tokens as the synthetic
+    LongBench tasks.  Training on a fraction of such episodes teaches the tiny
+    models the "find the key in the context and copy its value" behaviour that
+    the Fig. 6 evaluation requires (real LLMs acquire it during pretraining).
+    """
+    require(seq_len >= 32, "task episodes need seq_len >= 32")
+    total = seq_len + 1
+    key_len, value_len = 3, 3
+    fact_len = 1 + key_len + 1 + value_len
+    question_len = 1 + key_len + 1 + value_len
+    filler_total = total - fact_len - question_len
+    filler_before = int(rng.integers(0, filler_total + 1))
+    filler_after = filler_total - filler_before
+
+    def filler(n: int) -> np.ndarray:
+        if n <= 0:
+            return np.zeros(0, dtype=np.int64)
+        start = int(rng.integers(0, stream.size - n))
+        return stream[start : start + n]
+
+    key = rng.integers(specials.content_start, vocab_size, size=key_len)
+    value = rng.integers(specials.content_start, vocab_size, size=value_len)
+    window = np.concatenate(
+        [
+            filler(filler_before),
+            [specials.key_marker],
+            key,
+            [specials.value_marker],
+            value,
+            filler(filler_after),
+            [specials.question],
+            key,
+            [specials.answer],
+            value,
+        ]
+    ).astype(np.int64)
+    return window
+
+
+def evaluate_validation_perplexity(
+    model: TrainableTransformerLM,
+    stream: np.ndarray,
+    seq_len: int = 128,
+    n_windows: int = 4,
+    seed: SeedLike = 0,
+) -> float:
+    """Teacher-forced perplexity of the trainable model on held-out windows."""
+    rng = get_rng(seed)
+    losses = []
+    for _ in range(n_windows):
+        inputs, targets = sample_batch(stream, 1, seq_len, rng, induction_fraction=0.0)
+        losses.append(float(model.loss(inputs, targets).item()))
+    return float(np.exp(np.mean(losses)))
+
+
+def train_language_model(
+    config: ModelConfig,
+    corpus_name: CorpusNames = "wikitext2-syn",
+    steps: int = 200,
+    batch_size: int = 8,
+    seq_len: int = 128,
+    learning_rate: float = 3e-3,
+    induction_fraction: float = 0.25,
+    task_episode_fraction: float = 0.0,
+    grad_clip: float = 1.0,
+    seed: SeedLike = 0,
+    train_tokens: int = 65536,
+    log_every: int = 50,
+    outlier_spec=None,
+) -> tuple[TrainableTransformerLM, TrainingHistory]:
+    """Train a :class:`TrainableTransformerLM` on one or more synthetic corpora.
+
+    ``corpus_name`` may be a single corpus or a sequence of corpora whose
+    training streams are concatenated.  ``task_episode_fraction`` of the
+    training rows are retrieval-formatted episodes (see
+    :func:`sample_task_episode`).
+    """
+    require(steps >= 1, "steps must be >= 1")
+    require(seq_len < config.max_seq_len, "seq_len must be below the model's max_seq_len")
+    require(0.0 <= task_episode_fraction <= 1.0, "task_episode_fraction must be in [0, 1]")
+    corpus_names = [corpus_name] if isinstance(corpus_name, str) else list(corpus_name)
+    require(len(corpus_names) >= 1, "corpus_name must name at least one corpus")
+    rng = get_rng(derive_seed(seed, "trainer"))
+    per_corpus = max(train_tokens // len(corpus_names), 4096)
+    stream = np.concatenate(
+        [load_corpus(name, "train", n_tokens=per_corpus, seed=seed) for name in corpus_names]
+    )
+    stream = stream % config.vocab_size
+    validation = load_corpus(corpus_names[0], "validation", n_tokens=4096, seed=seed)
+    validation = validation % config.vocab_size
+
+    model = TrainableTransformerLM(
+        config, seed=derive_seed(seed, "init"), outlier_spec=outlier_spec
+    )
+    optimizer = Adam(model.parameters(), lr=learning_rate)
+    history = TrainingHistory()
+    for step in range(steps):
+        inputs, targets = sample_batch(
+            stream, batch_size, seq_len, rng, induction_fraction=induction_fraction
+        )
+        if task_episode_fraction > 0.0:
+            for row in range(batch_size):
+                if rng.random() < task_episode_fraction:
+                    window = sample_task_episode(stream, seq_len, rng, config.vocab_size)
+                    inputs[row] = window[:seq_len]
+                    targets[row] = window[1:]
+        optimizer.zero_grad()
+        loss = model.loss(inputs, targets)
+        loss.backward()
+        grad_norm = clip_grad_norm(model.parameters(), grad_clip)
+        optimizer.step(lr=cosine_lr(step, steps, learning_rate, warmup_steps=min(20, steps // 10)))
+        history.steps.append(step)
+        history.losses.append(float(loss.item()))
+        history.grad_norms.append(grad_norm)
+        if log_every and step % log_every == 0:
+            logger.info("step %d loss %.4f grad %.2f", step, history.losses[-1], grad_norm)
+    history.final_validation_ppl = evaluate_validation_perplexity(
+        model, validation, seq_len=min(seq_len, 128), seed=seed
+    )
+    return model, history
+
+
+def train_tiny_lm(
+    config: ModelConfig,
+    corpus_name: CorpusNames = "wikitext2-syn",
+    steps: int = 200,
+    seed: SeedLike = 0,
+    **kwargs,
+) -> tuple[TransformerLM, TrainingHistory]:
+    """Train and export an inference-ready :class:`TransformerLM`."""
+    trainable, history = train_language_model(
+        config, corpus_name=corpus_name, steps=steps, seed=seed, **kwargs
+    )
+    return trainable.to_inference_model(), history

@@ -1,0 +1,45 @@
+"""Thin logging wrapper so the library logs consistently.
+
+The library never configures the root logger; applications stay in control.
+``get_logger`` only attaches a ``NullHandler`` so importing the package never
+prints anything unless the application opts in.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_LIBRARY_ROOT = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a library logger, namespaced under ``repro``.
+
+    Parameters
+    ----------
+    name:
+        Suffix appended to the library root namespace.  ``None`` returns the
+        root library logger.
+    """
+    full_name = _LIBRARY_ROOT if not name else f"{_LIBRARY_ROOT}.{name}"
+    logger = logging.getLogger(full_name)
+    root = logging.getLogger(_LIBRARY_ROOT)
+    if not root.handlers:
+        root.addHandler(logging.NullHandler())
+    return logger
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a simple console handler to the library logger.
+
+    Intended for examples and benchmark scripts; library code never calls it.
+    """
+    root = logging.getLogger(_LIBRARY_ROOT)
+    has_stream = any(isinstance(h, logging.StreamHandler) for h in root.handlers)
+    if not has_stream:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        root.addHandler(handler)
+    root.setLevel(level)

@@ -1,0 +1,255 @@
+"""Tests for PQ attention and the MILLION KV cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.attention_pq import pq_attention_scores, pq_sparse_attention, pq_weighted_values
+from repro.core.config import MillionConfig
+from repro.core.million_cache import MillionCacheFactory, MillionKVCacheLayer
+from repro.core.pq import ProductQuantizer
+from repro.models.attention_math import dense_attention, repeat_kv_heads
+from repro.models.config import ModelConfig
+from repro.models.tensor_ops import OnlineSoftmaxState, softmax
+
+
+@pytest.fixture(scope="module")
+def head_dim():
+    return 16
+
+
+@pytest.fixture(scope="module")
+def pq_pair(head_dim):
+    rng = np.random.default_rng(0)
+    keys = rng.normal(size=(3000, head_dim)).astype(np.float32)
+    keys[:, 2] *= 6.0
+    values = rng.normal(size=(3000, head_dim)).astype(np.float32)
+    key_pq = ProductQuantizer.fit(keys, m_subspaces=8, nbits=6, seed=0)
+    value_pq = ProductQuantizer.fit(values, m_subspaces=8, nbits=6, seed=1)
+    return key_pq, value_pq
+
+
+@pytest.fixture()
+def mha_config(head_dim):
+    return ModelConfig(vocab_size=64, d_model=2 * head_dim, n_layers=1, n_heads=2, max_seq_len=512)
+
+
+@pytest.fixture()
+def gqa_cache_config(head_dim):
+    return ModelConfig(
+        vocab_size=64,
+        d_model=4 * head_dim,
+        n_layers=1,
+        n_heads=4,
+        n_kv_heads=2,
+        max_seq_len=512,
+    )
+
+
+def _random_kv(rng, n_tokens, kv_heads, head_dim):
+    keys = rng.normal(size=(n_tokens, kv_heads, head_dim)).astype(np.float32)
+    keys[:, :, 2] *= 6.0
+    values = rng.normal(size=(n_tokens, kv_heads, head_dim)).astype(np.float32)
+    return keys, values
+
+
+class TestPQAttentionPrimitives:
+    def test_scores_match_dequantized_attention(self, pq_pair, head_dim):
+        key_pq, _ = pq_pair
+        rng = np.random.default_rng(1)
+        keys, _ = _random_kv(rng, 20, 2, head_dim)
+        codes = key_pq.encode(keys.reshape(-1, head_dim)).reshape(20, 2, -1)
+        queries = rng.normal(size=(3, 2, head_dim)).astype(np.float32)
+        scores = pq_attention_scores(queries, codes, key_pq, scale=0.3)
+        decoded = key_pq.decode(codes.reshape(-1, key_pq.m_subspaces)).reshape(20, 2, head_dim)
+        expected = np.einsum("qhd,khd->hqk", queries, decoded) * 0.3
+        np.testing.assert_allclose(scores, expected, atol=1e-4)
+
+    def test_weighted_values_match_dequantized(self, pq_pair, head_dim):
+        _, value_pq = pq_pair
+        rng = np.random.default_rng(2)
+        _, values = _random_kv(rng, 15, 2, head_dim)
+        codes = value_pq.encode(values.reshape(-1, head_dim)).reshape(15, 2, -1)
+        probs = softmax(rng.normal(size=(2, 4, 15)), axis=-1)
+        context = pq_weighted_values(probs, codes, value_pq)
+        decoded = value_pq.decode(codes.reshape(-1, value_pq.m_subspaces)).reshape(15, 2, head_dim)
+        expected = np.einsum("hqk,khd->qhd", probs, decoded)
+        np.testing.assert_allclose(context, expected, atol=1e-4)
+
+    def test_gqa_head_mapping(self, pq_pair, head_dim):
+        key_pq, _ = pq_pair
+        rng = np.random.default_rng(3)
+        keys, _ = _random_kv(rng, 10, 2, head_dim)
+        codes = key_pq.encode(keys.reshape(-1, head_dim)).reshape(10, 2, -1)
+        queries = rng.normal(size=(1, 4, head_dim)).astype(np.float32)
+        scores = pq_attention_scores(queries, codes, key_pq, scale=1.0)
+        decoded = key_pq.decode(codes.reshape(-1, key_pq.m_subspaces)).reshape(10, 2, head_dim)
+        expanded = repeat_kv_heads(decoded, 4)
+        expected = np.einsum("qhd,khd->hqk", queries, expanded)
+        np.testing.assert_allclose(scores, expected, atol=1e-4)
+
+    def test_sparse_attention_wrapper(self, pq_pair, head_dim):
+        key_pq, value_pq = pq_pair
+        rng = np.random.default_rng(4)
+        keys, values = _random_kv(rng, 12, 2, head_dim)
+        key_codes = key_pq.encode(keys.reshape(-1, head_dim)).reshape(12, 2, -1)
+        value_codes = value_pq.encode(values.reshape(-1, head_dim)).reshape(12, 2, -1)
+        queries = rng.normal(size=(2, 2, head_dim)).astype(np.float32)
+        scores, context = pq_sparse_attention(
+            queries, key_codes, value_codes, key_pq, value_pq, scale=0.25
+        )
+        assert scores.shape == (2, 2, 12)
+        assert context.shape == (2, 2, head_dim)
+
+    def test_shape_validation(self, pq_pair, head_dim):
+        key_pq, value_pq = pq_pair
+        with pytest.raises(Exception):
+            pq_attention_scores(np.zeros((2, head_dim)), np.zeros((3, 2, 8)), key_pq)
+        with pytest.raises(Exception):
+            pq_weighted_values(np.zeros((2, 2, 5)), np.zeros((4, 2, 8), dtype=int), value_pq)
+
+
+class TestMillionKVCacheLayer:
+    def _make_cache(self, config, pq_pair, recent_window=0, outlier_fraction=0.0):
+        key_pq, value_pq = pq_pair
+        million = MillionConfig(
+            m_subspaces=key_pq.m_subspaces,
+            nbits=key_pq.nbits,
+            recent_window=recent_window,
+            outlier_fraction=outlier_fraction,
+        )
+        return MillionKVCacheLayer(config, key_pq, value_pq, million)
+
+    def test_attention_approximates_exact(self, mha_config, pq_pair, head_dim):
+        cache = self._make_cache(mha_config, pq_pair)
+        rng = np.random.default_rng(5)
+        keys, values = _random_kv(rng, 48, 2, head_dim)
+        cache.append(keys[:32], values[:32])
+        cache.append(keys[32:], values[32:])
+        queries = rng.normal(size=(2, 2, head_dim)).astype(np.float32)
+        q_pos = np.asarray([46, 47])
+        out = cache.attend(queries, q_pos, 0.25)
+        exact = dense_attention(queries, keys, values, q_pos, np.arange(48), 0.25)
+        assert np.abs(out - exact).max() < 0.35
+        # The quantized part must actually be in use.
+        assert cache.stored_tokens == 32 and cache.pending_tokens == 16
+
+    def test_matches_dequantized_reference_exactly(self, mha_config, pq_pair, head_dim):
+        """ADC attention == attention over the PQ-reconstructed KV (no extra error)."""
+        cache = self._make_cache(mha_config, pq_pair)
+        rng = np.random.default_rng(6)
+        keys, values = _random_kv(rng, 40, 2, head_dim)
+        cache.append(keys[:30], values[:30])
+        cache.append(keys[30:], values[30:])
+        queries = rng.normal(size=(1, 2, head_dim)).astype(np.float32)
+        out = cache.attend(queries, np.asarray([39]), 0.25)
+        k_hat, v_hat = cache.dequantized_kv()
+        keys_mixed = np.concatenate([k_hat, keys[30:]], axis=0)
+        values_mixed = np.concatenate([v_hat, values[30:]], axis=0)
+        expected = dense_attention(
+            queries, keys_mixed, values_mixed, np.asarray([39]), np.arange(40), 0.25
+        )
+        np.testing.assert_allclose(out, expected, atol=1e-4)
+
+    def test_equivalent_to_online_softmax_merge(self, mha_config, pq_pair, head_dim):
+        """Concatenated-softmax implementation == Eq. (7) online-softmax merge."""
+        cache = self._make_cache(mha_config, pq_pair)
+        rng = np.random.default_rng(7)
+        keys, values = _random_kv(rng, 33, 2, head_dim)
+        cache.append(keys[:32], values[:32])
+        cache.append(keys[32:], values[32:])
+        queries = rng.normal(size=(1, 2, head_dim)).astype(np.float32)
+        scale = 0.25
+        out = cache.attend(queries, np.asarray([32]), scale)
+
+        # Reproduce via explicit online-softmax merge of the two partials.
+        k_hat, v_hat = cache.dequantized_kv()
+        state = OnlineSoftmaxState((2, 1), head_dim)
+        past_scores = np.einsum("qhd,khd->hqk", queries, k_hat) * scale
+        past_values = np.einsum("khd->hkd", v_hat)[:, None, :, :]  # (heads, 1, keys, dim)
+        state.update(past_scores, past_values)
+        recent_scores = np.einsum("qhd,khd->hqk", queries, keys[32:]) * scale
+        recent_values = np.einsum("khd->hkd", values[32:])[:, None, :, :]
+        state.update(recent_scores, recent_values)
+        merged = np.swapaxes(state.finalize(), 0, 1)  # -> (queries, heads, dim)
+        np.testing.assert_allclose(out, merged, atol=1e-4)
+
+    def test_recent_window_kept_full_precision(self, mha_config, pq_pair, head_dim):
+        cache = self._make_cache(mha_config, pq_pair, recent_window=16)
+        rng = np.random.default_rng(8)
+        keys, values = _random_kv(rng, 40, 2, head_dim)
+        for start in range(0, 40, 8):
+            cache.append(keys[start : start + 8], values[start : start + 8])
+        assert cache.pending_tokens >= 16
+        assert cache.stored_tokens + cache.pending_tokens == 40
+
+    def test_gqa_cache(self, gqa_cache_config, pq_pair, head_dim):
+        cache = self._make_cache(gqa_cache_config, pq_pair)
+        rng = np.random.default_rng(9)
+        keys, values = _random_kv(rng, 24, 2, head_dim)
+        cache.append(keys[:16], values[:16])
+        cache.append(keys[16:], values[16:])
+        queries = rng.normal(size=(2, 4, head_dim)).astype(np.float32)
+        out = cache.attend(queries, np.asarray([22, 23]), 0.25)
+        exact = dense_attention(queries, keys, values, np.asarray([22, 23]), np.arange(24), 0.25)
+        assert out.shape == (2, 4, head_dim)
+        assert np.abs(out - exact).max() < 0.4
+
+    def test_memory_much_smaller_than_fp16(self, mha_config, pq_pair, head_dim):
+        cache = self._make_cache(mha_config, pq_pair)
+        rng = np.random.default_rng(10)
+        keys, values = _random_kv(rng, 256, 2, head_dim)
+        cache.append(keys[:255], values[:255])
+        cache.append(keys[255:], values[255:])
+        fp16_bytes = 256 * 2 * 2 * head_dim * 2.0
+        code_bytes = cache.quantized_memory_bytes() - 2 * cache.key_pq.codebook_memory_bytes()
+        assert code_bytes < fp16_bytes / 3.0
+
+    def test_outlier_corrections_reduce_error(self, mha_config, pq_pair, head_dim):
+        rng = np.random.default_rng(11)
+        keys, values = _random_kv(rng, 64, 2, head_dim)
+        keys[rng.random(keys.shape) < 0.02] *= 25.0
+        queries = rng.normal(size=(1, 2, head_dim)).astype(np.float32)
+        q_pos = np.asarray([63])
+        exact = dense_attention(queries, keys, values, q_pos, np.arange(64), 0.25)
+
+        def run(outlier_fraction):
+            cache = self._make_cache(mha_config, pq_pair, outlier_fraction=outlier_fraction)
+            cache.append(keys[:60], values[:60])
+            cache.append(keys[60:], values[60:])
+            return cache.attend(queries, q_pos, 0.25)
+
+        err_plain = np.abs(run(0.0) - exact).max()
+        err_outlier = np.abs(run(0.02) - exact).max()
+        assert err_outlier <= err_plain + 1e-6
+
+    def test_reset(self, mha_config, pq_pair, head_dim):
+        cache = self._make_cache(mha_config, pq_pair)
+        rng = np.random.default_rng(12)
+        keys, values = _random_kv(rng, 16, 2, head_dim)
+        cache.append(keys[:8], values[:8])
+        cache.append(keys[8:], values[8:])
+        cache.reset()
+        assert cache.seq_len == 0 and cache.stored_tokens == 0 and cache.pending_tokens == 0
+
+    def test_dimension_mismatch_rejected(self, pq_pair):
+        key_pq, value_pq = pq_pair
+        bad_config = ModelConfig(vocab_size=64, d_model=64, n_layers=1, n_heads=2, max_seq_len=64)
+        million = MillionConfig(m_subspaces=8, nbits=6)
+        with pytest.raises(Exception):
+            MillionKVCacheLayer(bad_config, key_pq, value_pq, million)
+
+
+class TestMillionCacheFactory:
+    def test_create_and_missing_layer(self, mha_config, pq_pair):
+        key_pq, value_pq = pq_pair
+        million = MillionConfig(m_subspaces=key_pq.m_subspaces, nbits=key_pq.nbits)
+        factory = MillionCacheFactory({0: (key_pq, value_pq)}, million)
+        assert isinstance(factory.create(0, mha_config), MillionKVCacheLayer)
+        with pytest.raises(KeyError):
+            factory.create(3, mha_config)
+
+    def test_bits_per_value(self, pq_pair, head_dim):
+        key_pq, value_pq = pq_pair
+        million = MillionConfig(m_subspaces=key_pq.m_subspaces, nbits=key_pq.nbits)
+        factory = MillionCacheFactory({0: (key_pq, value_pq)}, million)
+        assert factory.bits_per_value(head_dim) == pytest.approx(8 * 6 / head_dim)

@@ -1,0 +1,193 @@
+"""Tests for PQ codebooks, encode/decode, ADC and weighted decode."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.codebook import SubspaceCodebooks, train_codebooks
+from repro.core.config import MillionConfig
+from repro.core.pq import ProductQuantizer
+
+
+@pytest.fixture(scope="module")
+def calibration_vectors():
+    rng = np.random.default_rng(0)
+    vectors = rng.normal(size=(2000, 32)).astype(np.float32)
+    vectors[:, 5] *= 6.0  # outlier channel
+    return vectors
+
+
+@pytest.fixture(scope="module")
+def pq(calibration_vectors):
+    return ProductQuantizer.fit(calibration_vectors, m_subspaces=8, nbits=6, seed=0)
+
+
+class TestCodebooks:
+    def test_training_shapes(self, calibration_vectors):
+        codebooks = train_codebooks(calibration_vectors, m_subspaces=8, nbits=5, seed=0)
+        assert codebooks.centroids.shape == (8, 32, 4)
+        assert codebooks.m_subspaces == 8
+        assert codebooks.n_centroids == 32
+        assert codebooks.subspace_dim == 4
+        assert codebooks.dim == 32
+        assert codebooks.nbits == 5
+
+    def test_memory_bytes(self, calibration_vectors):
+        codebooks = train_codebooks(calibration_vectors, 4, 4, seed=0)
+        assert codebooks.memory_bytes() == 4 * 16 * 8 * 2.0
+
+    def test_split_vectors_validation(self, calibration_vectors):
+        codebooks = train_codebooks(calibration_vectors, 4, 4, seed=0)
+        with pytest.raises(Exception):
+            codebooks.split_vectors(np.zeros((3, 16), dtype=np.float32))
+
+    def test_npz_roundtrip(self, calibration_vectors):
+        codebooks = train_codebooks(calibration_vectors, 4, 4, seed=0)
+        restored = SubspaceCodebooks.from_npz_dict(codebooks.to_npz_dict())
+        np.testing.assert_array_equal(restored.centroids, codebooks.centroids)
+
+    def test_dim_not_divisible_rejected(self, calibration_vectors):
+        with pytest.raises(Exception):
+            train_codebooks(calibration_vectors, m_subspaces=5, nbits=4)
+
+    def test_max_samples_subsampling(self, calibration_vectors):
+        codebooks = train_codebooks(calibration_vectors, 4, 4, seed=0, max_samples=256)
+        assert codebooks.centroids.shape == (4, 16, 8)
+
+
+class TestEncodeDecode:
+    def test_code_shape_and_range(self, pq, calibration_vectors):
+        codes = pq.encode(calibration_vectors[:100])
+        assert codes.shape == (100, 8)
+        assert codes.max() < 64
+
+    def test_reconstruction_better_than_zero(self, pq, calibration_vectors):
+        x = calibration_vectors[:300]
+        mse = pq.reconstruction_mse(x)
+        assert mse < np.mean(x.astype(np.float64) ** 2)
+
+    def test_decode_of_encode_is_nearest_centroid(self, pq, calibration_vectors):
+        """Each decoded subvector must be the closest centroid to the input."""
+        x = calibration_vectors[:20]
+        decoded = pq.quantize(x)
+        dsub = pq.subspace_dim
+        for m in range(pq.m_subspaces):
+            sub_x = x[:, m * dsub : (m + 1) * dsub]
+            sub_hat = decoded[:, m * dsub : (m + 1) * dsub]
+            distances = np.linalg.norm(
+                sub_x[:, None, :] - pq.codebooks.centroids[m][None, :, :], axis=-1
+            )
+            best = distances.min(axis=1)
+            achieved = np.linalg.norm(sub_x - sub_hat, axis=-1)
+            np.testing.assert_allclose(achieved, best, atol=1e-5)
+
+    def test_more_subspaces_reduce_error(self, calibration_vectors):
+        coarse = ProductQuantizer.fit(calibration_vectors, 4, 6, seed=0)
+        fine = ProductQuantizer.fit(calibration_vectors, 16, 6, seed=0)
+        x = calibration_vectors[:200]
+        assert fine.reconstruction_mse(x) < coarse.reconstruction_mse(x)
+
+    def test_bits_per_value(self, pq):
+        assert pq.bits_per_value() == pytest.approx(8 * 6 / 32)
+
+    def test_code_memory_bytes_uses_bit_packing(self, pq):
+        assert pq.code_memory_bytes(100) == pytest.approx((100 * 8 * 6 + 7) // 8)
+
+    def test_bad_code_shape(self, pq):
+        with pytest.raises(Exception):
+            pq.decode(np.zeros((4, 5), dtype=np.int64))
+
+
+class TestADC:
+    def test_adc_equals_dequantized_dot_products(self, pq, calibration_vectors):
+        """The core MILLION identity: LUT gathers == q · decode(codes)ᵀ."""
+        rng = np.random.default_rng(1)
+        codes = pq.encode(calibration_vectors[:64])
+        queries = rng.normal(size=(5, 32)).astype(np.float32)
+        luts = pq.build_score_luts(queries)
+        adc = pq.adc_scores(luts, codes)
+        exact = queries @ pq.decode(codes).T
+        np.testing.assert_allclose(adc, exact, atol=1e-4)
+
+    def test_single_query_shapes(self, pq, calibration_vectors):
+        codes = pq.encode(calibration_vectors[:10])
+        query = np.random.default_rng(2).normal(size=32).astype(np.float32)
+        lut = pq.build_score_luts(query)
+        assert lut.shape == (8, 64)
+        scores = pq.adc_scores(lut, codes)
+        assert scores.shape == (10,)
+
+    def test_weighted_decode_equals_naive(self, pq, calibration_vectors):
+        """Aggregating probabilities per centroid == probs @ decode(codes)."""
+        rng = np.random.default_rng(3)
+        codes = pq.encode(calibration_vectors[:40])
+        probs = rng.random((6, 40)).astype(np.float32)
+        fast = pq.weighted_decode(probs, codes)
+        naive = probs @ pq.decode(codes)
+        np.testing.assert_allclose(fast, naive, atol=1e-4)
+
+    def test_weighted_decode_single_query(self, pq, calibration_vectors):
+        codes = pq.encode(calibration_vectors[:7])
+        probs = np.random.default_rng(4).random(7).astype(np.float32)
+        out = pq.weighted_decode(probs, codes)
+        assert out.shape == (32,)
+
+    def test_shape_mismatches_rejected(self, pq, calibration_vectors):
+        codes = pq.encode(calibration_vectors[:4])
+        with pytest.raises(Exception):
+            pq.adc_scores(np.zeros((2, 7, 64), dtype=np.float32), codes)
+        with pytest.raises(Exception):
+            pq.weighted_decode(np.zeros((2, 9), dtype=np.float32), codes)
+
+    @given(
+        n_keys=st.integers(min_value=1, max_value=40),
+        n_queries=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_adc_identity_property(self, pq, calibration_vectors, n_keys, n_queries, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.normal(size=(n_keys, 32)).astype(np.float32)
+        queries = rng.normal(size=(n_queries, 32)).astype(np.float32)
+        codes = pq.encode(keys)
+        adc = pq.adc_scores(pq.build_score_luts(queries), codes)
+        np.testing.assert_allclose(adc, queries @ pq.decode(codes).T, atol=1e-3)
+
+
+class TestMillionConfig:
+    def test_equivalent_bits_presets(self):
+        cfg4 = MillionConfig.for_equivalent_bits(128, 4)
+        assert (cfg4.m_subspaces, cfg4.nbits) == (64, 8)
+        assert cfg4.bits_per_value(128) == pytest.approx(4.0)
+        cfg3 = MillionConfig.for_equivalent_bits(128, 3)
+        assert (cfg3.m_subspaces, cfg3.nbits) == (32, 12)
+        assert cfg3.bits_per_value(128) == pytest.approx(3.0)
+
+    def test_small_head_dim(self):
+        cfg = MillionConfig.for_equivalent_bits(64, 4)
+        assert cfg.bits_per_value(64) == pytest.approx(4.0)
+
+    def test_validate_for_model(self, tiny_config):
+        good = MillionConfig(m_subspaces=tiny_config.head_dim // 2, nbits=8)
+        good.validate_for_model(tiny_config)
+        bad = MillionConfig(m_subspaces=tiny_config.head_dim - 1, nbits=8)
+        with pytest.raises(Exception):
+            bad.validate_for_model(tiny_config)
+
+    def test_invalid_fields(self):
+        with pytest.raises(Exception):
+            MillionConfig(m_subspaces=0)
+        with pytest.raises(Exception):
+            MillionConfig(nbits=0)
+        with pytest.raises(Exception):
+            MillionConfig(outlier_fraction=1.5)
+
+    def test_with_updates(self):
+        cfg = MillionConfig(m_subspaces=16, nbits=8)
+        assert cfg.with_updates(recent_window=64).recent_window == 64
+        assert cfg.recent_window == 0
+
+    def test_unknown_bit_budget(self):
+        with pytest.raises(Exception):
+            MillionConfig.for_equivalent_bits(128, 5)

@@ -1,0 +1,81 @@
+"""Tests for the long-context document builder."""
+
+import numpy as np
+import pytest
+
+from repro.data.longcontext import SPECIAL_TOKENS, ContextBuilder, random_content_tokens
+
+
+class TestSpecialTokens:
+    def test_content_vocab(self):
+        assert SPECIAL_TOKENS.content_vocab(512) == 512 - SPECIAL_TOKENS.content_start
+
+    def test_small_vocab_rejected(self):
+        with pytest.raises(Exception):
+            SPECIAL_TOKENS.content_vocab(16)
+
+
+class TestRandomContent:
+    def test_range_avoids_markers(self):
+        rng = np.random.default_rng(0)
+        tokens = random_content_tokens(500, 128, rng)
+        assert tokens.min() >= SPECIAL_TOKENS.content_start
+        assert tokens.max() < 128
+
+    def test_zero_length(self):
+        rng = np.random.default_rng(0)
+        assert random_content_tokens(0, 128, rng).size == 0
+
+
+class TestContextBuilder:
+    def test_length_tracking(self):
+        builder = ContextBuilder(128, seed=0)
+        builder.append_filler(10)
+        builder.append_marker(SPECIAL_TOKENS.separator)
+        assert builder.length == 11
+        assert builder.tokens().shape == (11,)
+
+    def test_fact_layout(self):
+        builder = ContextBuilder(128, seed=1)
+        key, value = builder.new_key(2), builder.new_value(3)
+        start = builder.append_fact(key, value)
+        tokens = builder.tokens()
+        assert tokens[start] == SPECIAL_TOKENS.key_marker
+        np.testing.assert_array_equal(tokens[start + 1 : start + 3], key)
+        assert tokens[start + 3] == SPECIAL_TOKENS.value_marker
+        np.testing.assert_array_equal(tokens[start + 4 : start + 7], value)
+
+    def test_question_layout(self):
+        builder = ContextBuilder(128, seed=2)
+        question = builder.new_key(2)
+        start = builder.append_question(question)
+        tokens = builder.tokens()
+        assert tokens[start] == SPECIAL_TOKENS.question
+        assert tokens[-1] == SPECIAL_TOKENS.answer
+
+    def test_passage_delimited(self):
+        builder = ContextBuilder(128, seed=3)
+        builder.append_passage(20, passage_id=7)
+        tokens = builder.tokens()
+        assert tokens[0] == SPECIAL_TOKENS.passage_start
+        assert tokens[-1] == SPECIAL_TOKENS.passage_end
+        assert builder.annotations[0]["passage_id"] == 7
+
+    def test_annotations_record_offsets(self):
+        builder = ContextBuilder(128, seed=4)
+        builder.append_filler(5)
+        start = builder.append_example(builder.new_key(2), builder.new_value(1))
+        annotation = builder.annotations[-1]
+        assert annotation["kind"] == "example"
+        assert annotation["start"] == start == 5
+
+    def test_deterministic_for_seed(self):
+        a = ContextBuilder(128, seed=9)
+        b = ContextBuilder(128, seed=9)
+        a.append_filler(50)
+        b.append_filler(50)
+        np.testing.assert_array_equal(a.tokens(), b.tokens())
+
+    def test_empty(self):
+        builder = ContextBuilder(128, seed=0)
+        assert builder.tokens().size == 0

@@ -1,0 +1,95 @@
+"""Tests for the KV distribution analysis and the scheme registry."""
+
+import numpy as np
+import pytest
+
+from repro.eval.distribution import (
+    channel_statistics_from_samples,
+    collect_kv_statistics,
+    summarize_outlier_structure,
+)
+from repro.eval.schemes import available_schemes, build_cache_factory, build_scheme_factories
+from repro.models.kv_cache import FullPrecisionCacheFactory
+from repro.quant.cache_adapters import KiviCacheFactory, KVQuantCacheFactory
+from repro.core.million_cache import MillionCacheFactory
+
+
+class TestChannelStatistics:
+    def test_basic_statistics(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(size=(200, 8))
+        samples[:, 3] *= 10.0
+        stats = channel_statistics_from_samples(samples, layer=0, kind="key")
+        assert stats.n_channels == 8
+        assert stats.std[3] > 5 * np.median(stats.std)
+        assert stats.magnitude_outlier_ratio() > 3.0
+        assert 3 in stats.top_channels(2).tolist()
+
+    def test_dynamic_range(self):
+        samples = np.asarray([[0.0, -1.0], [2.0, 3.0]])
+        stats = channel_statistics_from_samples(samples, 0, "value")
+        np.testing.assert_allclose(stats.dynamic_range, [2.0, 4.0])
+
+    def test_invalid_kind(self):
+        with pytest.raises(Exception):
+            channel_statistics_from_samples(np.zeros((4, 2)), 0, "query")
+
+
+class TestKVDistribution:
+    """The Fig. 2/3 observation must hold for our structured models."""
+
+    @pytest.fixture(scope="class")
+    def stats(self, tiny_model, test_tokens):
+        return collect_kv_statistics(tiny_model, test_tokens[:192], chunk_size=96)
+
+    def test_covers_all_layers_and_kinds(self, stats, tiny_model):
+        assert len(stats) == 2 * tiny_model.config.n_layers
+        assert {s.kind for s in stats} == {"key", "value"}
+
+    def test_key_outliers_stronger_than_value_outliers(self, stats):
+        summary = summarize_outlier_structure(stats)
+        assert summary["key_magnitude_outlier_ratio"] > 1.5 * summary["value_magnitude_outlier_ratio"]
+        assert summary["key_std_outlier_ratio"] > 1.5 * summary["value_std_outlier_ratio"]
+
+    def test_layer_subset(self, tiny_model, test_tokens):
+        stats = collect_kv_statistics(tiny_model, test_tokens[:96], layers=[1])
+        assert {s.layer for s in stats} == {1}
+
+
+class TestSchemeRegistry:
+    def test_available_covers_paper_schemes(self):
+        names = available_schemes()
+        for required in ("baseline", "kivi-4b", "kvquant-3b-1pct", "million-4b"):
+            assert required in names
+
+    def test_baseline_factory(self, tiny_model):
+        factory = build_cache_factory("baseline", tiny_model)
+        assert isinstance(factory, FullPrecisionCacheFactory)
+
+    def test_kivi_factory_no_calibration_needed(self, tiny_model):
+        assert isinstance(build_cache_factory("kivi-4b", tiny_model), KiviCacheFactory)
+
+    def test_calibrated_schemes_require_tokens(self, tiny_model):
+        with pytest.raises(ValueError):
+            build_cache_factory("million-4b", tiny_model)
+        with pytest.raises(ValueError):
+            build_cache_factory("kvquant-4b", tiny_model)
+
+    def test_unknown_scheme(self, tiny_model):
+        with pytest.raises(Exception):
+            build_cache_factory("awq-4b", tiny_model)
+
+    def test_build_multiple(self, tiny_model, calibration_tokens):
+        factories = build_scheme_factories(
+            ["baseline", "million-4b"],
+            tiny_model,
+            calibration_tokens[:128],
+            kmeans_iters=3,
+            calibration_samples=256,
+        )
+        assert isinstance(factories["million-4b"], MillionCacheFactory)
+        # The model must still work with each factory.
+        tiny_model.reset_cache(factories["million-4b"])
+        logits = tiny_model.prefill(calibration_tokens[:32])
+        assert np.isfinite(logits).all()
+        tiny_model.reset_cache(FullPrecisionCacheFactory())

@@ -1,0 +1,126 @@
+"""Tests for the synthetic LongBench task suite."""
+
+import numpy as np
+import pytest
+
+from repro.eval.longbench import (
+    CodeCompletionTask,
+    FewShotLabelTask,
+    MultiHopQATask,
+    PassageCountTask,
+    PassageRetrievalTask,
+    SingleDocQATask,
+    SummarizationTask,
+    average_scores,
+    evaluate_task,
+    longbench_tasks,
+)
+from repro.models.kv_cache import FullPrecisionCacheFactory
+
+
+VOCAB = 128
+
+
+class TestTaskGenerators:
+    @pytest.mark.parametrize(
+        "generator",
+        [
+            SingleDocQATask("narrativeqa", "qa", 256),
+            MultiHopQATask("hotpotqa", "qa", 256),
+            SummarizationTask("gov_report", "sum", 256),
+            FewShotLabelTask("trec", "fewshot", 256),
+            PassageCountTask("passage_count", "synthetic", 256),
+            PassageRetrievalTask("passage_retrieval_en", "synthetic", 256),
+            CodeCompletionTask("lcc", "code", 256),
+        ],
+        ids=lambda g: g.name,
+    )
+    def test_generate_produces_valid_instances(self, generator):
+        rng = np.random.default_rng(0)
+        instance = generator.generate(VOCAB, rng)
+        assert instance.prompt_tokens.ndim == 1
+        assert instance.prompt_tokens.size > 64
+        assert instance.answer_tokens.size >= 1
+        assert instance.prompt_tokens.max() < VOCAB
+        assert instance.answer_tokens.max() < VOCAB
+        # A perfect prediction must score 100, an unrelated one must score less.
+        perfect = generator.score(instance.answer_tokens.tolist(), instance)
+        assert perfect == pytest.approx(100.0)
+        wrong = generator.score([VOCAB - 1] * instance.answer_tokens.size, instance)
+        assert wrong < perfect
+
+    def test_singledoc_answer_is_in_context(self):
+        generator = SingleDocQATask("qasper", "qa", 256)
+        instance = generator.generate(VOCAB, np.random.default_rng(1))
+        prompt = instance.prompt_tokens.tolist()
+        answer = instance.answer_tokens.tolist()
+        joined = ",".join(map(str, prompt))
+        assert ",".join(map(str, answer)) in joined
+
+    def test_passage_count_answer_matches_metadata(self):
+        generator = PassageCountTask("passage_count", "synthetic", 256)
+        instance = generator.generate(VOCAB, np.random.default_rng(2))
+        n_unique = instance.metadata["n_unique"]
+        assert instance.answer_tokens[0] == generator.specials.content_start + n_unique
+
+    def test_retrieval_target_id_is_first_token_of_target_passage(self):
+        generator = PassageRetrievalTask("passage_retrieval_en", "synthetic", 256)
+        instance = generator.generate(VOCAB, np.random.default_rng(3))
+        target = instance.metadata["target_passage"]
+        assert instance.answer_tokens[0] == generator.specials.content_start + target
+
+    def test_deterministic_given_rng_seed(self):
+        generator = SingleDocQATask("narrativeqa", "qa", 256)
+        a = generator.generate(VOCAB, np.random.default_rng(5))
+        b = generator.generate(VOCAB, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.prompt_tokens, b.prompt_tokens)
+
+
+class TestSuiteDefinition:
+    def test_sixteen_tasks(self):
+        tasks = longbench_tasks()
+        assert len(tasks) == 16
+        for name in ("qasper", "hotpotqa", "gov_report", "trec", "passage_count", "lcc"):
+            assert name in tasks
+
+    def test_categories_cover_longbench_families(self):
+        categories = {t.category for t in longbench_tasks().values()}
+        assert len(categories) >= 5
+
+
+class TestEvaluation:
+    def test_evaluate_task_runs(self, tiny_model):
+        generator = SingleDocQATask("qasper", "qa", 128)
+        result = evaluate_task(
+            tiny_model,
+            generator,
+            FullPrecisionCacheFactory(),
+            n_examples=2,
+            scheme_name="baseline",
+        )
+        assert result.task == "qasper"
+        assert 0.0 <= result.score <= 100.0
+        assert len(result.scores) == 2
+
+    def test_same_seed_same_examples(self, tiny_model):
+        generator = PassageRetrievalTask("passage_retrieval_en", "synthetic", 128)
+        a = evaluate_task(tiny_model, generator, None, n_examples=1, seed=3)
+        b = evaluate_task(tiny_model, generator, None, n_examples=1, seed=3)
+        assert a.score == b.score
+
+    def test_average_scores(self):
+        from repro.eval.longbench import TaskResult
+
+        results = [
+            TaskResult("a", "qa", "baseline", 50.0, 1),
+            TaskResult("b", "qa", "baseline", 100.0, 1),
+            TaskResult("a", "qa", "million", 40.0, 1),
+        ]
+        averages = average_scores(results)
+        assert averages["baseline"] == pytest.approx(75.0)
+        assert averages["million"] == pytest.approx(40.0)
+
+    def test_prompt_truncated_to_model_limit(self, tiny_model):
+        generator = SingleDocQATask("narrativeqa", "qa", 2048)
+        result = evaluate_task(tiny_model, generator, None, n_examples=1)
+        assert 0.0 <= result.score <= 100.0

@@ -1,0 +1,107 @@
+"""Tests for scoring metrics, perplexity and fidelity evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    exact_match,
+    mean_kl_divergence,
+    relative_loss_percent,
+    rouge_like_overlap,
+    token_accuracy,
+    token_f1,
+    top1_agreement,
+)
+from repro.eval.perplexity import compute_perplexity, logit_fidelity, perplexity_by_scheme
+from repro.models.kv_cache import FullPrecisionCacheFactory
+
+
+class TestMetrics:
+    def test_exact_match(self):
+        assert exact_match([1, 2, 3], [1, 2, 3]) == 1.0
+        assert exact_match([1, 2, 3, 9], [1, 2, 3]) == 1.0  # prefix match
+        assert exact_match([1, 2], [1, 2, 3]) == 0.0
+        assert exact_match([], []) == 1.0
+
+    def test_token_accuracy(self):
+        assert token_accuracy([1, 2, 3], [1, 9, 3]) == pytest.approx(2 / 3)
+        assert token_accuracy([1], [1, 2]) == pytest.approx(0.5)
+
+    def test_token_f1(self):
+        assert token_f1([1, 2, 3], [1, 2, 3]) == 1.0
+        assert token_f1([1, 2], [3, 4]) == 0.0
+        assert 0 < token_f1([1, 2, 9], [1, 2, 3]) < 1.0
+        assert token_f1([], []) == 1.0
+
+    def test_rouge_like(self):
+        assert rouge_like_overlap([1, 2, 3, 4], [1, 2, 3, 4]) == 1.0
+        assert rouge_like_overlap([5, 6, 7], [1, 2, 3]) == 0.0
+
+    def test_top1_agreement(self):
+        a = np.asarray([[0.0, 1.0], [2.0, 0.0]])
+        b = np.asarray([[0.0, 2.0], [0.0, 3.0]])
+        assert top1_agreement(a, b) == 0.5
+        with pytest.raises(ValueError):
+            top1_agreement(a, b[:1])
+
+    def test_kl_divergence(self):
+        logits = np.random.default_rng(0).normal(size=(10, 8))
+        assert mean_kl_divergence(logits, logits) == pytest.approx(0.0, abs=1e-8)
+        assert mean_kl_divergence(logits, logits + np.random.default_rng(1).normal(size=(10, 8))) > 0
+
+    def test_relative_loss(self):
+        assert relative_loss_percent(50.0, 45.0) == pytest.approx(10.0)
+        assert relative_loss_percent(50.0, 55.0) == pytest.approx(-10.0)
+        assert relative_loss_percent(0.0, 0.0) == 0.0
+
+
+class TestPerplexity:
+    def test_uniform_model_bound(self, tiny_model, test_tokens):
+        """PPL of an (untrained) model stays within a sane range and is finite."""
+        result = compute_perplexity(tiny_model, test_tokens[:128], chunk_size=32)
+        assert np.isfinite(result.perplexity)
+        assert result.n_tokens == 127
+        assert result.perplexity == pytest.approx(np.exp(result.cross_entropy_nats), rel=1e-6)
+
+    def test_chunk_size_does_not_change_fp16_ppl(self, tiny_model, test_tokens):
+        a = compute_perplexity(tiny_model, test_tokens[:96], chunk_size=8).perplexity
+        b = compute_perplexity(tiny_model, test_tokens[:96], chunk_size=96).perplexity
+        assert a == pytest.approx(b, rel=1e-4)
+
+    def test_quantized_scheme_changes_ppl(self, tiny_model, test_tokens, million_factory):
+        fp16 = compute_perplexity(tiny_model, test_tokens[:128], chunk_size=16)
+        million = compute_perplexity(
+            tiny_model, test_tokens[:128], cache_factory=million_factory, chunk_size=16
+        )
+        assert million.perplexity != fp16.perplexity
+        # 4-bit PQ stays close to the fp16 reference (relative difference small).
+        assert abs(million.perplexity - fp16.perplexity) / fp16.perplexity < 0.25
+
+    def test_perplexity_by_scheme(self, tiny_model, test_tokens, million_factory):
+        results = perplexity_by_scheme(
+            tiny_model,
+            test_tokens[:96],
+            {"baseline": FullPrecisionCacheFactory(), "million-4b": million_factory},
+            chunk_size=16,
+        )
+        assert set(results) == {"baseline", "million-4b"}
+
+    def test_too_short_input(self, tiny_model):
+        with pytest.raises(Exception):
+            compute_perplexity(tiny_model, np.asarray([1]))
+
+
+class TestFidelity:
+    def test_million_high_fidelity(self, tiny_model, test_tokens, million_factory):
+        result = logit_fidelity(
+            tiny_model, test_tokens[:96], million_factory, chunk_size=16, scheme_name="million-4b"
+        )
+        assert result.top1_agreement > 0.3
+        assert result.mean_kl >= 0.0
+
+    def test_fp16_perfect_fidelity(self, tiny_model, test_tokens):
+        result = logit_fidelity(
+            tiny_model, test_tokens[:64], FullPrecisionCacheFactory(), chunk_size=16
+        )
+        assert result.top1_agreement == 1.0
+        assert result.mean_kl == pytest.approx(0.0, abs=1e-6)

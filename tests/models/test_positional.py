@@ -1,0 +1,117 @@
+"""Tests for RoPE, YaRN and ALiBi positional machinery."""
+
+import numpy as np
+import pytest
+
+from repro.models.positional import (
+    RotaryEmbedding,
+    alibi_bias,
+    alibi_slopes,
+    rope_frequencies,
+    yarn_attention_scale,
+    yarn_frequencies,
+)
+
+
+class TestRopeFrequencies:
+    def test_shape_and_range(self):
+        freqs = rope_frequencies(64)
+        assert freqs.shape == (32,)
+        assert freqs[0] == pytest.approx(1.0)
+        assert (np.diff(freqs) < 0).all()
+
+    def test_odd_dim_rejected(self):
+        with pytest.raises(Exception):
+            rope_frequencies(63)
+
+
+class TestYarnFrequencies:
+    def test_no_scaling_is_identity(self):
+        np.testing.assert_allclose(yarn_frequencies(64, scaling_factor=1.0), rope_frequencies(64))
+
+    def test_low_frequencies_interpolated(self):
+        base = rope_frequencies(64)
+        scaled = yarn_frequencies(64, scaling_factor=16.0, original_max_seq_len=4096)
+        # Highest-frequency dims unchanged, lowest-frequency dims divided by ~16.
+        assert scaled[0] == pytest.approx(base[0], rel=1e-6)
+        assert scaled[-1] == pytest.approx(base[-1] / 16.0, rel=1e-3)
+
+    def test_monotone_between(self):
+        base = rope_frequencies(64)
+        scaled = yarn_frequencies(64, scaling_factor=8.0, original_max_seq_len=4096)
+        ratio = scaled / base
+        assert (ratio <= 1.0 + 1e-9).all()
+        assert (ratio >= 1.0 / 8.0 - 1e-9).all()
+
+    def test_attention_scale(self):
+        assert yarn_attention_scale(1.0) == 1.0
+        assert yarn_attention_scale(32.0) > 1.0
+
+
+class TestRotaryEmbedding:
+    def test_norm_preserved(self):
+        rope = RotaryEmbedding(32, 128)
+        x = np.random.default_rng(0).normal(size=(10, 4, 32)).astype(np.float32)
+        rotated = rope.apply(x, np.arange(10))
+        np.testing.assert_allclose(
+            np.linalg.norm(rotated, axis=-1), np.linalg.norm(x, axis=-1), rtol=1e-4
+        )
+
+    def test_position_zero_is_identity(self):
+        rope = RotaryEmbedding(16, 8)
+        x = np.random.default_rng(1).normal(size=(1, 2, 16)).astype(np.float32)
+        np.testing.assert_allclose(rope.apply(x, np.asarray([0])), x, atol=1e-6)
+
+    def test_relative_position_property(self):
+        # q·k after RoPE depends only on the position difference.
+        rope = RotaryEmbedding(32, 64)
+        rng = np.random.default_rng(2)
+        q = rng.normal(size=(1, 1, 32)).astype(np.float32)
+        k = rng.normal(size=(1, 1, 32)).astype(np.float32)
+        def dot(qpos, kpos):
+            qr = rope.apply(q, np.asarray([qpos]))
+            kr = rope.apply(k, np.asarray([kpos]))
+            return float(np.sum(qr * kr))
+        assert dot(5, 3) == pytest.approx(dot(12, 10), abs=1e-4)
+        assert dot(5, 3) != pytest.approx(dot(12, 3), abs=1e-3)
+
+    def test_position_out_of_range(self):
+        rope = RotaryEmbedding(16, 4)
+        x = np.zeros((1, 1, 16), dtype=np.float32)
+        with pytest.raises(ValueError):
+            rope.apply(x, np.asarray([4]))
+
+    def test_bad_shape_rejected(self):
+        rope = RotaryEmbedding(16, 4)
+        with pytest.raises(ValueError):
+            rope.apply(np.zeros((2, 16), dtype=np.float32), np.arange(2))
+
+    def test_yarn_scale_applied(self):
+        rope = RotaryEmbedding(16, 1024, scaling_factor=8.0, original_max_seq_len=128)
+        assert rope.attention_scale > 1.0
+
+
+class TestAlibi:
+    def test_slopes_power_of_two(self):
+        slopes = alibi_slopes(8)
+        assert slopes.shape == (8,)
+        assert (np.diff(slopes) < 0).all()
+        assert slopes[0] == pytest.approx(2 ** (-1.0))
+
+    def test_slopes_non_power_of_two(self):
+        slopes = alibi_slopes(6)
+        assert slopes.shape == (6,)
+        assert (slopes > 0).all()
+
+    def test_bias_zero_at_same_position(self):
+        bias = alibi_bias(alibi_slopes(4), np.asarray([3]), np.asarray([3]))
+        np.testing.assert_allclose(bias[:, 0, 0], 0.0)
+
+    def test_bias_more_negative_with_distance(self):
+        slopes = alibi_slopes(2)
+        bias = alibi_bias(slopes, np.asarray([10]), np.asarray([0, 5, 9]))
+        assert bias[0, 0, 0] < bias[0, 0, 1] < bias[0, 0, 2] <= 0
+
+    def test_bias_shape(self):
+        bias = alibi_bias(alibi_slopes(4), np.arange(3), np.arange(7))
+        assert bias.shape == (4, 3, 7)

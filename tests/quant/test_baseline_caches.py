@@ -1,0 +1,179 @@
+"""Tests for the KIVI/KVQuant quantizers and their streaming cache adapters."""
+
+import numpy as np
+import pytest
+
+from repro.models.attention_math import dense_attention
+from repro.models.config import ModelConfig
+from repro.models.kv_cache import FullPrecisionKVCacheLayer
+from repro.quant.cache_adapters import KiviCacheFactory, KiviKVCache, KVQuantCacheFactory, KVQuantKVCache
+from repro.quant.kivi import KiviConfig, KiviQuantizer
+from repro.quant.kvquant import KVQuantQuantizer
+
+
+@pytest.fixture(scope="module")
+def cache_config():
+    return ModelConfig(vocab_size=64, d_model=32, n_layers=1, n_heads=2, max_seq_len=256)
+
+
+@pytest.fixture(scope="module")
+def kv_stream(cache_config):
+    rng = np.random.default_rng(0)
+    keys = rng.normal(size=(96, 2, 16)).astype(np.float32)
+    keys[:, :, 3] *= 8.0  # channel outlier, as in real key caches
+    values = rng.normal(size=(96, 2, 16)).astype(np.float32)
+    return keys, values
+
+
+@pytest.fixture(scope="module")
+def fitted_kvquant(kv_stream):
+    keys, values = kv_stream
+    quantizer = KVQuantQuantizer(nbits=4, seed=0)
+    quantizer.fit(keys.reshape(96, -1), values.reshape(96, -1))
+    return quantizer
+
+
+class TestKiviQuantizer:
+    def test_key_value_granularity(self):
+        quantizer = KiviQuantizer(KiviConfig(nbits=4))
+        block = np.random.default_rng(1).normal(size=(16, 32)).astype(np.float32)
+        key_q = quantizer.quantize_keys(block)
+        value_q = quantizer.quantize_values(block)
+        assert key_q.params.scale.shape == (1, 32)   # per-channel
+        assert value_q.params.scale.shape == (16, 1)  # per-token
+
+    def test_reconstruction_reasonable(self):
+        quantizer = KiviQuantizer(KiviConfig(nbits=8))
+        block = np.random.default_rng(2).normal(size=(32, 16)).astype(np.float32)
+        np.testing.assert_allclose(quantizer.quantize_keys(block).dequantize(), block, atol=0.05)
+
+    def test_invalid_config(self):
+        with pytest.raises(Exception):
+            KiviConfig(nbits=0)
+        with pytest.raises(Exception):
+            KiviConfig(key_granularity="per-row")
+
+
+class TestKVQuantQuantizer:
+    def test_requires_fit(self):
+        quantizer = KVQuantQuantizer(nbits=4)
+        with pytest.raises(RuntimeError):
+            quantizer.encode_keys(np.zeros((2, 4), dtype=np.float32))
+
+    def test_key_roundtrip(self, fitted_kvquant, kv_stream):
+        keys, _ = kv_stream
+        flat = keys.reshape(96, -1)
+        decoded = fitted_kvquant.decode_keys(fitted_kvquant.encode_keys(flat))
+        assert decoded.shape == flat.shape
+        # Non-uniform per-channel codebooks keep the relative error modest
+        # even with the boosted outlier channel.
+        rel_error = np.linalg.norm(decoded - flat) / np.linalg.norm(flat)
+        assert rel_error < 0.2
+
+    def test_value_roundtrip(self, fitted_kvquant, kv_stream):
+        _, values = kv_stream
+        flat = values.reshape(96, -1)
+        decoded = fitted_kvquant.decode_values(fitted_kvquant.encode_values(flat))
+        rel_error = np.linalg.norm(decoded - flat) / np.linalg.norm(flat)
+        assert rel_error < 0.25
+
+    def test_outlier_isolation_improves_low_bits(self, kv_stream):
+        keys, values = kv_stream
+        flat_keys = keys.reshape(96, -1).copy()
+        rng = np.random.default_rng(3)
+        flat_keys[rng.random(flat_keys.shape) < 0.01] *= 30.0
+        flat_values = values.reshape(96, -1)
+
+        plain = KVQuantQuantizer(nbits=2, seed=0).fit(flat_keys, flat_values)
+        isolated = KVQuantQuantizer(nbits=2, outlier_fraction=0.01, seed=0).fit(
+            flat_keys, flat_values
+        )
+        err_plain = np.linalg.norm(plain.decode_keys(plain.encode_keys(flat_keys)) - flat_keys)
+        err_isolated = np.linalg.norm(
+            isolated.decode_keys(isolated.encode_keys(flat_keys)) - flat_keys
+        )
+        assert err_isolated < err_plain
+
+    def test_memory_accounting(self, fitted_kvquant, kv_stream):
+        keys, _ = kv_stream
+        block = fitted_kvquant.encode_keys(keys.reshape(96, -1))
+        assert block.memory_bytes() >= 96 * 32 * 4 / 8.0
+        assert fitted_kvquant.codebook_bytes() > 0
+
+
+class _CacheAttentionMixin:
+    """Shared check: quantized-cache attention approximates exact attention."""
+
+    @staticmethod
+    def reference_attention(keys, values, queries, q_positions, scale):
+        k_positions = np.arange(keys.shape[0])
+        return dense_attention(queries, keys, values, q_positions, k_positions, scale)
+
+
+class TestKiviKVCache(_CacheAttentionMixin):
+    def test_streaming_attention_close_to_exact(self, cache_config, kv_stream):
+        keys, values = kv_stream
+        cache = KiviKVCache(cache_config, KiviConfig(nbits=8, group_size=16, residual_length=16))
+        rng = np.random.default_rng(4)
+        for start in range(0, 96, 16):
+            cache.append(keys[start : start + 16], values[start : start + 16])
+        queries = rng.normal(size=(1, 2, 16)).astype(np.float32)
+        out = cache.attend(queries, np.asarray([95]), 0.25)
+        expected = self.reference_attention(keys, values, queries, np.asarray([95]), 0.25)
+        np.testing.assert_allclose(out, expected, atol=0.05)
+
+    def test_pending_tokens_stay_full_precision(self, cache_config, kv_stream):
+        keys, values = kv_stream
+        cache = KiviKVCache(cache_config, KiviConfig(nbits=2, group_size=32, residual_length=32))
+        cache.append(keys[:8], values[:8])
+        assert cache.stored_tokens == 0 and cache.pending_tokens == 8
+
+    def test_memory_smaller_than_fp16(self, cache_config, kv_stream):
+        keys, values = kv_stream
+        cache = KiviKVCache(cache_config, KiviConfig(nbits=4, group_size=16, residual_length=0))
+        fp16 = FullPrecisionKVCacheLayer(cache_config)
+        for start in range(0, 96, 16):
+            cache.append(keys[start : start + 16], values[start : start + 16])
+            fp16.append(keys[start : start + 16], values[start : start + 16])
+        cache.append(keys[:1], values[:1])  # trigger a flush of the last group
+        assert cache.memory_bytes() < fp16.memory_bytes()
+        assert cache.compression_ratio() > 2.0
+
+    def test_factory(self, cache_config):
+        factory = KiviCacheFactory(KiviConfig(nbits=4))
+        cache = factory.create(0, cache_config)
+        assert isinstance(cache, KiviKVCache)
+
+
+class TestKVQuantKVCache(_CacheAttentionMixin):
+    def test_attention_close_to_exact(self, cache_config, kv_stream, fitted_kvquant):
+        keys, values = kv_stream
+        cache = KVQuantKVCache(cache_config, fitted_kvquant)
+        cache.append(keys[:64], values[:64])
+        cache.append(keys[64:80], values[64:80])  # first block gets quantized
+        rng = np.random.default_rng(5)
+        queries = rng.normal(size=(2, 2, 16)).astype(np.float32)
+        out = cache.attend(queries, np.asarray([78, 79]), 0.25)
+        expected = self.reference_attention(
+            keys[:80], values[:80], queries, np.asarray([78, 79]), 0.25
+        )
+        np.testing.assert_allclose(out, expected, atol=0.25)
+        assert cache.stored_tokens == 64 and cache.pending_tokens == 16
+
+    def test_requires_fitted_quantizer(self, cache_config):
+        with pytest.raises(Exception):
+            KVQuantKVCache(cache_config, KVQuantQuantizer(nbits=4))
+
+    def test_factory_missing_layer(self, cache_config, fitted_kvquant):
+        factory = KVQuantCacheFactory({0: fitted_kvquant})
+        assert isinstance(factory.create(0, cache_config), KVQuantKVCache)
+        with pytest.raises(KeyError):
+            factory.create(1, cache_config)
+
+    def test_reset(self, cache_config, kv_stream, fitted_kvquant):
+        keys, values = kv_stream
+        cache = KVQuantKVCache(cache_config, fitted_kvquant)
+        cache.append(keys[:16], values[:16])
+        cache.append(keys[16:32], values[16:32])
+        cache.reset()
+        assert cache.seq_len == 0 and cache.stored_tokens == 0 and cache.pending_tokens == 0

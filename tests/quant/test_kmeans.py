@@ -1,0 +1,106 @@
+"""Tests for the shared k-means implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.kmeans import assign_to_centroids, kmeans
+
+
+def _blob_data(seed=0, n_per=50, centers=((0, 0), (10, 10), (-10, 5))):
+    rng = np.random.default_rng(seed)
+    blobs = [rng.normal(c, 0.5, size=(n_per, 2)) for c in centers]
+    return np.concatenate(blobs, axis=0)
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        data = _blob_data()
+        result = kmeans(data, 3, seed=0)
+        assert result.n_clusters == 3
+        # Each found centroid should be within 1.0 of a true blob centre.
+        truth = np.asarray([(0, 0), (10, 10), (-10, 5)], dtype=float)
+        for centroid in result.centroids:
+            assert np.min(np.linalg.norm(truth - centroid, axis=1)) < 1.0
+
+    def test_inertia_decreases_with_more_clusters(self):
+        data = _blob_data(seed=1)
+        inertia_2 = kmeans(data, 2, seed=0).inertia
+        inertia_6 = kmeans(data, 6, seed=0).inertia
+        assert inertia_6 < inertia_2
+
+    def test_deterministic_for_seed(self):
+        data = _blob_data(seed=2)
+        a = kmeans(data, 4, seed=5)
+        b = kmeans(data, 4, seed=5)
+        np.testing.assert_allclose(a.centroids, b.centroids)
+
+    def test_assignments_shape_and_range(self):
+        data = _blob_data(seed=3)
+        result = kmeans(data, 3, seed=0)
+        assert result.assignments.shape == (data.shape[0],)
+        assert result.assignments.min() >= 0 and result.assignments.max() < 3
+
+    def test_fewer_samples_than_clusters(self):
+        data = np.random.default_rng(4).normal(size=(3, 4))
+        result = kmeans(data, 8, seed=0)
+        assert result.centroids.shape == (8, 4)
+        assert result.inertia == 0.0
+
+    def test_1d_input(self):
+        data = np.concatenate([np.zeros(20), np.ones(20) * 5])
+        result = kmeans(data, 2, seed=0)
+        assert sorted(np.round(result.centroids.reshape(-1), 1)) == [0.0, 5.0]
+
+    def test_identical_points(self):
+        data = np.ones((30, 3))
+        result = kmeans(data, 4, seed=0)
+        assert np.isfinite(result.centroids).all()
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_random_init(self):
+        data = _blob_data(seed=5)
+        result = kmeans(data, 3, seed=0, init="random")
+        assert result.inertia < kmeans(data, 1, seed=0).inertia
+
+    def test_invalid_args(self):
+        data = _blob_data()
+        with pytest.raises(Exception):
+            kmeans(data, 0)
+        with pytest.raises(Exception):
+            kmeans(data, 2, n_iters=0)
+        with pytest.raises(Exception):
+            kmeans(data, 2, init="fancy")
+
+    @given(
+        n=st.integers(min_value=5, max_value=80),
+        k=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_assignments_are_nearest_property(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(n, 3))
+        result = kmeans(data, k, seed=seed)
+        recomputed = assign_to_centroids(data, result.centroids)
+        # Nearest-centroid distances of the recomputed assignment must not
+        # exceed those of the returned assignment.
+        def total_distance(assignment):
+            return float(
+                np.sum(np.linalg.norm(data - result.centroids[assignment], axis=1) ** 2)
+            )
+        assert total_distance(recomputed) <= total_distance(result.assignments) + 1e-6
+
+
+class TestAssignToCentroids:
+    def test_nearest(self):
+        centroids = np.asarray([[0.0, 0.0], [10.0, 10.0]])
+        data = np.asarray([[1.0, 0.5], [9.0, 9.5]])
+        np.testing.assert_array_equal(assign_to_centroids(data, centroids), [0, 1])
+
+    def test_1d(self):
+        centroids = np.asarray([[0.0], [4.0]])
+        np.testing.assert_array_equal(
+            assign_to_centroids(np.asarray([0.1, 3.0, 5.0]), centroids), [0, 1, 1]
+        )

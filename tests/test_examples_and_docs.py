@@ -1,0 +1,62 @@
+"""Smoke checks for the example scripts and repository documentation.
+
+The examples are part of the public surface: they must at least parse, expose
+a ``main`` entry point and only import public ``repro`` APIs.  Full runs are
+exercised manually / by the benchmarks, not here (they take minutes).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_at_least_three_examples_exist():
+    assert len(EXAMPLE_FILES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    function_names = {node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)}
+    assert "main" in function_names, f"{path.name} must define main()"
+    # Every example must carry a module docstring explaining what it shows.
+    assert ast.get_docstring(tree), f"{path.name} is missing a module docstring"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_only_public_api(path):
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+            # Examples should not reach into private helpers.
+            for alias in node.names:
+                assert not alias.name.startswith("_"), (
+                    f"{path.name} imports private name {alias.name} from {node.module}"
+                )
+
+
+def test_documentation_files_present_and_nontrivial():
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+        path = REPO_ROOT / name
+        assert path.exists(), f"{name} is missing"
+        assert len(path.read_text()) > 2000, f"{name} looks like a stub"
+
+
+def test_design_lists_every_benchmark():
+    design = (REPO_ROOT / "DESIGN.md").read_text()
+    for bench in sorted((REPO_ROOT / "benchmarks").glob("bench_*.py")):
+        assert bench.name in design, f"DESIGN.md does not reference {bench.name}"
+
+
+def test_public_package_exports_resolve():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None

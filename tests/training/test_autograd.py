@@ -1,0 +1,190 @@
+"""Gradient-correctness tests for the tiny autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro.training import autograd as ag
+from repro.training.autograd import Tensor
+
+
+def numerical_gradient(fn, array, index, eps=1e-3):
+    """Central-difference derivative of ``fn`` w.r.t. ``array[index]``."""
+    plus = array.copy()
+    plus[index] += eps
+    minus = array.copy()
+    minus[index] -= eps
+    return (fn(plus) - fn(minus)) / (2 * eps)
+
+
+class TestElementwiseOps:
+    def test_add_broadcast_backward(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(np.random.default_rng(1).normal(size=(4,)), requires_grad=True)
+        out = ag.add(a, b)
+        out.backward(np.ones((3, 4), dtype=np.float32))
+        np.testing.assert_allclose(a.grad, np.ones((3, 4)))
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_mul_backward(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([5.0, 7.0], requires_grad=True)
+        ag.mul(a, b).backward(np.asarray([1.0, 1.0], dtype=np.float32))
+        np.testing.assert_allclose(a.grad, [5.0, 7.0])
+        np.testing.assert_allclose(b.grad, [2.0, 3.0])
+
+    def test_matmul_gradcheck(self):
+        rng = np.random.default_rng(2)
+        a_data = rng.normal(size=(3, 5)).astype(np.float32)
+        b_data = rng.normal(size=(5, 2)).astype(np.float32)
+
+        def loss_fn(b_arr):
+            return float(np.sum(a_data @ b_arr))
+
+        a, b = Tensor(a_data, requires_grad=True), Tensor(b_data, requires_grad=True)
+        out = ag.matmul(a, b)
+        loss = ag.mul(out, 1.0)
+        loss.backward(np.ones_like(out.data))
+        numeric = numerical_gradient(loss_fn, b_data, (2, 1))
+        assert b.grad[2, 1] == pytest.approx(numeric, rel=1e-2)
+
+    def test_batched_matmul_backward_shapes(self):
+        a = Tensor(np.random.default_rng(3).normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(np.random.default_rng(4).normal(size=(4, 5)), requires_grad=True)
+        out = ag.matmul(a, b)
+        out.backward(np.ones(out.shape, dtype=np.float32))
+        assert a.grad.shape == (2, 3, 4)
+        assert b.grad.shape == (4, 5)
+
+    def test_reshape_transpose_roundtrip(self):
+        a = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4), requires_grad=True)
+        out = ag.transpose(ag.reshape(a, (4, 3)), (1, 0))
+        out.backward(np.ones((3, 4), dtype=np.float32))
+        np.testing.assert_allclose(a.grad, np.ones((3, 4)))
+
+    def test_embedding_scatter_add(self):
+        weight = Tensor(np.zeros((5, 2), dtype=np.float32), requires_grad=True)
+        out = ag.embedding(weight, np.asarray([[1, 1], [3, 1]]))
+        out.backward(np.ones(out.shape, dtype=np.float32))
+        np.testing.assert_allclose(weight.grad[1], [3.0, 3.0])
+        np.testing.assert_allclose(weight.grad[3], [1.0, 1.0])
+        np.testing.assert_allclose(weight.grad[0], [0.0, 0.0])
+
+
+class TestNormsAndActivations:
+    @pytest.mark.parametrize("op_name", ["rms_norm", "layer_norm", "silu", "gelu"])
+    def test_gradcheck(self, op_name):
+        rng = np.random.default_rng(5)
+        x_data = rng.normal(size=(2, 6)).astype(np.float32)
+        weight_data = rng.normal(1.0, 0.1, size=(6,)).astype(np.float32)
+        bias_data = rng.normal(0.0, 0.1, size=(6,)).astype(np.float32)
+
+        def forward(arr):
+            x = Tensor(arr, requires_grad=True)
+            if op_name == "rms_norm":
+                out = ag.rms_norm(x, Tensor(weight_data))
+            elif op_name == "layer_norm":
+                out = ag.layer_norm(x, Tensor(weight_data), Tensor(bias_data))
+            elif op_name == "silu":
+                out = ag.silu(x)
+            else:
+                out = ag.gelu(x)
+            return x, out
+
+        x, out = forward(x_data)
+        out.backward(np.ones_like(out.data))
+        index = (1, 2)
+        numeric = numerical_gradient(lambda arr: float(forward(arr)[1].data.sum()), x_data, index)
+        assert x.grad[index] == pytest.approx(numeric, rel=2e-2, abs=2e-3)
+
+    def test_norm_weight_gradients(self):
+        rng = np.random.default_rng(6)
+        x = Tensor(rng.normal(size=(4, 8)).astype(np.float32))
+        weight = Tensor(np.ones(8, dtype=np.float32), requires_grad=True)
+        out = ag.rms_norm(x, weight)
+        out.backward(np.ones_like(out.data))
+        assert weight.grad is not None and weight.grad.shape == (8,)
+
+
+class TestFusedOps:
+    def test_cross_entropy_gradcheck(self):
+        rng = np.random.default_rng(7)
+        logits_data = rng.normal(size=(4, 6)).astype(np.float32)
+        targets = np.asarray([0, 5, 2, 2])
+
+        def loss_fn(arr):
+            return float(ag.softmax_cross_entropy(Tensor(arr), targets).item())
+
+        logits = Tensor(logits_data, requires_grad=True)
+        ag.softmax_cross_entropy(logits, targets).backward()
+        numeric = numerical_gradient(loss_fn, logits_data, (1, 5))
+        assert logits.grad[1, 5] == pytest.approx(numeric, rel=1e-2, abs=1e-4)
+
+    def test_cross_entropy_shape_check(self):
+        with pytest.raises(ValueError):
+            ag.softmax_cross_entropy(Tensor(np.zeros((3, 4))), np.zeros(2, dtype=np.int64))
+
+    def test_rope_rotate_orthogonal(self):
+        rng = np.random.default_rng(8)
+        x = Tensor(rng.normal(size=(1, 5, 2, 8)).astype(np.float32), requires_grad=True)
+        angles = rng.uniform(0, np.pi, size=(1, 5, 1, 4))
+        cos, sin = np.cos(angles), np.sin(angles)
+        out = ag.rope_rotate(x, cos, sin)
+        np.testing.assert_allclose(
+            np.linalg.norm(out.data, axis=-1), np.linalg.norm(x.data, axis=-1), rtol=1e-4
+        )
+        out.backward(np.ones_like(out.data))
+        assert x.grad.shape == x.shape
+
+    def test_attention_gradcheck(self):
+        rng = np.random.default_rng(9)
+        q_data = rng.normal(size=(1, 4, 2, 3)).astype(np.float32)
+        k_data = rng.normal(size=(1, 4, 2, 3)).astype(np.float32)
+        v_data = rng.normal(size=(1, 4, 2, 3)).astype(np.float32)
+
+        def loss_fn(q_arr):
+            out = ag.causal_self_attention(Tensor(q_arr), Tensor(k_data), Tensor(v_data), 0.5)
+            return float(out.data.sum())
+
+        q = Tensor(q_data, requires_grad=True)
+        k = Tensor(k_data, requires_grad=True)
+        v = Tensor(v_data, requires_grad=True)
+        out = ag.causal_self_attention(q, k, v, 0.5)
+        out.backward(np.ones_like(out.data))
+        index = (0, 2, 1, 0)
+        numeric = numerical_gradient(loss_fn, q_data, index)
+        assert q.grad[index] == pytest.approx(numeric, rel=2e-2, abs=2e-3)
+
+    def test_attention_is_causal(self):
+        rng = np.random.default_rng(10)
+        q = Tensor(rng.normal(size=(1, 3, 1, 4)).astype(np.float32))
+        k = Tensor(rng.normal(size=(1, 3, 1, 4)).astype(np.float32))
+        v_data = rng.normal(size=(1, 3, 1, 4)).astype(np.float32)
+        out_a = ag.causal_self_attention(q, k, Tensor(v_data), 1.0).data
+        v_mod = v_data.copy()
+        v_mod[0, 2] += 100.0  # changing the last token's value
+        out_b = ag.causal_self_attention(q, k, Tensor(v_mod), 1.0).data
+        np.testing.assert_allclose(out_a[0, :2], out_b[0, :2], atol=1e-5)
+        assert not np.allclose(out_a[0, 2], out_b[0, 2])
+
+
+class TestTensorMechanics:
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.zeros((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            t.backward()
+
+    def test_grad_accumulation_through_shared_node(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = ag.add(ag.mul(x, 3.0), ag.mul(x, 2.0))
+        y.backward(np.asarray([1.0, 1.0], dtype=np.float32))
+        np.testing.assert_allclose(x.grad, [5.0, 5.0])
+
+    def test_detach_stops_gradient(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = ag.mul(x.detach(), 5.0)
+        assert not y.requires_grad
+
+    def test_operator_sugar(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = (a * 2.0 + 1.0) - a
+        np.testing.assert_allclose(out.data, [2.0, 3.0])
