@@ -60,6 +60,21 @@ def test_kernel_adc_scores(benchmark, setup):
     assert scores.shape == (4, codes.shape[0])
 
 
+def test_kernel_adc_scores_naive_reference(benchmark, setup):
+    """The pre-optimization fancy-indexing loop, kept for speedup comparison."""
+    pq, codes = setup["pq"], setup["codes"]
+    luts = pq.build_score_luts(setup["queries"].reshape(-1, 64))
+
+    def naive_adc():
+        scores = np.zeros((luts.shape[0], codes.shape[0]), dtype=np.float32)
+        for m in range(pq.m_subspaces):
+            scores += luts[:, m, :][:, codes[:, m]]
+        return scores
+
+    reference = benchmark(naive_adc)
+    np.testing.assert_array_equal(reference, pq.adc_scores(luts, codes))
+
+
 def test_kernel_weighted_decode(benchmark, setup):
     pq, codes = setup["pq"], setup["codes"]
     probs = np.random.default_rng(1).random((4, codes.shape[0])).astype(np.float32)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Continuous-batching demo: many concurrent requests, one calibrated model.
+
+Calibrates MILLION once, then submits a burst of requests with different
+prompt lengths and generation budgets to :class:`BatchedMillionEngine`.  The
+engine interleaves one decode step per running sequence, admits queued
+requests the moment a slot frees up, and streams tokens back per request.
+At the end the script verifies the batched output is token-identical to
+looping the single-sequence :class:`MillionEngine` over the same prompts,
+and reports per-request finish reasons plus aggregate throughput.
+
+Run with::
+
+    python examples/batched_serving.py [--requests 6] [--batch-size 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.core import MillionConfig, MillionEngine
+from repro.data import load_corpus
+from repro.models import load_model
+from repro.serving import BatchedMillionEngine
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=6, help="number of requests")
+    parser.add_argument("--batch-size", type=int, default=3, help="running-set cap")
+    parser.add_argument("--max-new-tokens", type=int, default=24)
+    args = parser.parse_args()
+
+    model = load_model("llama-2-7b-tiny", seed=0, max_seq_len=1024)
+    vocab = model.config.vocab_size
+    calibration = load_corpus("wikitext2-syn", "train", 768) % vocab
+    million = MillionConfig.for_equivalent_bits(
+        model.config.head_dim, bits=4, kmeans_iters=5, calibration_samples=1536
+    )
+    print("calibrating MILLION codebooks once for all requests ...")
+    sequential = MillionEngine.calibrate(model, calibration, million)
+
+    prompts = [
+        load_corpus("wikitext2-syn", "test", 32 + 8 * i, seed=i) % vocab
+        for i in range(args.requests)
+    ]
+
+    server = BatchedMillionEngine(
+        model, sequential.factory, max_batch_size=args.batch_size
+    )
+    for i, prompt in enumerate(prompts):
+        budget = args.max_new_tokens - 2 * (i % 3)
+        server.add_request(prompt, max_new_tokens=budget, request_id=f"user-{i}")
+
+    print(
+        f"serving {args.requests} requests with max_batch_size={args.batch_size} ..."
+    )
+    start = time.perf_counter()
+    step = 0
+    while server.scheduler.has_work:
+        outputs = server.step()
+        step += 1
+        finished = [o.request_id for o in outputs if o.finished]
+        if finished:
+            print(
+                f"  step {step:3d}: running={server.running_count} "
+                f"queued={server.queued_count} finished={', '.join(finished)}"
+            )
+    wall = time.perf_counter() - start
+
+    total_tokens = 0
+    for i, prompt in enumerate(prompts):
+        state = server.state_of(f"user-{i}")
+        total_tokens += len(state.generated)
+        reference = sequential.generate(prompt, max_new_tokens=len(state.generated))
+        identical = np.array_equal(reference, state.generated_ids)
+        print(
+            f"  user-{i}: prompt={prompt.size:3d} tokens "
+            f"generated={len(state.generated):2d} "
+            f"finish={state.finish_reason.value:9s} "
+            f"identical-to-sequential={identical}"
+        )
+        assert identical, "batched output diverged from sequential greedy"
+    print(
+        f"served {total_tokens} tokens in {wall:.2f}s "
+        f"({total_tokens / wall:.1f} tok/s aggregate)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,8 @@ The package is organised by subsystem:
   attention sinks, heavy-hitter eviction);
 * :mod:`repro.core` — the MILLION product-quantized cache, calibration and
   the high-level :class:`~repro.core.engine.MillionEngine`;
+* :mod:`repro.serving` — continuous-batching multi-sequence serving on top
+  of one calibrated model (:class:`~repro.serving.engine.BatchedMillionEngine`);
 * :mod:`repro.perf` — analytic GPU performance model (TPOT, breakdowns, OOM);
 * :mod:`repro.eval` — perplexity, KV-distribution analysis, LongBench
   substitute;
@@ -32,11 +34,13 @@ Quickstart::
 
 from repro.core import MillionConfig, MillionEngine, ProductQuantizer
 from repro.models import ModelConfig, TransformerLM, load_model
+from repro.serving import BatchedMillionEngine
 from repro.version import __version__
 
 __all__ = [
     "MillionConfig",
     "MillionEngine",
+    "BatchedMillionEngine",
     "ProductQuantizer",
     "ModelConfig",
     "TransformerLM",

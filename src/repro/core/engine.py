@@ -140,13 +140,6 @@ class MillionEngine:
         full-precision cache is used and then discarded.
         """
         require(token_ids is not None, "token_ids must not be None")
-        saved_caches = self.model.caches
-        saved_position = self.model.context_length
-        self.model.reset_cache(FullPrecisionCacheFactory())
-        try:
+        with self.model.temporary_context(FullPrecisionCacheFactory()):
             logits = self.model.forward(np.asarray(token_ids, dtype=np.int64))
-        finally:
-            self.model.caches = saved_caches
-            self.model._next_position = saved_position
-            self.model.cache_factory = self.factory
         return logits

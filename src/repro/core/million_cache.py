@@ -10,14 +10,13 @@ that it is not needed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
-
 import numpy as np
 
 from repro.core.attention_pq import pq_attention_scores, pq_weighted_values
 from repro.core.config import MillionConfig
 from repro.core.pq import ProductQuantizer
+from repro.core.storage import CodeStore
+from repro.utils.bitpack import code_dtype
 from repro.models.config import ModelConfig
 from repro.models.kv_cache import KVCacheLayer
 from repro.quant.cache_adapters import StreamingQuantizedKVCache
@@ -25,14 +24,20 @@ from repro.quant.outliers import split_outliers
 from repro.utils.validation import require
 
 
-@dataclass
 class _SparseCorrections:
-    """COO storage of ``original - clamped`` deltas for outlier entries."""
+    """COO storage of ``original - clamped`` deltas for outlier entries.
 
-    token_indices: list[np.ndarray] = field(default_factory=list)
-    head_indices: list[np.ndarray] = field(default_factory=list)
-    channel_indices: list[np.ndarray] = field(default_factory=list)
-    deltas: list[np.ndarray] = field(default_factory=list)
+    Entries live in contiguous growable arrays (one scalar row per non-zero),
+    so :meth:`materialize` is a set of zero-copy views — appending a block is
+    amortized O(block) and reading during attention is O(1), matching the
+    cost model of the code storage.
+    """
+
+    def __init__(self) -> None:
+        self.token_indices = CodeStore((), np.int64)
+        self.head_indices = CodeStore((), np.int64)
+        self.channel_indices = CodeStore((), np.int64)
+        self.deltas = CodeStore((), np.float32)
 
     def add_block(
         self, token_offset: int, block_deltas: np.ndarray
@@ -42,24 +47,21 @@ class _SparseCorrections:
         if tokens.size == 0:
             return
         self.token_indices.append(tokens + token_offset)
-        self.head_indices.append(heads)
-        self.channel_indices.append(channels)
+        self.head_indices.append(heads.astype(np.int64, copy=False))
+        self.channel_indices.append(channels.astype(np.int64, copy=False))
         self.deltas.append(block_deltas[tokens, heads, channels].astype(np.float32))
 
     def materialize(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        if not self.deltas:
-            empty_i = np.zeros(0, dtype=np.int64)
-            return empty_i, empty_i.copy(), empty_i.copy(), np.zeros(0, dtype=np.float32)
         return (
-            np.concatenate(self.token_indices),
-            np.concatenate(self.head_indices),
-            np.concatenate(self.channel_indices),
-            np.concatenate(self.deltas),
+            self.token_indices.view(),
+            self.head_indices.view(),
+            self.channel_indices.view(),
+            self.deltas.view(),
         )
 
     @property
     def count(self) -> int:
-        return int(sum(d.size for d in self.deltas))
+        return len(self.deltas)
 
     def memory_bytes(self, value_bytes: float = 2.0, index_bytes: float = 4.0) -> float:
         return float(self.count * (value_bytes + index_bytes))
@@ -94,10 +96,14 @@ class MillionKVCacheLayer(StreamingQuantizedKVCache):
         self.key_pq = key_pq
         self.value_pq = value_pq
         self.million_config = million_config
-        self._key_code_blocks: list[np.ndarray] = []
-        self._value_code_blocks: list[np.ndarray] = []
-        self._key_codes_cache: Optional[np.ndarray] = None
-        self._value_codes_cache: Optional[np.ndarray] = None
+        # Contiguous, amortized-doubling code storage: appends copy one block,
+        # attention reads a zero-copy view — no per-step re-concatenation.
+        self._key_codes = CodeStore(
+            (config.kv_heads, key_pq.m_subspaces), code_dtype(key_pq.nbits)
+        )
+        self._value_codes = CodeStore(
+            (config.kv_heads, value_pq.m_subspaces), code_dtype(value_pq.nbits)
+        )
         self._key_corrections = _SparseCorrections()
         self._value_corrections = _SparseCorrections()
 
@@ -114,20 +120,14 @@ class MillionKVCacheLayer(StreamingQuantizedKVCache):
         t, kv_heads, head_dim = keys.shape
         key_codes = self.key_pq.encode(keys_dense.reshape(t * kv_heads, head_dim))
         value_codes = self.value_pq.encode(values_dense.reshape(t * kv_heads, head_dim))
-        self._key_code_blocks.append(key_codes.reshape(t, kv_heads, -1))
-        self._value_code_blocks.append(value_codes.reshape(t, kv_heads, -1))
-        self._key_codes_cache = None
-        self._value_codes_cache = None
+        self._key_codes.append(key_codes.reshape(t, kv_heads, -1))
+        self._value_codes.append(value_codes.reshape(t, kv_heads, -1))
 
     def _stored_key_codes(self) -> np.ndarray:
-        if self._key_codes_cache is None:
-            self._key_codes_cache = np.concatenate(self._key_code_blocks, axis=0)
-        return self._key_codes_cache
+        return self._key_codes.view()
 
     def _stored_value_codes(self) -> np.ndarray:
-        if self._value_codes_cache is None:
-            self._value_codes_cache = np.concatenate(self._value_code_blocks, axis=0)
-        return self._value_codes_cache
+        return self._value_codes.view()
 
     # Attention hooks -----------------------------------------------------------
 
@@ -207,10 +207,8 @@ class MillionKVCacheLayer(StreamingQuantizedKVCache):
 
     def reset(self) -> None:
         super().reset()
-        self._key_code_blocks.clear()
-        self._value_code_blocks.clear()
-        self._key_codes_cache = None
-        self._value_codes_cache = None
+        self._key_codes.clear()
+        self._value_codes.clear()
         self._key_corrections.clear()
         self._value_corrections.clear()
 

@@ -49,7 +49,13 @@ from repro.models.tensor_ops import (
     softmax,
 )
 from repro.models.tokenizer import ByteTokenizer, WordTokenizer
-from repro.models.transformer import FeedForward, Norm, TransformerBlock, TransformerLM
+from repro.models.transformer import (
+    FeedForward,
+    ModelContext,
+    Norm,
+    TransformerBlock,
+    TransformerLM,
+)
 from repro.models.weights import OutlierSpec, build_model
 
 __all__ = [
@@ -93,6 +99,7 @@ __all__ = [
     "ByteTokenizer",
     "WordTokenizer",
     "FeedForward",
+    "ModelContext",
     "Norm",
     "TransformerBlock",
     "TransformerLM",

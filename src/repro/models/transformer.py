@@ -9,7 +9,9 @@ be swapped in without touching the model code.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -28,6 +30,28 @@ from repro.utils.validation import require
 
 # Called with (layer_index, keys, values) whenever a layer produces new KV.
 LayerKVObserver = Callable[[int, np.ndarray, np.ndarray], None]
+
+
+@dataclass
+class ModelContext:
+    """Snapshot of a model's mutable inference state (caches + position).
+
+    A context holds *references* to the per-layer caches, not copies: saving
+    a context and continuing to run the model mutates the saved caches.  It
+    is the unit of sequence identity — swapping contexts in and out of one
+    :class:`TransformerLM` lets many independent sequences share the same
+    weights (see :mod:`repro.serving`), and lets callers run a throwaway
+    computation (e.g. full-precision reference logits) without disturbing the
+    live context.
+    """
+
+    caches: list[KVCacheLayer]
+    cache_factory: KVCacheFactory
+    next_position: int = 0
+
+    @property
+    def context_length(self) -> int:
+        return self.next_position
 
 
 class Norm:
@@ -167,17 +191,52 @@ class TransformerLM:
 
     def reset_cache(self, factory: Optional[KVCacheFactory] = None) -> None:
         """Drop cached context; optionally switch the KV-cache scheme."""
-        if factory is not None:
-            self.cache_factory = factory
-        self.caches = [
-            self.cache_factory.create(i, self.config) for i in range(self.config.n_layers)
-        ]
-        self._next_position = 0
+        self.restore_context(self.fresh_context(factory))
 
     @property
     def context_length(self) -> int:
         """Number of tokens currently held in the KV caches."""
         return self._next_position
+
+    # Context save/restore ------------------------------------------------
+
+    def save_context(self) -> ModelContext:
+        """Snapshot the current inference state (caches, factory, position).
+
+        The snapshot shares the cache objects with the model — it is a handle
+        for swapping, not a deep copy.  Pair with :meth:`restore_context`.
+        """
+        return ModelContext(self.caches, self.cache_factory, self._next_position)
+
+    def restore_context(self, context: ModelContext) -> None:
+        """Make ``context`` the model's live inference state."""
+        self.caches = context.caches
+        self.cache_factory = context.cache_factory
+        self._next_position = context.next_position
+
+    def fresh_context(self, factory: Optional[KVCacheFactory] = None) -> ModelContext:
+        """Build an empty context (new caches, position 0) without adopting it."""
+        factory = factory or self.cache_factory
+        caches = [factory.create(i, self.config) for i in range(self.config.n_layers)]
+        return ModelContext(caches, factory, 0)
+
+    @contextmanager
+    def temporary_context(
+        self, factory: Optional[KVCacheFactory] = None
+    ) -> Iterator["TransformerLM"]:
+        """Run with a throwaway empty context, then restore the previous one.
+
+        Example::
+
+            with model.temporary_context(FullPrecisionCacheFactory()):
+                reference = model.forward(token_ids)
+        """
+        saved = self.save_context()
+        self.restore_context(self.fresh_context(factory))
+        try:
+            yield self
+        finally:
+            self.restore_context(saved)
 
     def cache_memory_bytes(self) -> float:
         """Total modelled KV-cache footprint across all layers."""

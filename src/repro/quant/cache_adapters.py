@@ -51,10 +51,13 @@ class StreamingQuantizedKVCache(KVCacheLayer):
         super().__init__(config)
         require(residual_window >= 0, "residual_window must be >= 0")
         require(flush_block_multiple >= 1, "flush_block_multiple must be >= 1")
+        # Local import: repro.core.__init__ pulls in calibration, which
+        # imports this module — a top-level import would create a cycle.
+        from repro.core.storage import PendingBuffer
+
         self.residual_window = residual_window
         self.flush_block_multiple = flush_block_multiple
-        self._pending_keys: list[np.ndarray] = []
-        self._pending_values: list[np.ndarray] = []
+        self._pending = PendingBuffer(config.kv_heads, config.head_dim)
         self._stored_tokens = 0
 
     # Streaming bookkeeping ------------------------------------------------
@@ -67,8 +70,7 @@ class StreamingQuantizedKVCache(KVCacheLayer):
         # adding the new block, mirroring the asynchronous quantization stream
         # that compresses older tokens while the new token is being processed.
         self._flush(keep=self.residual_window)
-        self._pending_keys.append(keys)
-        self._pending_values.append(values)
+        self._pending.append(keys, values)
         self._seq_len += keys.shape[0]
 
     def flush_all(self) -> None:
@@ -76,28 +78,21 @@ class StreamingQuantizedKVCache(KVCacheLayer):
         self._flush(keep=0)
 
     def _pending_token_count(self) -> int:
-        return sum(block.shape[0] for block in self._pending_keys)
+        return len(self._pending)
 
     def _flush(self, keep: int) -> None:
-        pending = self._pending_token_count()
-        flushable = pending - keep
+        flushable = len(self._pending) - keep
         if self.flush_block_multiple > 1:
             flushable = (flushable // self.flush_block_multiple) * self.flush_block_multiple
         if flushable <= 0:
             return
-        keys = np.concatenate(self._pending_keys, axis=0)
-        values = np.concatenate(self._pending_values, axis=0)
-        to_store_k, rest_k = keys[:flushable], keys[flushable:]
-        to_store_v, rest_v = values[:flushable], values[flushable:]
+        to_store_k, to_store_v = self._pending.pop_front(flushable)
         self._quantize_and_store(to_store_k, to_store_v)
         self._stored_tokens += flushable
-        self._pending_keys = [rest_k] if rest_k.shape[0] else []
-        self._pending_values = [rest_v] if rest_v.shape[0] else []
 
     def reset(self) -> None:
         super().reset()
-        self._pending_keys.clear()
-        self._pending_values.clear()
+        self._pending.clear()
         self._stored_tokens = 0
 
     @property
@@ -131,16 +126,10 @@ class StreamingQuantizedKVCache(KVCacheLayer):
                     alibi_head_slopes, query_positions, stored_positions
                 )
             score_blocks.append(stored_scores)
-        pending_keys = (
-            np.concatenate(self._pending_keys, axis=0)
-            if self._pending_keys
-            else np.zeros((0, self.config.kv_heads, head_dim), dtype=np.float32)
-        )
-        pending_values = (
-            np.concatenate(self._pending_values, axis=0)
-            if self._pending_values
-            else np.zeros((0, self.config.kv_heads, head_dim), dtype=np.float32)
-        )
+        # Zero-copy views into the contiguous pending buffer: a decode step
+        # touches O(window) bytes here, not O(context).
+        pending_keys = self._pending.keys_view()
+        pending_values = self._pending.values_view()
         pending_positions = np.arange(stored, stored + pending_keys.shape[0])
         if pending_keys.shape[0] > 0:
             pending_scores = attention_scores(
@@ -204,7 +193,38 @@ class StreamingQuantizedKVCache(KVCacheLayer):
 
 
 class DequantizingKVCache(StreamingQuantizedKVCache):
-    """Base for schemes that materialise de-quantized keys/values for attention."""
+    """Base for schemes that materialise de-quantized keys/values for attention.
+
+    Each flushed block's reconstruction is recorded once at quantization time
+    via :meth:`_store_dequantized`; attention then reads contiguous zero-copy
+    views instead of re-decoding and re-concatenating every stored block on
+    every step.  Decoding a block is deterministic, so materialising eagerly
+    is bit-identical to the former decode-at-attend behaviour.  The stores
+    model the GPU-side working buffer and are excluded from the compressed
+    footprint reported by ``quantized_memory_bytes``.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        residual_window: int = 0,
+        flush_block_multiple: int = 1,
+    ) -> None:
+        super().__init__(
+            config,
+            residual_window=residual_window,
+            flush_block_multiple=flush_block_multiple,
+        )
+        from repro.core.storage import CodeStore  # local import avoids a cycle
+
+        row_shape = (config.kv_heads, config.head_dim)
+        self._dequant_keys = CodeStore(row_shape, np.float32)
+        self._dequant_values = CodeStore(row_shape, np.float32)
+
+    def _store_dequantized(self, keys_hat: np.ndarray, values_hat: np.ndarray) -> None:
+        """Record a flushed block's ``(t, kv_heads, d)`` reconstruction."""
+        self._dequant_keys.append(keys_hat)
+        self._dequant_values.append(values_hat)
 
     def _quantized_scores(self, queries: np.ndarray, scale: float) -> np.ndarray:
         keys, _ = self._materialize_quantized()
@@ -216,9 +236,23 @@ class DequantizingKVCache(StreamingQuantizedKVCache):
         expanded = repeat_kv_heads(values, probs.shape[0])
         return np.einsum("hqk,khd->qhd", probs, expanded).astype(np.float32)
 
-    @abstractmethod
     def _materialize_quantized(self) -> tuple[np.ndarray, np.ndarray]:
-        """Return de-quantized ``(keys, values)`` of shape ``(stored, kv_heads, d)``."""
+        """De-quantized ``(keys, values)`` views of shape ``(stored, kv_heads, d)``."""
+        # Fail fast if a subclass' _quantize_and_store forgot to record its
+        # reconstruction — attending with fewer rows than _stored_tokens
+        # would silently misattribute probabilities.
+        require(
+            len(self._dequant_keys) == self._stored_tokens,
+            f"dequantized store holds {len(self._dequant_keys)} tokens but "
+            f"{self._stored_tokens} are flushed; _quantize_and_store must call "
+            "_store_dequantized for every block",
+        )
+        return self._dequant_keys.view(), self._dequant_values.view()
+
+    def reset(self) -> None:
+        super().reset()
+        self._dequant_keys.clear()
+        self._dequant_values.clear()
 
     def dequantization_error(self) -> dict[str, float]:
         """Diagnostics hook: subclasses may override to report reconstruction MSE."""
@@ -246,16 +280,14 @@ class KiviKVCache(DequantizingKVCache):
         return block.reshape(block.shape[0], self.config.kv_heads, self.config.head_dim)
 
     def _quantize_and_store(self, keys: np.ndarray, values: np.ndarray) -> None:
-        self._key_blocks.append(self.quantizer.quantize_keys(self._flatten(keys)))
-        self._value_blocks.append(self.quantizer.quantize_values(self._flatten(values)))
-
-    def _materialize_quantized(self) -> tuple[np.ndarray, np.ndarray]:
-        if not self._key_blocks:
-            empty = np.zeros((0, self.config.kv_heads, self.config.head_dim), np.float32)
-            return empty, empty.copy()
-        keys = np.concatenate([b.dequantize() for b in self._key_blocks], axis=0)
-        values = np.concatenate([b.dequantize() for b in self._value_blocks], axis=0)
-        return self._unflatten(keys), self._unflatten(values)
+        key_block = self.quantizer.quantize_keys(self._flatten(keys))
+        value_block = self.quantizer.quantize_values(self._flatten(values))
+        self._key_blocks.append(key_block)
+        self._value_blocks.append(value_block)
+        self._store_dequantized(
+            self._unflatten(key_block.dequantize()),
+            self._unflatten(value_block.dequantize()),
+        )
 
     def quantized_memory_bytes(self) -> float:
         return float(
@@ -285,23 +317,15 @@ class KVQuantKVCache(DequantizingKVCache):
         self._value_blocks: list[KVQuantEncodedBlock] = []
 
     def _quantize_and_store(self, keys: np.ndarray, values: np.ndarray) -> None:
-        flat_keys = keys.reshape(keys.shape[0], -1)
-        flat_values = values.reshape(values.shape[0], -1)
-        self._key_blocks.append(self.quantizer.encode_keys(flat_keys))
-        self._value_blocks.append(self.quantizer.encode_values(flat_values))
-
-    def _materialize_quantized(self) -> tuple[np.ndarray, np.ndarray]:
-        if not self._key_blocks:
-            empty = np.zeros((0, self.config.kv_heads, self.config.head_dim), np.float32)
-            return empty, empty.copy()
-        keys = np.concatenate(
-            [self.quantizer.decode_keys(b) for b in self._key_blocks], axis=0
-        )
-        values = np.concatenate(
-            [self.quantizer.decode_values(b) for b in self._value_blocks], axis=0
-        )
+        key_block = self.quantizer.encode_keys(keys.reshape(keys.shape[0], -1))
+        value_block = self.quantizer.encode_values(values.reshape(values.shape[0], -1))
+        self._key_blocks.append(key_block)
+        self._value_blocks.append(value_block)
         shape = (-1, self.config.kv_heads, self.config.head_dim)
-        return keys.reshape(shape), values.reshape(shape)
+        self._store_dequantized(
+            self.quantizer.decode_keys(key_block).reshape(shape),
+            self.quantizer.decode_values(value_block).reshape(shape),
+        )
 
     def quantized_memory_bytes(self) -> float:
         blocks = sum(b.memory_bytes() for b in self._key_blocks) + sum(

@@ -1,0 +1,29 @@
+"""Batched serving layer: many sequences through one calibrated model.
+
+* :class:`~repro.serving.request.GenerationRequest` — one prompt + limits;
+* :class:`~repro.serving.scheduler.ContinuousBatchingScheduler` — FCFS
+  admission into a bounded running set with immediate slot reuse;
+* :class:`~repro.serving.engine.BatchedMillionEngine` — swaps per-request
+  :class:`~repro.models.transformer.ModelContext` objects through a shared
+  model, one decode step per running sequence per engine step.
+"""
+
+from repro.serving.engine import BatchedMillionEngine
+from repro.serving.request import (
+    FinishReason,
+    GenerationRequest,
+    RequestState,
+    RequestStatus,
+    StepOutput,
+)
+from repro.serving.scheduler import ContinuousBatchingScheduler
+
+__all__ = [
+    "BatchedMillionEngine",
+    "ContinuousBatchingScheduler",
+    "FinishReason",
+    "GenerationRequest",
+    "RequestState",
+    "RequestStatus",
+    "StepOutput",
+]

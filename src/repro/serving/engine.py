@@ -1,0 +1,297 @@
+"""Batched MILLION serving engine.
+
+One calibrated model serves many concurrent sequences: every request owns a
+private :class:`~repro.models.transformer.ModelContext` (its per-layer
+quantized caches + position) and the engine swaps contexts in and out of the
+shared :class:`~repro.models.transformer.TransformerLM` for each prefill or
+decode step.  Weights and trained PQ codebooks are shared; per-sequence state
+is isolated, so with greedy sampling the batched output is token-identical to
+looping :class:`~repro.core.engine.MillionEngine` over the same prompts (a
+test asserts this).
+
+Scheduling is continuous batching (see
+:class:`~repro.serving.scheduler.ContinuousBatchingScheduler`): a sequence
+that finishes frees its slot immediately and the next queued request is
+admitted on the following step, so the running set stays full under load.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.core.calibration import calibrate_million
+from repro.core.config import MillionConfig
+from repro.models.kv_cache import KVCacheFactory
+from repro.models.sampling import GreedySampler
+from repro.models.transformer import TransformerLM
+from repro.serving.request import (
+    FinishReason,
+    GenerationRequest,
+    RequestState,
+    RequestStatus,
+    StepOutput,
+)
+from repro.serving.scheduler import ContinuousBatchingScheduler
+from repro.utils.rng import get_rng
+from repro.utils.validation import require
+
+
+class BatchedMillionEngine:
+    """Serve many sequences through one model with continuous batching.
+
+    The engine is single-threaded: :meth:`step` advances every running
+    sequence by one token and performs due admissions/prefills.  Call
+    :meth:`run` to drain the queue, or drive :meth:`step` yourself for
+    streaming consumption.
+    """
+
+    def __init__(
+        self,
+        model: TransformerLM,
+        factory: KVCacheFactory,
+        max_batch_size: int = 8,
+    ) -> None:
+        self.model = model
+        self.factory = factory
+        self.scheduler = ContinuousBatchingScheduler(max_batch_size=max_batch_size)
+        self._states: dict[str, RequestState] = {}
+        self._unclaimed_results: dict[str, np.ndarray] = {}
+        self._next_request_number = 0
+
+    # Construction -----------------------------------------------------------
+
+    @classmethod
+    def calibrate(
+        cls,
+        model: TransformerLM,
+        calibration_tokens: np.ndarray | Iterable[np.ndarray],
+        million_config: Optional[MillionConfig] = None,
+        chunk_size: int = 256,
+        max_batch_size: int = 8,
+    ) -> "BatchedMillionEngine":
+        """Run MILLION's offline phase once, then serve from the result."""
+        million_config = million_config or MillionConfig.for_equivalent_bits(
+            model.config.head_dim, bits=4
+        )
+        factory = calibrate_million(
+            model, calibration_tokens, million_config, chunk_size=chunk_size
+        )
+        return cls(model, factory, max_batch_size=max_batch_size)
+
+    # Submission ---------------------------------------------------------------
+
+    def submit(self, request: GenerationRequest) -> str:
+        """Queue a request; returns its (possibly auto-assigned) id."""
+        if request.request_id is None:
+            # Skip over ids the caller already used explicitly.
+            candidate = f"req-{self._next_request_number:04d}"
+            self._next_request_number += 1
+            while candidate in self._states:
+                candidate = f"req-{self._next_request_number:04d}"
+                self._next_request_number += 1
+            request.request_id = candidate
+        require(
+            request.request_id not in self._states,
+            f"duplicate request id {request.request_id!r}",
+        )
+        # Reject prompts that cannot prefill: letting model.forward raise
+        # mid-step would strand every other in-flight request.
+        require(
+            request.prompt_ids.size <= self.model.config.max_seq_len,
+            f"prompt of {request.prompt_ids.size} tokens exceeds max_seq_len "
+            f"{self.model.config.max_seq_len}",
+        )
+        state = RequestState(request=request, rng=get_rng(request.seed))
+        self._states[request.request_id] = state
+        self.scheduler.submit(state)
+        return request.request_id
+
+    def add_request(
+        self,
+        prompt_ids: np.ndarray,
+        max_new_tokens: int,
+        request_id: Optional[str] = None,
+        stop_token: Optional[int] = None,
+        sampler=None,
+        seed: Optional[int] = None,
+    ) -> str:
+        """Convenience wrapper building and submitting a :class:`GenerationRequest`."""
+        return self.submit(
+            GenerationRequest(
+                prompt_ids=prompt_ids,
+                max_new_tokens=max_new_tokens,
+                request_id=request_id,
+                stop_token=stop_token,
+                sampler=sampler,
+                seed=seed,
+            )
+        )
+
+    # Serving loop -------------------------------------------------------------
+
+    @contextmanager
+    def _bound(self, state: RequestState) -> Iterator[TransformerLM]:
+        """Swap ``state``'s context into the shared model for one operation."""
+        saved = self.model.save_context()
+        assert state.context is not None
+        self.model.restore_context(state.context)
+        try:
+            yield self.model
+        finally:
+            state.context = self.model.save_context()
+            self.model.restore_context(saved)
+
+    def _finish(self, state: RequestState, reason: FinishReason) -> None:
+        state.finish_reason = reason
+        self.scheduler.release(state)
+        self._unclaimed_results[state.request_id] = state.generated_ids
+        # Release the per-sequence KV caches immediately; keeping every
+        # finished context alive would grow memory with total requests served.
+        state.context = None
+        state.next_logits = None
+
+    def _prefill(self, state: RequestState) -> Optional[StepOutput]:
+        """Prefill a newly admitted request; may finish it immediately."""
+        state.context = self.model.fresh_context(self.factory)
+        with self._bound(state) as model:
+            logits = model.forward(state.request.prompt_ids)
+        state.next_logits = logits[-1]
+        if state.request.max_new_tokens == 0:
+            self._finish(state, FinishReason.LENGTH)
+        elif state.context.next_position >= self.model.config.max_seq_len:
+            self._finish(state, FinishReason.CONTEXT_FULL)
+        if state.is_finished:
+            return StepOutput(state.request_id, None, True, state.finish_reason)
+        return None
+
+    def _decode_one(self, state: RequestState) -> StepOutput:
+        """Advance one running sequence by one token.
+
+        Mirrors :meth:`TransformerLM.generate` exactly (sample, stop check,
+        context check, decode) so greedy outputs — and the final cache state —
+        match sequential generation bit for bit.
+        """
+        request = state.request
+        assert state.context is not None and state.next_logits is not None
+        if state.context.next_position >= self.model.config.max_seq_len:
+            self._finish(state, FinishReason.CONTEXT_FULL)
+            return StepOutput(state.request_id, None, True, state.finish_reason)
+        sampler = request.sampler or GreedySampler()
+        token = sampler(state.next_logits, state.rng)
+        state.generated.append(token)
+        if request.stop_token is not None and token == request.stop_token:
+            self._finish(state, FinishReason.STOP_TOKEN)
+        elif state.context.next_position >= self.model.config.max_seq_len:
+            self._finish(state, FinishReason.CONTEXT_FULL)
+        else:
+            with self._bound(state) as model:
+                state.next_logits = model.decode_step(token)
+            if len(state.generated) >= request.max_new_tokens:
+                self._finish(state, FinishReason.LENGTH)
+        return StepOutput(
+            state.request_id, token, state.is_finished, state.finish_reason
+        )
+
+    def step(self) -> list[StepOutput]:
+        """One engine iteration: admit + prefill, then one decode per sequence."""
+        outputs: list[StepOutput] = []
+        for state in self.scheduler.admit():
+            prefill_output = self._prefill(state)
+            if prefill_output is not None:
+                outputs.append(prefill_output)
+        for state in self.scheduler.running:
+            outputs.append(self._decode_one(state))
+        return outputs
+
+    def run(self) -> dict[str, np.ndarray]:
+        """Drain queue and running set; return generated ids per request id.
+
+        Only results not yet returned by a previous :meth:`run` call are
+        included, so alternating submissions and ``run`` calls yields each
+        request exactly once.
+        """
+        while self.scheduler.has_work:
+            self.step()
+        results = self._unclaimed_results
+        self._unclaimed_results = {}
+        return results
+
+    def generate_batch(
+        self,
+        prompts: Sequence[np.ndarray],
+        max_new_tokens: int,
+        stop_token: Optional[int] = None,
+        sampler=None,
+        seed: Optional[int] = None,
+    ) -> list[np.ndarray]:
+        """Serve ``prompts`` concurrently; results in submission order."""
+        ids = [
+            self.add_request(
+                prompt,
+                max_new_tokens,
+                stop_token=stop_token,
+                sampler=sampler,
+                seed=seed,
+            )
+            for prompt in prompts
+        ]
+        results = self.run()
+        batch = [results.pop(request_id) for request_id in ids]
+        # Results of requests submitted outside this batch stay claimable
+        # by a later run() call.
+        self._unclaimed_results.update(results)
+        return batch
+
+    # Introspection ------------------------------------------------------------
+
+    def state_of(self, request_id: str) -> RequestState:
+        """Look up a request's state (queued, running or finished)."""
+        require(request_id in self._states, f"unknown request id {request_id!r}")
+        return self._states[request_id]
+
+    def evict_finished(self) -> int:
+        """Drop bookkeeping for finished requests; returns how many were evicted.
+
+        A long-lived engine otherwise accumulates one :class:`RequestState`
+        (request ids, generated token lists) per request ever served.  Results
+        not yet claimed through :meth:`run` are dropped too, so call this only
+        after consuming what you need.
+        """
+        evicted = self.scheduler.evict_finished()
+        for state in evicted:
+            del self._states[state.request_id]
+            self._unclaimed_results.pop(state.request_id, None)
+        return len(evicted)
+
+    @property
+    def running_count(self) -> int:
+        return self.scheduler.running_count
+
+    @property
+    def queued_count(self) -> int:
+        return self.scheduler.queued_count
+
+    @property
+    def finished_count(self) -> int:
+        return self.scheduler.finished_count
+
+    def active_cache_memory_bytes(self) -> float:
+        """Total modelled KV footprint across all running sequences."""
+        total = 0.0
+        for state in self.scheduler.running:
+            if state.context is not None:
+                total += sum(cache.memory_bytes() for cache in state.context.caches)
+        return total
+
+
+__all__ = [
+    "BatchedMillionEngine",
+    "FinishReason",
+    "GenerationRequest",
+    "RequestState",
+    "RequestStatus",
+    "StepOutput",
+]

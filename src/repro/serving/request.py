@@ -1,0 +1,91 @@
+"""Request and per-sequence state objects for the serving layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from repro.models.transformer import ModelContext
+from repro.utils.validation import require
+
+
+class RequestStatus(Enum):
+    """Lifecycle of a request inside the batched engine."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+class FinishReason(Enum):
+    """Why a request stopped generating."""
+
+    LENGTH = "length"
+    STOP_TOKEN = "stop_token"
+    CONTEXT_FULL = "context_full"
+
+
+@dataclass
+class GenerationRequest:
+    """One user request: a prompt plus generation limits.
+
+    ``sampler`` follows the :mod:`repro.models.sampling` protocol (callable
+    ``(logits, rng) -> token``); ``None`` means greedy, which is what makes
+    batched output token-identical to sequential generation.
+    """
+
+    prompt_ids: np.ndarray
+    max_new_tokens: int
+    request_id: Optional[str] = None
+    stop_token: Optional[int] = None
+    sampler: Optional[object] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.prompt_ids = np.asarray(self.prompt_ids, dtype=np.int64).reshape(-1)
+        require(self.prompt_ids.size > 0, "prompt_ids must contain at least one token")
+        require(self.max_new_tokens >= 0, "max_new_tokens must be >= 0")
+
+
+@dataclass
+class RequestState:
+    """Mutable per-sequence serving state owned by the engine.
+
+    ``context`` is the sequence's private :class:`ModelContext` (per-layer
+    caches + position); the engine swaps it into the shared model for each
+    prefill/decode step.
+    """
+
+    request: GenerationRequest
+    status: RequestStatus = RequestStatus.QUEUED
+    context: Optional[ModelContext] = None
+    next_logits: Optional[np.ndarray] = None
+    generated: list[int] = field(default_factory=list)
+    rng: Optional[np.random.Generator] = None
+    finish_reason: Optional[FinishReason] = None
+
+    @property
+    def request_id(self) -> str:
+        assert self.request.request_id is not None
+        return self.request.request_id
+
+    @property
+    def generated_ids(self) -> np.ndarray:
+        return np.asarray(self.generated, dtype=np.int64)
+
+    @property
+    def is_finished(self) -> bool:
+        return self.status is RequestStatus.FINISHED
+
+
+@dataclass(frozen=True)
+class StepOutput:
+    """What one engine step produced for one running sequence."""
+
+    request_id: str
+    token: Optional[int]
+    finished: bool
+    finish_reason: Optional[FinishReason] = None

@@ -1,0 +1,98 @@
+"""Continuous-batching scheduler: admission, running set, completion.
+
+The scheduler is deliberately model-agnostic — it only tracks
+:class:`~repro.serving.request.RequestState` objects through their lifecycle.
+Admission is FCFS with a ``max_batch_size`` cap on the running set; a slot
+freed by a finishing sequence is refilled on the next :meth:`admit` call, so
+the batch stays full while the queue is non-empty (continuous batching, as
+opposed to static batching which would wait for the whole batch to drain).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+
+from repro.serving.request import RequestState, RequestStatus
+from repro.utils.validation import require
+
+
+class ContinuousBatchingScheduler:
+    """FCFS admission into a bounded running set."""
+
+    def __init__(self, max_batch_size: int = 8) -> None:
+        require(max_batch_size >= 1, "max_batch_size must be >= 1")
+        self.max_batch_size = max_batch_size
+        self._queued: deque[RequestState] = deque()
+        # Insertion order == admission order; decode steps iterate this.
+        self._running: OrderedDict[str, RequestState] = OrderedDict()
+        self._finished: OrderedDict[str, RequestState] = OrderedDict()
+
+    # Lifecycle -----------------------------------------------------------
+
+    def submit(self, state: RequestState) -> None:
+        """Enqueue a new request (status must be QUEUED)."""
+        require(
+            state.status is RequestStatus.QUEUED,
+            f"cannot submit a request in state {state.status}",
+        )
+        require(
+            state.request_id not in self._running
+            and state.request_id not in self._finished
+            and all(s.request_id != state.request_id for s in self._queued),
+            f"duplicate request id {state.request_id!r}",
+        )
+        self._queued.append(state)
+
+    def admit(self) -> list[RequestState]:
+        """Move queued requests into free running slots; return the admitted."""
+        admitted: list[RequestState] = []
+        while self._queued and len(self._running) < self.max_batch_size:
+            state = self._queued.popleft()
+            state.status = RequestStatus.RUNNING
+            self._running[state.request_id] = state
+            admitted.append(state)
+        return admitted
+
+    def release(self, state: RequestState) -> None:
+        """Mark a running request finished and free its slot."""
+        require(
+            state.request_id in self._running,
+            f"request {state.request_id!r} is not running",
+        )
+        del self._running[state.request_id]
+        state.status = RequestStatus.FINISHED
+        self._finished[state.request_id] = state
+
+    # Introspection -------------------------------------------------------
+
+    @property
+    def running(self) -> list[RequestState]:
+        """Running sequences in admission order."""
+        return list(self._running.values())
+
+    @property
+    def queued_count(self) -> int:
+        return len(self._queued)
+
+    @property
+    def running_count(self) -> int:
+        return len(self._running)
+
+    @property
+    def finished_count(self) -> int:
+        return len(self._finished)
+
+    @property
+    def has_work(self) -> bool:
+        """True while any request is queued or running."""
+        return bool(self._queued) or bool(self._running)
+
+    def finished_states(self) -> list[RequestState]:
+        """Finished sequences in completion order."""
+        return list(self._finished.values())
+
+    def evict_finished(self) -> list[RequestState]:
+        """Forget all finished sequences; returns the evicted states."""
+        evicted = list(self._finished.values())
+        self._finished.clear()
+        return evicted

@@ -119,6 +119,18 @@ class TestMillionEngine:
         corr = np.corrcoef(quantized, reference)[0, 1]
         assert corr > 0.98
 
+    def test_baseline_logits_leaves_context_and_factory_untouched(self, engine, test_tokens):
+        """baseline_logits must not disturb the live caches, position or factory."""
+        engine.reset()
+        engine.prefill(test_tokens[:24])
+        caches_before = engine.model.caches
+        position_before = engine.model.context_length
+        factory_before = engine.model.cache_factory
+        engine.baseline_logits(test_tokens[:16])
+        assert engine.model.caches is caches_before
+        assert engine.model.context_length == position_before
+        assert engine.model.cache_factory is factory_before
+
     def test_default_config_choice(self, tiny_model, calibration_tokens):
         engine = MillionEngine.calibrate(tiny_model, calibration_tokens[:128])
         assert engine.million_config.bits_per_value(tiny_model.config.head_dim) == pytest.approx(4.0)

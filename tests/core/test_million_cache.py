@@ -222,6 +222,41 @@ class TestMillionKVCacheLayer:
         err_outlier = np.abs(run(0.02) - exact).max()
         assert err_outlier <= err_plain + 1e-6
 
+    def test_sparse_corrections_materialize_is_zero_copy(self, mha_config, pq_pair, head_dim):
+        """materialize() must read contiguous stores, not re-concatenate."""
+        from repro.core.million_cache import _SparseCorrections
+
+        corrections = _SparseCorrections()
+        rng = np.random.default_rng(13)
+        block = np.zeros((4, 2, head_dim), dtype=np.float32)
+        block[rng.random(block.shape) < 0.2] = 1.5
+        corrections.add_block(0, block)
+        first = corrections.materialize()
+        assert all(part.base is not None for part in first)  # views, no copies
+        corrections.add_block(4, block)
+        second = corrections.materialize()
+        assert second[0].size == 2 * first[0].size == corrections.count
+        tokens, heads, channels = np.nonzero(block)
+        np.testing.assert_array_equal(second[0][tokens.size :], tokens + 4)
+        np.testing.assert_array_equal(
+            second[3], np.tile(block[tokens, heads, channels], 2)
+        )
+        corrections.clear()
+        assert corrections.materialize()[0].size == 0
+
+    def test_stored_codes_are_views_not_copies(self, mha_config, pq_pair, head_dim):
+        """Decode-path reads must be zero-copy views of the contiguous store."""
+        cache = self._make_cache(mha_config, pq_pair)
+        rng = np.random.default_rng(14)
+        keys, values = _random_kv(rng, 48, 2, head_dim)
+        cache.append(keys[:32], values[:32])
+        cache.append(keys[32:], values[32:])
+        codes = cache._stored_key_codes()
+        assert codes.base is not None  # a view into the growable buffer
+        assert codes.shape[0] == cache.stored_tokens
+        # Repeated reads return the same buffer, not fresh concatenations.
+        assert cache._stored_key_codes().base is codes.base
+
     def test_reset(self, mha_config, pq_pair, head_dim):
         cache = self._make_cache(mha_config, pq_pair)
         rng = np.random.default_rng(12)

@@ -110,6 +110,22 @@ class TestADC:
         exact = queries @ pq.decode(codes).T
         np.testing.assert_allclose(adc, exact, atol=1e-4)
 
+    def test_adc_gather_bit_identical_to_subspace_loop(self, pq, calibration_vectors):
+        """The take-based gather must match the naive per-subspace loop bitwise."""
+        rng = np.random.default_rng(7)
+        codes = pq.encode(calibration_vectors[:300])
+        queries = rng.normal(size=(4, 32)).astype(np.float32)
+        luts = pq.build_score_luts(queries)
+        reference = np.zeros((4, codes.shape[0]), dtype=np.float32)
+        for m in range(pq.m_subspaces):
+            reference += luts[:, m, :][:, codes[:, m]]
+        np.testing.assert_array_equal(pq.adc_scores(luts, codes), reference)
+
+    def test_adc_scores_empty_keys(self, pq):
+        luts = np.zeros((3, pq.m_subspaces, pq.n_centroids), dtype=np.float32)
+        codes = np.zeros((0, pq.m_subspaces), dtype=np.uint8)
+        assert pq.adc_scores(luts, codes).shape == (3, 0)
+
     def test_single_query_shapes(self, pq, calibration_vectors):
         codes = pq.encode(calibration_vectors[:10])
         query = np.random.default_rng(2).normal(size=32).astype(np.float32)

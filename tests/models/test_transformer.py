@@ -182,3 +182,59 @@ class TestModelZoo:
         plain = load_model("llama-2-7b-tiny", seed=0, outlier_spec=OutlierSpec(key_channel_scale=1.0))
         spiky = load_model("llama-2-7b-tiny", seed=0, outlier_spec=OutlierSpec(key_channel_scale=8.0))
         assert not np.allclose(plain.prefill(tokens), spiky.prefill(tokens))
+
+
+class TestContextSaveRestore:
+    def test_save_restore_roundtrip(self, tiny_model, test_tokens):
+        tiny_model.reset_cache(FullPrecisionCacheFactory())
+        tiny_model.prefill(test_tokens[:12])
+        saved = tiny_model.save_context()
+        assert saved.next_position == 12
+        fresh = tiny_model.fresh_context()
+        tiny_model.restore_context(fresh)
+        assert tiny_model.context_length == 0
+        tiny_model.restore_context(saved)
+        assert tiny_model.context_length == 12
+        assert tiny_model.caches is saved.caches
+
+    def test_temporary_context_restores_state_and_factory(self, tiny_model, test_tokens):
+        factory = FullPrecisionCacheFactory()
+        tiny_model.reset_cache(factory)
+        tiny_model.prefill(test_tokens[:10])
+        caches_before = tiny_model.caches
+        with tiny_model.temporary_context(FullPrecisionCacheFactory(bytes_per_value=4.0)):
+            assert tiny_model.context_length == 0
+            tiny_model.prefill(test_tokens[:20])
+            assert tiny_model.context_length == 20
+        assert tiny_model.caches is caches_before
+        assert tiny_model.context_length == 10
+        assert tiny_model.cache_factory is factory
+
+    def test_temporary_context_restores_on_error(self, tiny_model, test_tokens):
+        tiny_model.reset_cache(FullPrecisionCacheFactory())
+        tiny_model.prefill(test_tokens[:8])
+        saved_caches = tiny_model.caches
+        with pytest.raises(ValueError):
+            with tiny_model.temporary_context():
+                raise ValueError("boom")
+        assert tiny_model.caches is saved_caches
+        assert tiny_model.context_length == 8
+
+    def test_contexts_isolate_independent_sequences(self, tiny_model, test_tokens):
+        """Two contexts swapped through one model generate independently."""
+        tiny_model.reset_cache(FullPrecisionCacheFactory())
+        first = tiny_model.fresh_context()
+        second = tiny_model.fresh_context()
+        outer = tiny_model.save_context()
+        tiny_model.restore_context(first)
+        logits_first = tiny_model.prefill(test_tokens[:6])
+        first = tiny_model.save_context()
+        tiny_model.restore_context(second)
+        tiny_model.prefill(test_tokens[6:30])
+        tiny_model.restore_context(first)
+        np.testing.assert_array_equal(
+            tiny_model.forward(test_tokens[6:7])[0].shape,
+            (tiny_model.config.vocab_size,),
+        )
+        assert first.caches is not second.caches
+        tiny_model.restore_context(outer)
