@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Prefix-sharing benchmark: shared-prompt prefill throughput and pool memory.
+
+N requests share a long prompt prefix (the "thousands of users behind one
+system prompt" workload from the roadmap).  With the serving block pool, the
+first request quantizes the aligned prefix into published blocks and every
+later request adopts them, so the prefix's prefill compute and pool blocks
+are paid once.  The benchmark measures:
+
+* **prefill throughput** (prompt tokens / wall time of the admission step)
+  for the shared-prefix workload versus the same shapes with unique
+  prefixes, and asserts the sharing speedup is at least 2x;
+* **peak pool blocks and modelled KV bytes** right after all prefills, where
+  sharing should hold the prefix cost constant in N.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_prefix_sharing.py [--smoke]
+
+``--smoke`` shrinks every dimension so the benchmark finishes in seconds
+(used by CI to keep the file from bit-rotting).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import MillionConfig, calibrate_million
+from repro.data import load_corpus
+from repro.models import ModelConfig, build_model
+from repro.serving import BatchedMillionEngine, BlockPool, PooledMillionCacheFactory
+
+RESULTS_PATH = Path(__file__).parent / "results" / "prefix_sharing.txt"
+
+
+def build_engine(model, factory, million_config, args, n_requests):
+    per_request_blocks = (
+        (args.prefix_tokens + args.suffix_tokens + args.max_new_tokens)
+        // args.block_tokens
+        + 2
+    )
+    num_blocks = n_requests * per_request_blocks * model.config.n_layers + 8
+    pool = BlockPool.for_model(
+        model.config, million_config, num_blocks=num_blocks, block_tokens=args.block_tokens
+    )
+    pooled = PooledMillionCacheFactory.from_factory(factory, pool)
+    return BatchedMillionEngine(model, pooled, max_batch_size=n_requests)
+
+
+def run_workload(model, factory, million_config, args, prompts):
+    """Serve ``prompts`` on a fresh pool; returns timing and peak stats."""
+    engine = build_engine(model, factory, million_config, args, len(prompts))
+    for prompt in prompts:
+        engine.add_request(prompt, max_new_tokens=args.max_new_tokens)
+    start = time.perf_counter()
+    engine.step()  # admits + prefills every request (batch == len(prompts))
+    prefill_seconds = time.perf_counter() - start
+    peak = engine.stats()
+    engine.run()
+    total_prompt_tokens = sum(p.size for p in prompts)
+    return {
+        "prefill_seconds": prefill_seconds,
+        "prefill_tokens_per_s": total_prompt_tokens / prefill_seconds,
+        "computed": peak["prefill_tokens_computed"],
+        "reused": peak["prefill_tokens_reused"],
+        "peak_used_blocks": peak["pool"]["used_blocks"],
+        "peak_kv_bytes": peak["active_cache_memory_bytes"],
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=8)
+    parser.add_argument("--prefix-tokens", type=int, default=1024)
+    parser.add_argument("--suffix-tokens", type=int, default=24)
+    parser.add_argument("--max-new-tokens", type=int, default=8)
+    parser.add_argument("--block-tokens", type=int, default=32)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes for CI smoke testing"
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        args.requests = 4
+        args.prefix_tokens = 256
+        args.suffix_tokens = 8
+        args.max_new_tokens = 2
+        args.block_tokens = 16
+
+    config = ModelConfig(
+        name="bench-prefix-sharing",
+        vocab_size=256,
+        d_model=64,
+        n_layers=2,
+        n_heads=2,
+        max_seq_len=args.prefix_tokens + args.suffix_tokens + args.max_new_tokens + 64,
+        positional="rope",
+        norm="rmsnorm",
+        activation="silu",
+    )
+    model = build_model(config, seed=0)
+    vocab = config.vocab_size
+    calibration = load_corpus("wikitext2-syn", "train", 1024, seed=1) % vocab
+    million_config = MillionConfig.for_equivalent_bits(
+        config.head_dim, bits=4, kmeans_iters=4, calibration_samples=1024
+    )
+    print("calibrating MILLION codebooks ...")
+    factory = calibrate_million(model, calibration, million_config)
+
+    prefix = load_corpus("wikitext2-syn", "test", args.prefix_tokens, seed=2) % vocab
+    suffixes = [
+        load_corpus("wikitext2-syn", "test", args.suffix_tokens, seed=10 + i) % vocab
+        for i in range(args.requests)
+    ]
+    shared_prompts = [np.concatenate([prefix, suffix]) for suffix in suffixes]
+    unique_prompts = [
+        np.concatenate(
+            [
+                load_corpus("wikitext2-syn", "test", args.prefix_tokens, seed=100 + i)
+                % vocab,
+                suffix,
+            ]
+        )
+        for i, suffix in enumerate(suffixes)
+    ]
+
+    print(
+        f"serving {args.requests} requests, prefix={args.prefix_tokens} "
+        f"suffix={args.suffix_tokens} block={args.block_tokens} ..."
+    )
+    unshared = run_workload(model, factory, million_config, args, unique_prompts)
+    shared = run_workload(model, factory, million_config, args, shared_prompts)
+    speedup = shared["prefill_tokens_per_s"] / unshared["prefill_tokens_per_s"]
+    block_ratio = unshared["peak_used_blocks"] / shared["peak_used_blocks"]
+    kv_ratio = unshared["peak_kv_bytes"] / shared["peak_kv_bytes"]
+
+    rows = [
+        "workload   prefill_tok/s  computed  reused  peak_blocks  peak_kv_bytes",
+        (
+            f"unique     {unshared['prefill_tokens_per_s']:12.1f}  "
+            f"{unshared['computed']:8d}  {unshared['reused']:6d}  "
+            f"{unshared['peak_used_blocks']:11d}  {unshared['peak_kv_bytes']:13.0f}"
+        ),
+        (
+            f"shared     {shared['prefill_tokens_per_s']:12.1f}  "
+            f"{shared['computed']:8d}  {shared['reused']:6d}  "
+            f"{shared['peak_used_blocks']:11d}  {shared['peak_kv_bytes']:13.0f}"
+        ),
+        "",
+        f"prefill speedup from sharing: {speedup:.2f}x",
+        f"peak pool blocks reduced:     {block_ratio:.2f}x",
+        f"peak modelled KV reduced:     {kv_ratio:.2f}x",
+    ]
+    text = "\n".join(rows)
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(text + "\n")
+    print(text)
+
+    assert speedup >= 2.0, (
+        f"prefix sharing must speed up prefill by >= 2x, got {speedup:.2f}x"
+    )
+    assert block_ratio > 1.5, (
+        f"sharing must reduce peak pool blocks, got {block_ratio:.2f}x"
+    )
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -82,6 +82,7 @@ class MillionKVCacheLayer(StreamingQuantizedKVCache):
         key_pq: ProductQuantizer,
         value_pq: ProductQuantizer,
         million_config: MillionConfig,
+        flush_block_multiple: int = 1,
     ) -> None:
         million_config.validate_for_model(config)
         require(
@@ -92,7 +93,11 @@ class MillionKVCacheLayer(StreamingQuantizedKVCache):
             value_pq.dim == config.head_dim,
             f"value quantizer dim {value_pq.dim} != head_dim {config.head_dim}",
         )
-        super().__init__(config, residual_window=million_config.recent_window)
+        super().__init__(
+            config,
+            residual_window=million_config.recent_window,
+            flush_block_multiple=flush_block_multiple,
+        )
         self.key_pq = key_pq
         self.value_pq = value_pq
         self.million_config = million_config
@@ -120,8 +125,20 @@ class MillionKVCacheLayer(StreamingQuantizedKVCache):
         t, kv_heads, head_dim = keys.shape
         key_codes = self.key_pq.encode(keys_dense.reshape(t * kv_heads, head_dim))
         value_codes = self.value_pq.encode(values_dense.reshape(t * kv_heads, head_dim))
-        self._key_codes.append(key_codes.reshape(t, kv_heads, -1))
-        self._value_codes.append(value_codes.reshape(t, kv_heads, -1))
+        self._store_code_rows(
+            key_codes.reshape(t, kv_heads, -1), value_codes.reshape(t, kv_heads, -1)
+        )
+
+    def _store_code_rows(self, key_codes: np.ndarray, value_codes: np.ndarray) -> None:
+        """Record a flushed block's ``(t, kv_heads, M)`` code rows.
+
+        Split out as a hook so pooled variants (see
+        :class:`repro.serving.memory.PooledMillionKVCacheLayer`) can route the
+        same code rows into ref-counted pool blocks without duplicating the
+        outlier-splitting and encoding logic above.
+        """
+        self._key_codes.append(key_codes)
+        self._value_codes.append(value_codes)
 
     def _stored_key_codes(self) -> np.ndarray:
         return self._key_codes.view()

@@ -130,6 +130,79 @@ class CodeStore:
         self._size = 0
 
 
+class BlockArena:
+    """Preallocated slab of fixed-size row blocks (physical paged storage).
+
+    The arena is the physical side of a paged KV pool: ``num_blocks`` blocks
+    of exactly ``block_rows`` rows each, allocated once up front so the
+    per-block cost of writing or reading never depends on how many blocks are
+    live.  The arena only stores bytes — block-id allocation, ref-counting
+    and reuse policy live in the pool that hands out ids (see
+    :class:`repro.serving.memory.BlockPool`).
+
+    Blocks are written whole (``block_rows`` rows at a time); reads are
+    zero-copy views into the slab.
+    """
+
+    def __init__(
+        self,
+        num_blocks: int,
+        block_rows: int,
+        row_shape: tuple[int, ...],
+        dtype: np.dtype | type,
+    ) -> None:
+        require(num_blocks >= 1, "num_blocks must be >= 1")
+        require(block_rows >= 1, "block_rows must be >= 1")
+        self._row_shape = tuple(int(s) for s in row_shape)
+        self._dtype = np.dtype(dtype)
+        self._data = np.zeros(
+            (int(num_blocks), int(block_rows), *self._row_shape), dtype=self._dtype
+        )
+
+    @property
+    def num_blocks(self) -> int:
+        return self._data.shape[0]
+
+    @property
+    def block_rows(self) -> int:
+        return self._data.shape[1]
+
+    @property
+    def row_shape(self) -> tuple[int, ...]:
+        return self._row_shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    @property
+    def block_nbytes(self) -> int:
+        """Bytes occupied by one block."""
+        return int(self._data[0].nbytes)
+
+    def _check_id(self, block_id: int) -> None:
+        require(
+            0 <= block_id < self.num_blocks,
+            f"block id {block_id} out of range [0, {self.num_blocks})",
+        )
+
+    def write(self, block_id: int, rows: np.ndarray) -> None:
+        """Fill ``block_id`` with a full ``(block_rows, *row_shape)`` block."""
+        self._check_id(block_id)
+        rows = np.asarray(rows)
+        require(
+            rows.shape == (self.block_rows, *self._row_shape),
+            f"block rows must have shape ({self.block_rows}, "
+            f"{', '.join(map(str, self._row_shape))}), got {rows.shape}",
+        )
+        self._data[block_id] = rows
+
+    def read(self, block_id: int) -> np.ndarray:
+        """Zero-copy view of ``block_id``, shape ``(block_rows, *row_shape)``."""
+        self._check_id(block_id)
+        return self._data[block_id]
+
+
 class PendingBuffer:
     """Paired full-precision key/value staging buffer with O(window) flushes.
 

@@ -242,6 +242,24 @@ class TransformerLM:
         """Total modelled KV-cache footprint across all layers."""
         return float(sum(cache.memory_bytes() for cache in self.caches))
 
+    def advance_position(self, n_tokens: int) -> None:
+        """Advance the decode position without running the model.
+
+        For callers that install cached KV state into the per-layer caches
+        directly — e.g. shared prompt-prefix blocks adopted from a serving
+        block pool — so that subsequent :meth:`forward` calls assign the
+        correct positions to new tokens.  The caches themselves must already
+        hold ``n_tokens`` additional tokens; this only moves the position
+        counter.
+        """
+        require(n_tokens >= 0, "n_tokens must be >= 0")
+        require(
+            self._next_position + n_tokens <= self.config.max_seq_len,
+            f"advancing by {n_tokens} tokens exceeds max_seq_len "
+            f"{self.config.max_seq_len}",
+        )
+        self._next_position += n_tokens
+
     # Forward passes -----------------------------------------------------
 
     def forward(self, token_ids: np.ndarray) -> np.ndarray:

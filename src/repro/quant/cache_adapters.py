@@ -80,11 +80,39 @@ class StreamingQuantizedKVCache(KVCacheLayer):
     def _pending_token_count(self) -> int:
         return len(self._pending)
 
-    def _flush(self, keep: int) -> None:
+    def _flushable(self, keep: int) -> int:
+        """Rows a flush keeping ``keep`` pending tokens would quantize."""
         flushable = len(self._pending) - keep
         if self.flush_block_multiple > 1:
             flushable = (flushable // self.flush_block_multiple) * self.flush_block_multiple
-        if flushable <= 0:
+        return max(flushable, 0)
+
+    def flushable_rows(self) -> int:
+        """Rows the next append-triggered flush would quantize.
+
+        Lets a caller that allocates storage on flush boundaries (e.g. the
+        serving block pool) predict the demand of the upcoming decode step
+        *before* running it, so exhaustion can be handled by preempting a
+        sequence instead of failing mid-forward.
+        """
+        return self._flushable(self.residual_window)
+
+    def _absorb_stored_tokens(self, n_tokens: int) -> None:
+        """Account for tokens whose compressed storage was installed externally.
+
+        Used when already-quantized rows are adopted into the cache without
+        going through :meth:`append` — e.g. shared prefix blocks from a block
+        pool, where the quantized codes of an identical prompt prefix are
+        reused instead of recomputed.  The caller is responsible for having
+        installed the corresponding storage first.
+        """
+        require(n_tokens >= 0, "n_tokens must be >= 0")
+        self._stored_tokens += n_tokens
+        self._seq_len += n_tokens
+
+    def _flush(self, keep: int) -> None:
+        flushable = self._flushable(keep)
+        if flushable == 0:
             return
         to_store_k, to_store_v = self._pending.pop_front(flushable)
         self._quantize_and_store(to_store_k, to_store_v)

@@ -5,10 +5,23 @@
   admission into a bounded running set with immediate slot reuse;
 * :class:`~repro.serving.engine.BatchedMillionEngine` — swaps per-request
   :class:`~repro.models.transformer.ModelContext` objects through a shared
-  model, one decode step per running sequence per engine step.
+  model, one decode step per running sequence per engine step;
+* :mod:`~repro.serving.memory` — the paged KV memory manager:
+  :class:`~repro.serving.memory.BlockPool` (bounded, ref-counted quantized
+  blocks with content-hash prefix sharing) and
+  :class:`~repro.serving.memory.PooledMillionCacheFactory`, which switches
+  the engine into memory-aware admission + preemption mode.
 """
 
 from repro.serving.engine import BatchedMillionEngine
+from repro.serving.memory import (
+    BlockPool,
+    PoolExhaustedError,
+    PooledMillionCacheFactory,
+    PooledMillionKVCacheLayer,
+    chain_hashes,
+    hash_token_block,
+)
 from repro.serving.request import (
     FinishReason,
     GenerationRequest,
@@ -20,10 +33,16 @@ from repro.serving.scheduler import ContinuousBatchingScheduler
 
 __all__ = [
     "BatchedMillionEngine",
+    "BlockPool",
     "ContinuousBatchingScheduler",
     "FinishReason",
     "GenerationRequest",
+    "PoolExhaustedError",
+    "PooledMillionCacheFactory",
+    "PooledMillionKVCacheLayer",
     "RequestState",
     "RequestStatus",
     "StepOutput",
+    "chain_hashes",
+    "hash_token_block",
 ]

@@ -13,11 +13,37 @@ Scheduling is continuous batching (see
 :class:`~repro.serving.scheduler.ContinuousBatchingScheduler`): a sequence
 that finishes frees its slot immediately and the next queued request is
 admitted on the following step, so the running set stays full under load.
+
+Block-pool mode
+---------------
+When the cache factory exposes a ``pool`` attribute (see
+:class:`~repro.serving.memory.PooledMillionCacheFactory`), the engine adds a
+memory manager on top of slot-count scheduling:
+
+* **Block-aligned prefill protocol.**  A prompt of ``P`` tokens is split at
+  ``A = B * floor((P - 1) / B)`` (``B`` = pool block tokens).  The engine
+  runs the model over the aligned prefix, force-quantizes it into sealed pool
+  blocks, publishes them under token-chain hashes, then runs the remainder
+  (which attends to the quantized prefix).  A later prompt with the same
+  prefix *adopts* the published blocks instead of recomputing them — and
+  because the cold path quantized the same split, shared and cold prefills
+  produce bit-identical downstream logits.
+* **Memory-aware admission.**  The scheduler's admission gate refuses the
+  queue head until the pool can cover its prefill blocks (minus prefix hits)
+  plus one decode block per layer of headroom.
+* **Preemption with recompute.**  Before each decode step the engine checks
+  the pool can cover the step's flush; if not, the youngest running sequence
+  is preempted: its non-shared blocks are freed and it re-queues at the
+  front.  Restoration replays its full token history through the same
+  block-aligned protocol — forced flushing is deterministic in the total
+  token count, so the restored cache state and the next sampled token are
+  bit-identical to an uncontended run (a test asserts this).
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
@@ -27,6 +53,14 @@ from repro.core.config import MillionConfig
 from repro.models.kv_cache import KVCacheFactory
 from repro.models.sampling import GreedySampler
 from repro.models.transformer import TransformerLM
+from repro.serving.memory import (
+    BlockPool,
+    PoolExhaustedError,
+    PooledMillionKVCacheLayer,
+    chain_hashes,
+    hash_token_block,
+    ROOT_HASH,
+)
 from repro.serving.request import (
     FinishReason,
     GenerationRequest,
@@ -35,8 +69,30 @@ from repro.serving.request import (
     StepOutput,
 )
 from repro.serving.scheduler import ContinuousBatchingScheduler
+from repro.utils.logging import get_logger
 from repro.utils.rng import get_rng
 from repro.utils.validation import require
+
+logger = get_logger("serving")
+
+
+@dataclass(frozen=True)
+class _PrefillPlan:
+    """Block-aligned prefill/restore schedule for one request.
+
+    ``aligned`` is the force-quantized prompt prefix ``A = B*floor((P-1)/B)``;
+    ``hashes`` is the candidate block chain to look up in the pool (the
+    aligned prompt prefix for a fresh request, or the sealed history of a
+    preempted one); ``stored_final`` is how many tokens will sit in sealed
+    blocks once the prefill/restore completes — which is what admission must
+    budget for.  ``is_restore`` marks a preempted sequence whose generated
+    tokens are replayed one decode step at a time.
+    """
+
+    aligned: int
+    hashes: tuple
+    stored_final: int
+    is_restore: bool
 
 
 class BatchedMillionEngine:
@@ -53,13 +109,28 @@ class BatchedMillionEngine:
         model: TransformerLM,
         factory: KVCacheFactory,
         max_batch_size: int = 8,
+        max_unclaimed_results: int = 1024,
     ) -> None:
+        require(max_unclaimed_results >= 1, "max_unclaimed_results must be >= 1")
         self.model = model
         self.factory = factory
         self.scheduler = ContinuousBatchingScheduler(max_batch_size=max_batch_size)
+        self.max_unclaimed_results = max_unclaimed_results
         self._states: dict[str, RequestState] = {}
         self._unclaimed_results: dict[str, np.ndarray] = {}
         self._next_request_number = 0
+        # Block-pool mode is enabled by pooled factories (PooledMillionCacheFactory).
+        self.pool: Optional[BlockPool] = getattr(factory, "pool", None)
+        million_config = getattr(factory, "million_config", None)
+        self._residual_window = (
+            million_config.recent_window if million_config is not None else 0
+        )
+        # Lifetime counters (reported by stats()).
+        self.preemption_count = 0
+        self.prefill_tokens_computed = 0
+        self.prefill_tokens_reused = 0
+        self.prefix_block_hits = 0
+        self.prefix_block_misses = 0
 
     # Construction -----------------------------------------------------------
 
@@ -130,6 +201,26 @@ class BatchedMillionEngine:
             )
         )
 
+    def cancel(self, request_id: str) -> bool:
+        """Withdraw a queued, preempted or running request.
+
+        Frees the request's pool blocks (if any), records the tokens
+        generated so far as its result and marks it finished with reason
+        ``CANCELLED``.  Returns ``False`` if the request already finished;
+        raises for unknown ids.
+        """
+        state = self._states.get(request_id)
+        require(state is not None, f"unknown request id {request_id!r}")
+        if state.is_finished:
+            return False
+        cancelled = self.scheduler.cancel(request_id)
+        assert cancelled is state
+        state.finish_reason = FinishReason.CANCELLED
+        self._release_context(state)
+        state.next_logits = None
+        self._record_result(state)
+        return True
+
     # Serving loop -------------------------------------------------------------
 
     @contextmanager
@@ -144,28 +235,276 @@ class BatchedMillionEngine:
             state.context = self.model.save_context()
             self.model.restore_context(saved)
 
+    def _pooled_caches(self, state: RequestState) -> list[PooledMillionKVCacheLayer]:
+        assert state.context is not None
+        return [
+            cache
+            for cache in state.context.caches
+            if isinstance(cache, PooledMillionKVCacheLayer)
+        ]
+
+    def _release_context(self, state: RequestState) -> None:
+        """Return the sequence's pool blocks (if pooled) and drop its caches."""
+        if state.context is not None:
+            for cache in self._pooled_caches(state):
+                cache.release_blocks()
+        state.context = None
+        state.block_hashes = []
+
+    def _record_result(self, state: RequestState) -> None:
+        self._unclaimed_results[state.request_id] = state.generated_ids
+        # Bound unclaimed-result growth the same way evict_finished() bounds
+        # finished-state history: a fire-and-forget client that never calls
+        # run() must not leak one result array per request forever.
+        while len(self._unclaimed_results) > self.max_unclaimed_results:
+            evicted_id = next(iter(self._unclaimed_results))
+            del self._unclaimed_results[evicted_id]
+            logger.warning(
+                "dropping unclaimed result for %r (more than %d results were "
+                "never collected via run(); raise max_unclaimed_results or "
+                "consume results promptly)",
+                evicted_id,
+                self.max_unclaimed_results,
+            )
+
     def _finish(self, state: RequestState, reason: FinishReason) -> None:
         state.finish_reason = reason
         self.scheduler.release(state)
-        self._unclaimed_results[state.request_id] = state.generated_ids
+        self._record_result(state)
         # Release the per-sequence KV caches immediately; keeping every
         # finished context alive would grow memory with total requests served.
-        state.context = None
+        self._release_context(state)
         state.next_logits = None
+
+    # Block-pool prefill protocol ---------------------------------------------
+
+    def _history_slice(self, state: RequestState, lo: int, hi: int) -> np.ndarray:
+        """``state.token_history[lo:hi]`` without materializing the history.
+
+        Block publication needs one block's worth of tokens per seal;
+        concatenating the full prompt + generated arrays each time would
+        reintroduce the O(T²) per-generation copying the storage layer was
+        built to avoid.
+        """
+        prompt = state.request.prompt_ids
+        if hi <= prompt.size:
+            return prompt[lo:hi]
+        generated = np.asarray(
+            state.generated[max(0, lo - prompt.size) : hi - prompt.size],
+            dtype=np.int64,
+        )
+        if lo >= prompt.size:
+            return generated
+        return np.concatenate([prompt[lo:], generated])
+
+    def _prefill_plan(self, state: RequestState) -> _PrefillPlan:
+        """Block-aligned (re)prefill schedule; see the class docstring.
+
+        A fresh prompt force-quantizes ``A = B*floor((P-1)/B)`` tokens —
+        always leaving at least the last prompt token full-precision so the
+        final forward produces next-token logits.  A preempted sequence ends
+        its restore with ``max(A, B*floor((P+n-1-W)/B))`` tokens sealed
+        (``W`` = residual window): what the uncontended decode path would
+        have flushed by the time it computed the next token's logits.
+
+        The plan (notably its hash chain) is memoized on the state while the
+        request waits in the queue — the admission gate runs every step and
+        must not rehash a long prefix each time.
+        """
+        assert self.pool is not None
+        if state.prefill_plan is not None:
+            return state.prefill_plan
+        block = self.pool.block_tokens
+        window = self._residual_window
+        prompt = state.request.prompt_ids
+        aligned = block * ((prompt.size - 1) // block)
+        if state.generated:
+            history = state.token_history
+            # The last generated token's decode step is always replayed, so
+            # only blocks strictly before it are adoption candidates.
+            hashes = tuple(chain_hashes(history[: history.size - 1], block))
+            decode_flushed = block * (max(0, history.size - 1 - window) // block)
+            stored_final = max(aligned, decode_flushed)
+            state.prefill_plan = _PrefillPlan(aligned, hashes, stored_final, True)
+        else:
+            hashes = tuple(chain_hashes(prompt[:aligned], block))
+            state.prefill_plan = _PrefillPlan(aligned, hashes, aligned, False)
+        return state.prefill_plan
+
+    def _usable_hits(self, state: RequestState, plan: _PrefillPlan, hits: int) -> int:
+        """How many leading chain hits the prefill protocol can actually adopt.
+
+        Adopting a chain of ``k`` blocks means resuming from the state
+        ``(stored == k*B, pending == 0)``, which must be a state the original
+        (uncontended) computation passed through — otherwise the tokens
+        computed next would see a different quantized/full-precision split
+        and diverge.  That holds for ``k*B <= A`` (the prefill protocol's
+        forced flush) and, when the residual window is 0, for any block
+        boundary at or past the prompt end during replay (every decode step
+        flushes to the boundary before appending).  In between — or with a
+        residual window — the original run computed those tokens against a
+        partially full-precision cache, so they must be recomputed.
+        """
+        block = self.pool.block_tokens
+        prompt_tokens = state.request.prompt_ids.size
+        if (
+            plan.is_restore
+            and self._residual_window == 0
+            and hits * block >= prompt_tokens
+        ):
+            return hits
+        return min(hits, plan.aligned // block)
+
+    def _admission_gate(self, state: RequestState) -> bool:
+        """Can the pool cover this request's prefill (plus decode headroom)?"""
+        assert self.pool is not None
+        plan = self._prefill_plan(state)
+        hits = self.pool.longest_prefix(plan.hashes)
+        usable = self._usable_hits(state, plan, hits)
+        block = self.pool.block_tokens
+        needed_groups = plan.stored_final // block - usable
+        # Cached groups this prefill will adopt leave the evictable set the
+        # moment they are adopted, so they must not double as reclaimable
+        # capacity for the new allocations.
+        adopted_from_cache = sum(
+            1 for h in plan.hashes[:usable] if self.pool.group_is_evictable(h)
+        )
+        needed = (needed_groups + 1 + adopted_from_cache) * self.pool.n_layers
+        return self.pool.can_allocate(needed)
+
+    def _register_new_blocks(self, state: RequestState) -> None:
+        """Publish blocks sealed by the last forward under their chain hashes."""
+        assert self.pool is not None
+        caches = self._pooled_caches(state)
+        per_layer = [cache.drain_new_blocks() for cache in caches]
+        n_new = len(per_layer[0])
+        assert all(len(blocks) == n_new for blocks in per_layer), (
+            "layers sealed different block counts for one sequence"
+        )
+        if n_new == 0:
+            return
+        block = self.pool.block_tokens
+        prev_hash = state.block_hashes[-1] if state.block_hashes else ROOT_HASH
+        start = len(state.block_hashes)
+        for j in range(n_new):
+            lo = (start + j) * block
+            prev_hash = hash_token_block(
+                prev_hash, self._history_slice(state, lo, lo + block)
+            )
+            state.block_hashes.append(prev_hash)
+            self.pool.publish(
+                prev_hash, tuple(blocks[j] for blocks in per_layer)
+            )
+
+    def _pooled_prefill(self, state: RequestState) -> None:
+        """Prefill (or restore) a sequence through the block-aligned protocol.
+
+        Restoration is an exact *replay*: the prompt goes through the same
+        aligned-flush protocol as its original prefill, then every generated
+        token is re-decoded one step at a time.  Replaying reproduces the
+        original flush schedule, so each token's KV is computed against the
+        exact quantized/full-precision cache split it originally saw — which
+        is what makes the restored next-token logits bit-identical (a
+        token's deeper-layer KV depends on that split, so chunked
+        re-prefill would *not* be exact).  Published chain blocks shortcut
+        the replay wherever :meth:`_usable_hits` proves the jump state
+        occurred in the original run.
+        """
+        assert self.pool is not None
+        plan = self._prefill_plan(state)
+        state.prefill_plan = None  # consumed; stale once decoding resumes
+        block = self.pool.block_tokens
+        history = state.token_history
+        prompt_tokens = state.request.prompt_ids.size
+        state.context = self.model.fresh_context(self.factory)
+        state.block_hashes = []
+        with self._bound(state) as model:
+            caches = self._pooled_caches(state)
+            hits = self.pool.longest_prefix(plan.hashes)
+            usable = self._usable_hits(state, plan, hits)
+            self.prefix_block_hits += usable
+            self.prefix_block_misses += len(plan.hashes) - usable
+            if usable:
+                groups = [self.pool.adopt(h) for h in plan.hashes[:usable]]
+                for layer_index, cache in enumerate(caches):
+                    cache.adopt_shared_blocks([g[layer_index] for g in groups])
+                model.advance_position(usable * block)
+                state.block_hashes.extend(plan.hashes[:usable])
+                self.prefill_tokens_reused += usable * block
+            if usable * block < prompt_tokens:
+                if usable * block < plan.aligned:
+                    prefix = history[usable * block : plan.aligned]
+                    model.forward(prefix)
+                    for cache in caches:
+                        cache.flush_all()
+                    self._register_new_blocks(state)
+                    self.prefill_tokens_computed += prefix.size
+                tail = history[plan.aligned : prompt_tokens]
+                logits = model.forward(tail)
+                state.next_logits = logits[-1]
+                self.prefill_tokens_computed += tail.size
+            # Replay the generated tokens (restore only; empty range for a
+            # fresh prompt).  Each decode step re-seals and republishes the
+            # blocks it originally flushed.
+            for index in range(max(usable * block, prompt_tokens), history.size):
+                state.next_logits = model.decode_step(int(history[index]))
+                self._register_new_blocks(state)
+                self.prefill_tokens_computed += 1
 
     def _prefill(self, state: RequestState) -> Optional[StepOutput]:
         """Prefill a newly admitted request; may finish it immediately."""
-        state.context = self.model.fresh_context(self.factory)
-        with self._bound(state) as model:
-            logits = model.forward(state.request.prompt_ids)
-        state.next_logits = logits[-1]
-        if state.request.max_new_tokens == 0:
+        if self.pool is not None:
+            self._pooled_prefill(state)
+        else:
+            state.context = self.model.fresh_context(self.factory)
+            with self._bound(state) as model:
+                logits = model.forward(state.request.prompt_ids)
+            state.next_logits = logits[-1]
+        if state.request.max_new_tokens <= len(state.generated):
             self._finish(state, FinishReason.LENGTH)
         elif state.context.next_position >= self.model.config.max_seq_len:
             self._finish(state, FinishReason.CONTEXT_FULL)
         if state.is_finished:
             return StepOutput(state.request_id, None, True, state.finish_reason)
         return None
+
+    # Preemption ---------------------------------------------------------------
+
+    def _preempt(self, state: RequestState) -> None:
+        """Evict a running sequence: free its blocks, re-queue it at the front."""
+        self.preemption_count += 1
+        state.preemptions += 1
+        self._release_context(state)
+        state.next_logits = None
+        state.prefill_plan = None  # the restore plan depends on generated tokens
+        self.scheduler.preempt(state)
+
+    def _ensure_decode_capacity(self, state: RequestState) -> bool:
+        """Make room for ``state``'s next decode step, preempting if needed.
+
+        Returns ``False`` if ``state`` itself was preempted (it is the
+        youngest running sequence and the pool still cannot cover its flush).
+        """
+        assert self.pool is not None and state.context is not None
+        caches = self._pooled_caches(state)
+        demand = caches[0].flushable_blocks() * self.pool.n_layers
+        while demand and not self.pool.can_allocate(demand):
+            victim = self.scheduler.youngest_running
+            assert victim is not None
+            if victim is state:
+                if self.scheduler.running_count == 1:
+                    raise PoolExhaustedError(
+                        f"block pool ({self.pool.num_blocks} blocks) cannot "
+                        f"hold a single sequence of "
+                        f"{state.context.next_position} tokens; enlarge the "
+                        "pool or shorten the request"
+                    )
+                self._preempt(state)
+                return False
+            self._preempt(victim)
+        return True
+
+    # Decode -------------------------------------------------------------------
 
     def _decode_one(self, state: RequestState) -> StepOutput:
         """Advance one running sequence by one token.
@@ -189,6 +528,11 @@ class BatchedMillionEngine:
         else:
             with self._bound(state) as model:
                 state.next_logits = model.decode_step(token)
+            if self.pool is not None:
+                # Publish before any finish below: blocks sealed by a
+                # sequence's *final* decode step must survive as cached
+                # groups too, not be freed unpublished.
+                self._register_new_blocks(state)
             if len(state.generated) >= request.max_new_tokens:
                 self._finish(state, FinishReason.LENGTH)
         return StepOutput(
@@ -198,11 +542,31 @@ class BatchedMillionEngine:
     def step(self) -> list[StepOutput]:
         """One engine iteration: admit + prefill, then one decode per sequence."""
         outputs: list[StepOutput] = []
-        for state in self.scheduler.admit():
+        gate = self._admission_gate if self.pool is not None else None
+        while True:
+            state = self.scheduler.admit_next(gate)
+            if (
+                state is None
+                and self.pool is not None
+                and self.scheduler.running_count == 0
+                and self.scheduler.queued_count > 0
+            ):
+                # Nothing is running, so waiting cannot free pool blocks.
+                # Force the head request in: eviction of cached groups either
+                # makes room, or the prefill raises PoolExhaustedError — a
+                # request larger than the whole pool is a hard error, not a
+                # silent stall.
+                state = self.scheduler.admit_next(gate=None)
+            if state is None:
+                break
             prefill_output = self._prefill(state)
             if prefill_output is not None:
                 outputs.append(prefill_output)
         for state in self.scheduler.running:
+            if state.status is not RequestStatus.RUNNING:
+                continue  # preempted or cancelled earlier in this very step
+            if self.pool is not None and not self._ensure_decode_capacity(state):
+                continue
             outputs.append(self._decode_one(state))
         return outputs
 
@@ -248,7 +612,7 @@ class BatchedMillionEngine:
     # Introspection ------------------------------------------------------------
 
     def state_of(self, request_id: str) -> RequestState:
-        """Look up a request's state (queued, running or finished)."""
+        """Look up a request's state (queued, running, preempted or finished)."""
         require(request_id in self._states, f"unknown request id {request_id!r}")
         return self._states[request_id]
 
@@ -279,12 +643,33 @@ class BatchedMillionEngine:
         return self.scheduler.finished_count
 
     def active_cache_memory_bytes(self) -> float:
-        """Total modelled KV footprint across all running sequences."""
+        """Total modelled KV footprint across all running sequences.
+
+        With a block pool, each cache reports its fair share of shared
+        blocks (bytes divided by refcount), so this aggregate counts a
+        shared prefix once no matter how many sequences reference it.
+        """
         total = 0.0
         for state in self.scheduler.running:
             if state.context is not None:
                 total += sum(cache.memory_bytes() for cache in state.context.caches)
         return total
+
+    def stats(self) -> dict:
+        """Aggregate serving statistics: queues, memory, pool utilization."""
+        return {
+            "running": self.scheduler.running_count,
+            "queued": self.scheduler.queued_count,
+            "finished": self.scheduler.finished_count,
+            "unclaimed_results": len(self._unclaimed_results),
+            "active_cache_memory_bytes": self.active_cache_memory_bytes(),
+            "preemptions": self.preemption_count,
+            "prefill_tokens_computed": self.prefill_tokens_computed,
+            "prefill_tokens_reused": self.prefill_tokens_reused,
+            "prefix_block_hits": self.prefix_block_hits,
+            "prefix_block_misses": self.prefix_block_misses,
+            "pool": self.pool.stats() if self.pool is not None else None,
+        }
 
 
 __all__ = [

@@ -1,0 +1,586 @@
+"""Paged KV block pool: bounded memory, prefix sharing, preemption support.
+
+This module is the serving layer's memory manager — the host-side analogue of
+vLLM's paged KV allocator, specialised to MILLION's PQ-compressed cache:
+
+* :class:`BlockPool` owns a bounded budget of fixed-size KV blocks.  A block
+  holds ``block_tokens`` quantized code rows (keys + values) for **one**
+  layer; one logical *group* of ``n_layers`` blocks stores a block-aligned
+  span of a sequence across every layer.  Blocks are ref-counted; sealed
+  groups are published under a content hash of the token prefix they encode,
+  so identical prompt prefixes across requests resolve to the *same* blocks
+  (copy-on-write sharing: sealed blocks are immutable, divergence after a
+  shared prefix writes to freshly allocated private blocks).
+* :class:`PooledMillionKVCacheLayer` is the MILLION cache whose quantized
+  code rows live in pool blocks instead of private storage.  Flushes are
+  forced onto ``block_tokens`` boundaries, so every sealed block is full and
+  the MILLION flush block maps 1:1 onto a pool block.
+* :class:`PooledMillionCacheFactory` wires calibrated per-layer quantizers to
+  one shared pool and plugs into
+  :class:`~repro.serving.engine.BatchedMillionEngine`, which adds
+  memory-aware admission and preemption on top (see its docstring for the
+  block-aligned prefill protocol that makes shared and cold prefills
+  bit-identical).
+
+Exhaustion is a first-class outcome: allocation first recycles the free
+list, then evicts least-recently-used *cached* groups (published, refcount
+zero), and only then raises :class:`PoolExhaustedError` — which the engine
+turns into preemption of the youngest running sequence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict, deque
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import MillionConfig
+from repro.core.million_cache import MillionKVCacheLayer
+from repro.core.pq import ProductQuantizer
+from repro.core.storage import BlockArena
+from repro.models.config import ModelConfig
+from repro.models.kv_cache import FP16_BYTES
+from repro.utils.bitpack import code_dtype
+from repro.utils.validation import require
+
+
+class PoolExhaustedError(RuntimeError):
+    """Raised when an allocation cannot be satisfied even after eviction."""
+
+
+#: Seed of every content-hash chain (the hash "before" the first block).
+ROOT_HASH = b"\x00" * 16
+
+
+def hash_token_block(prev_hash: bytes, tokens: np.ndarray) -> bytes:
+    """Chain hash of one block: digest of the previous hash plus the tokens.
+
+    Chaining makes the hash cover the *entire* prefix up to and including
+    this block, so equal hashes imply equal token histories — the property
+    that lets identical prompt prefixes share quantized blocks.  (The KV of a
+    token depends on every earlier token, so hashing the block's tokens alone
+    would be unsound.)
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(prev_hash)
+    digest.update(np.ascontiguousarray(tokens, dtype=np.int64).tobytes())
+    return digest.digest()
+
+
+def chain_hashes(
+    tokens: np.ndarray, block_tokens: int, prev_hash: bytes = ROOT_HASH
+) -> list[bytes]:
+    """Chain hashes of every full ``block_tokens`` chunk of ``tokens``."""
+    require(block_tokens >= 1, "block_tokens must be >= 1")
+    tokens = np.asarray(tokens, dtype=np.int64).reshape(-1)
+    hashes: list[bytes] = []
+    for start in range(0, (tokens.size // block_tokens) * block_tokens, block_tokens):
+        prev_hash = hash_token_block(prev_hash, tokens[start : start + block_tokens])
+        hashes.append(prev_hash)
+    return hashes
+
+
+class BlockPool:
+    """Bounded, ref-counted pool of fixed-size quantized KV blocks.
+
+    Block lifecycle::
+
+        free ── allocate ──> private (refcount 1, owner writes once)
+                                │ publish(chain_hash, group)
+                                v
+                             shared (immutable; adopt/incref per sharer)
+                                │ refcount reaches 0
+                                v
+                             cached (contents kept, LRU-evictable)
+                    evict ──┘            │ adopt (prefix hit)
+        free <──────────────             └──> shared again
+
+    A *group* is one block per layer sealed over the same ``block_tokens``
+    token span; publication, lookup, adoption and eviction all operate on
+    groups so the per-layer caches of one sequence can never disagree about
+    which spans are shared.
+    """
+
+    def __init__(
+        self,
+        num_blocks: int,
+        block_tokens: int,
+        n_layers: int,
+        kv_heads: int,
+        key_subspaces: int,
+        value_subspaces: int,
+        key_dtype: np.dtype | type = np.uint8,
+        value_dtype: np.dtype | type = np.uint8,
+    ) -> None:
+        require(num_blocks >= 1, "num_blocks must be >= 1")
+        require(block_tokens >= 1, "block_tokens must be >= 1")
+        require(n_layers >= 1, "n_layers must be >= 1")
+        self.block_tokens = int(block_tokens)
+        self.n_layers = int(n_layers)
+        self._keys = BlockArena(
+            num_blocks, block_tokens, (kv_heads, key_subspaces), key_dtype
+        )
+        self._values = BlockArena(
+            num_blocks, block_tokens, (kv_heads, value_subspaces), value_dtype
+        )
+        self._free: deque[int] = deque(range(num_blocks))
+        self._refcounts = [0] * num_blocks
+        self._allocated = [False] * num_blocks
+        # Published groups: chain hash -> one block id per layer.
+        self._groups: Dict[bytes, Tuple[int, ...]] = {}
+        self._group_of: Dict[int, bytes] = {}
+        # Published groups whose blocks all have refcount 0, oldest first.
+        self._evictable: "OrderedDict[bytes, None]" = OrderedDict()
+        # Counters (monotonic; reported by stats()).
+        self.allocations = 0
+        self.evictions = 0
+        self.adoptions = 0
+
+    @classmethod
+    def for_model(
+        cls,
+        model_config: ModelConfig,
+        million_config: MillionConfig,
+        num_blocks: int,
+        block_tokens: int,
+    ) -> "BlockPool":
+        """Size a pool for a model + MILLION configuration pair."""
+        dtype = code_dtype(million_config.nbits)
+        return cls(
+            num_blocks=num_blocks,
+            block_tokens=block_tokens,
+            n_layers=model_config.n_layers,
+            kv_heads=model_config.kv_heads,
+            key_subspaces=million_config.m_subspaces,
+            value_subspaces=million_config.m_subspaces,
+            key_dtype=dtype,
+            value_dtype=dtype,
+        )
+
+    # Allocation ----------------------------------------------------------
+
+    def allocate_block(self) -> int:
+        """Take a free block (evicting cached groups if needed); refcount 1."""
+        if not self._free:
+            self._evict_one_group()
+        block_id = self._free.popleft()
+        self._refcounts[block_id] = 1
+        self._allocated[block_id] = True
+        self.allocations += 1
+        return block_id
+
+    def _evict_one_group(self) -> None:
+        if not self._evictable:
+            raise PoolExhaustedError(
+                f"block pool exhausted: all {self.num_blocks} blocks are "
+                "referenced and no cached group is evictable"
+            )
+        chain_hash, _ = self._evictable.popitem(last=False)
+        for block_id in self._groups.pop(chain_hash):
+            del self._group_of[block_id]
+            self._reclaim(block_id)
+        self.evictions += 1
+
+    def _reclaim(self, block_id: int) -> None:
+        assert self._refcounts[block_id] == 0
+        self._allocated[block_id] = False
+        self._free.append(block_id)
+
+    def incref(self, block_id: int) -> None:
+        self._check_live(block_id)
+        self._refcounts[block_id] += 1
+
+    def decref(self, block_id: int) -> None:
+        """Drop one reference; frees (or caches) the block at refcount 0."""
+        self._check_live(block_id)
+        require(
+            self._refcounts[block_id] > 0,
+            f"double free: block {block_id} already has refcount 0",
+        )
+        self._refcounts[block_id] -= 1
+        if self._refcounts[block_id] > 0:
+            return
+        chain_hash = self._group_of.get(block_id)
+        if chain_hash is None:
+            # Private block: return it to the free list immediately.
+            self._reclaim(block_id)
+        elif all(self._refcounts[b] == 0 for b in self._groups[chain_hash]):
+            # Published group fully unreferenced: keep the contents around
+            # for future prefix hits, evictable in LRU order.
+            self._evictable[chain_hash] = None
+
+    def _check_live(self, block_id: int) -> None:
+        require(
+            0 <= block_id < self.num_blocks and self._allocated[block_id],
+            f"block {block_id} is not allocated",
+        )
+
+    # Content -------------------------------------------------------------
+
+    def write_block(
+        self, block_id: int, key_codes: np.ndarray, value_codes: np.ndarray
+    ) -> None:
+        """Fill an allocated block with one full span of key/value code rows."""
+        self._check_live(block_id)
+        require(
+            block_id not in self._group_of,
+            f"block {block_id} is published (shared blocks are immutable)",
+        )
+        self._keys.write(block_id, key_codes)
+        self._values.write(block_id, value_codes)
+
+    def key_codes(self, block_id: int) -> np.ndarray:
+        """Zero-copy ``(block_tokens, kv_heads, M)`` view of a block's key codes."""
+        self._check_live(block_id)
+        return self._keys.read(block_id)
+
+    def value_codes(self, block_id: int) -> np.ndarray:
+        self._check_live(block_id)
+        return self._values.read(block_id)
+
+    # Prefix sharing ------------------------------------------------------
+
+    def publish(self, chain_hash: bytes, block_ids: Sequence[int]) -> None:
+        """Register a sealed group under its token-chain hash.
+
+        If the hash is already present (a concurrent sequence republished a
+        span whose earlier entry was partially evicted), the new group
+        replaces the old one: the previous blocks lose their published status
+        and are freed once unreferenced.  Contents are identical either way —
+        equal chain hashes imply equal token prefixes and quantized codes are
+        a deterministic function of the prefix.
+        """
+        ids = tuple(int(b) for b in block_ids)
+        require(
+            len(ids) == self.n_layers,
+            f"group must have one block per layer ({self.n_layers}), got {len(ids)}",
+        )
+        for block_id in ids:
+            self._check_live(block_id)
+            require(
+                block_id not in self._group_of,
+                f"block {block_id} is already published",
+            )
+        previous = self._groups.pop(chain_hash, None)
+        if previous is not None:
+            self._evictable.pop(chain_hash, None)
+            for block_id in previous:
+                del self._group_of[block_id]
+                if self._refcounts[block_id] == 0:
+                    self._reclaim(block_id)
+        self._groups[chain_hash] = ids
+        for block_id in ids:
+            self._group_of[block_id] = chain_hash
+
+    def lookup(self, chain_hash: bytes) -> Optional[Tuple[int, ...]]:
+        """Published group for a chain hash, or ``None`` (no refcount change)."""
+        return self._groups.get(chain_hash)
+
+    def group_is_evictable(self, chain_hash: bytes) -> bool:
+        """True if the group is cached (published, unreferenced).
+
+        Adopting such a group *consumes* availability — it leaves the
+        evictable set — so admission gates must not count it as both a
+        prefix hit and reclaimable capacity.
+        """
+        return chain_hash in self._evictable
+
+    def longest_prefix(self, hashes: Sequence[bytes]) -> int:
+        """Number of leading chain hashes with a published group."""
+        count = 0
+        for chain_hash in hashes:
+            if chain_hash not in self._groups:
+                break
+            count += 1
+        return count
+
+    def adopt(self, chain_hash: bytes) -> Tuple[int, ...]:
+        """Take one reference on every block of a published group.
+
+        Returns the per-layer block ids.  Raises ``KeyError`` if the hash is
+        not published (callers should gate on :meth:`longest_prefix`).
+        """
+        ids = self._groups[chain_hash]
+        self._evictable.pop(chain_hash, None)
+        for block_id in ids:
+            self._refcounts[block_id] += 1
+        self.adoptions += 1
+        return ids
+
+    # Accounting ----------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return self._keys.num_blocks
+
+    @property
+    def key_row_shape(self) -> tuple[int, ...]:
+        """Per-token key-code row shape ``(kv_heads, M)``."""
+        return self._keys.row_shape
+
+    @property
+    def value_row_shape(self) -> tuple[int, ...]:
+        return self._values.row_shape
+
+    @property
+    def free_block_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_block_count(self) -> int:
+        """Blocks holding content (referenced or cached for reuse)."""
+        return self.num_blocks - len(self._free)
+
+    @property
+    def evictable_block_count(self) -> int:
+        return len(self._evictable) * self.n_layers
+
+    @property
+    def available_block_count(self) -> int:
+        """Blocks an allocation burst could obtain (free + evictable)."""
+        return self.free_block_count + self.evictable_block_count
+
+    @property
+    def cached_group_count(self) -> int:
+        return len(self._groups)
+
+    @property
+    def bytes_per_block(self) -> int:
+        """Physical bytes of one block (key codes + value codes)."""
+        return self._keys.block_nbytes + self._values.block_nbytes
+
+    def refcount(self, block_id: int) -> int:
+        require(0 <= block_id < self.num_blocks, f"block {block_id} out of range")
+        return self._refcounts[block_id]
+
+    def can_allocate(self, n_blocks: int) -> bool:
+        return self.available_block_count >= n_blocks
+
+    def memory_bytes(self) -> float:
+        """Bytes of all blocks currently holding content (shared counted once)."""
+        return float(self.used_block_count * self.bytes_per_block)
+
+    def utilization(self) -> float:
+        return self.used_block_count / self.num_blocks
+
+    def stats(self) -> dict:
+        """Snapshot of pool occupancy and lifetime counters."""
+        return {
+            "num_blocks": self.num_blocks,
+            "block_tokens": self.block_tokens,
+            "n_layers": self.n_layers,
+            "free_blocks": self.free_block_count,
+            "used_blocks": self.used_block_count,
+            "evictable_blocks": self.evictable_block_count,
+            "cached_groups": self.cached_group_count,
+            "utilization": self.utilization(),
+            "bytes_per_block": self.bytes_per_block,
+            "memory_bytes": self.memory_bytes(),
+            "allocations": self.allocations,
+            "evictions": self.evictions,
+            "adoptions": self.adoptions,
+        }
+
+
+class PooledMillionKVCacheLayer(MillionKVCacheLayer):
+    """MILLION cache layer whose quantized code rows live in pool blocks.
+
+    ``flush_block_multiple = block_tokens`` forces every flush onto block
+    boundaries, so each flushed span fills whole blocks and sealed blocks are
+    always full.  The layer keeps a contiguous *shadow* of its logical code
+    sequence (the inherited :class:`~repro.core.storage.CodeStore` pair) so
+    ADC attention still reads zero-copy views with amortized O(1) upkeep per
+    decode step; the pool blocks are the authoritative, ref-counted storage
+    that admission and preemption account against, and the shadow models the
+    GPU-side gather buffer (it is excluded from the quantized footprint, like
+    the working buffers of ``DequantizingKVCache``).
+
+    The layer itself never touches the prefix-hash table: hashes are a
+    function of *token ids*, which only the engine sees.  The engine adopts
+    shared groups via :meth:`adopt_shared_blocks` and publishes the blocks
+    drained from :meth:`drain_new_blocks`.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        key_pq: ProductQuantizer,
+        value_pq: ProductQuantizer,
+        million_config: MillionConfig,
+        pool: BlockPool,
+        layer_index: int,
+    ) -> None:
+        require(
+            million_config.outlier_fraction == 0.0,
+            "pooled MILLION caches do not support sparse outlier corrections "
+            "(they are per-sequence state that cannot be shared by prefix)",
+        )
+        require(
+            pool.key_row_shape == (config.kv_heads, key_pq.m_subspaces),
+            f"pool key block shape {pool.key_row_shape} does not match "
+            f"(kv_heads={config.kv_heads}, M={key_pq.m_subspaces})",
+        )
+        require(
+            pool.value_row_shape == (config.kv_heads, value_pq.m_subspaces),
+            f"pool value block shape {pool.value_row_shape} does not match "
+            f"(kv_heads={config.kv_heads}, M={value_pq.m_subspaces})",
+        )
+        require(0 <= layer_index < pool.n_layers, "layer_index out of pool range")
+        super().__init__(
+            config,
+            key_pq,
+            value_pq,
+            million_config,
+            flush_block_multiple=pool.block_tokens,
+        )
+        self.pool = pool
+        self.layer_index = layer_index
+        self._block_table: list[int] = []
+        # Sealed-but-unpublished blocks, drained by the engine after each
+        # forward so it can register them under their token-chain hashes.
+        self._new_blocks: list[int] = []
+
+    # Storage hooks ---------------------------------------------------------
+
+    def _store_code_rows(self, key_codes: np.ndarray, value_codes: np.ndarray) -> None:
+        super()._store_code_rows(key_codes, value_codes)  # contiguous shadow
+        block = self.pool.block_tokens
+        assert key_codes.shape[0] % block == 0, "flush must be block-aligned"
+        for start in range(0, key_codes.shape[0], block):
+            block_id = self.pool.allocate_block()
+            self.pool.write_block(
+                block_id,
+                key_codes[start : start + block],
+                value_codes[start : start + block],
+            )
+            self._block_table.append(block_id)
+            self._new_blocks.append(block_id)
+
+    def adopt_shared_blocks(self, block_ids: Sequence[int]) -> None:
+        """Extend this cache with already-quantized shared blocks.
+
+        The caller must have taken the references (via
+        :meth:`BlockPool.adopt`); this installs the code rows in the shadow
+        and accounts for the adopted tokens.  Only legal at a block boundary
+        with no pending full-precision tokens (i.e. during prefill).
+        """
+        require(
+            self.pending_tokens == 0
+            and self.stored_tokens % self.pool.block_tokens == 0,
+            "shared blocks can only be adopted at a clean block boundary",
+        )
+        for block_id in block_ids:
+            self._key_codes.append(self.pool.key_codes(block_id))
+            self._value_codes.append(self.pool.value_codes(block_id))
+            self._block_table.append(int(block_id))
+        self._absorb_stored_tokens(len(block_ids) * self.pool.block_tokens)
+
+    def drain_new_blocks(self) -> list[int]:
+        """Sealed blocks since the last drain (for the engine to publish)."""
+        drained = self._new_blocks
+        self._new_blocks = []
+        return drained
+
+    def flushable_blocks(self) -> int:
+        """Pool blocks the next decode step's flush will allocate."""
+        return self.flushable_rows() // self.pool.block_tokens
+
+    @property
+    def block_table(self) -> list[int]:
+        """Pool block ids backing this cache's stored tokens, in order."""
+        return list(self._block_table)
+
+    def release_blocks(self) -> None:
+        """Return every referenced block to the pool (idempotent)."""
+        for block_id in self._block_table:
+            self.pool.decref(block_id)
+        self._block_table.clear()
+        self._new_blocks.clear()
+
+    def reset(self) -> None:
+        self.release_blocks()
+        super().reset()
+
+    # Memory accounting -----------------------------------------------------
+
+    def quantized_memory_bytes(self) -> float:
+        """This sequence's *fair share* of its pool blocks.
+
+        A block referenced by ``r`` sequences contributes ``1/r`` of its
+        bytes, so summing over all running sequences yields exactly the
+        unique bytes of the referenced blocks — shared prefixes are paid
+        once in aggregate accounting.  Codebooks are deliberately excluded:
+        they belong to the calibrated factory shared by every sequence, not
+        to per-sequence cache state (the single-sequence
+        ``MillionKVCacheLayer`` includes them because there the cache *is*
+        the only consumer of its quantizers).
+        """
+        bytes_per_block = self.pool.bytes_per_block
+        total = 0.0
+        for block_id in self._block_table:
+            total += bytes_per_block / self.pool.refcount(block_id)
+        return float(total)
+
+
+class PooledMillionCacheFactory:
+    """Creates pool-backed :class:`PooledMillionKVCacheLayer` instances.
+
+    A drop-in replacement for :class:`~repro.core.million_cache.MillionCacheFactory`
+    whose caches allocate quantized storage from one shared :class:`BlockPool`.
+    :class:`~repro.serving.engine.BatchedMillionEngine` detects the ``pool``
+    attribute and enables prefix caching, memory-aware admission and
+    preemption.
+    """
+
+    def __init__(
+        self,
+        quantizers: dict[int, tuple[ProductQuantizer, ProductQuantizer]],
+        million_config: MillionConfig,
+        pool: BlockPool,
+    ) -> None:
+        require(len(quantizers) > 0, "quantizers mapping must not be empty")
+        require(
+            million_config.outlier_fraction == 0.0,
+            "pooled serving requires outlier_fraction == 0.0",
+        )
+        self.quantizers = dict(quantizers)
+        self.million_config = million_config
+        self.pool = pool
+
+    @classmethod
+    def from_factory(cls, factory, pool: BlockPool) -> "PooledMillionCacheFactory":
+        """Wrap an already-calibrated ``MillionCacheFactory`` around a pool."""
+        return cls(factory.quantizers, factory.million_config, pool)
+
+    def create(self, layer_index: int, config: ModelConfig) -> PooledMillionKVCacheLayer:
+        if layer_index not in self.quantizers:
+            raise KeyError(f"no trained MILLION quantizers for layer {layer_index}")
+        key_pq, value_pq = self.quantizers[layer_index]
+        return PooledMillionKVCacheLayer(
+            config, key_pq, value_pq, self.million_config, self.pool, layer_index
+        )
+
+    def bits_per_value(self, head_dim: int) -> float:
+        """Effective bits per cached scalar for reporting."""
+        return self.million_config.bits_per_value(head_dim)
+
+    def fp16_block_bytes(self) -> float:
+        """What one block's tokens would cost uncompressed (for reporting)."""
+        kv_heads = self.pool.key_row_shape[0]
+        any_key_pq, _ = next(iter(self.quantizers.values()))
+        return float(
+            2 * self.pool.block_tokens * kv_heads * any_key_pq.dim * FP16_BYTES
+        )
+
+
+__all__ = [
+    "ROOT_HASH",
+    "BlockPool",
+    "PoolExhaustedError",
+    "PooledMillionCacheFactory",
+    "PooledMillionKVCacheLayer",
+    "chain_hashes",
+    "hash_token_block",
+]

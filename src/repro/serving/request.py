@@ -13,10 +13,17 @@ from repro.utils.validation import require
 
 
 class RequestStatus(Enum):
-    """Lifecycle of a request inside the batched engine."""
+    """Lifecycle of a request inside the batched engine.
+
+    ``PREEMPTED`` is a running sequence that was evicted under memory
+    pressure: its KV blocks were returned to the pool and it sits at the
+    front of the queue waiting to be restored by re-prefilling its full
+    token history (prompt + tokens generated so far).
+    """
 
     QUEUED = "queued"
     RUNNING = "running"
+    PREEMPTED = "preempted"
     FINISHED = "finished"
 
 
@@ -26,6 +33,7 @@ class FinishReason(Enum):
     LENGTH = "length"
     STOP_TOKEN = "stop_token"
     CONTEXT_FULL = "context_full"
+    CANCELLED = "cancelled"
 
 
 @dataclass
@@ -66,6 +74,14 @@ class RequestState:
     generated: list[int] = field(default_factory=list)
     rng: Optional[np.random.Generator] = None
     finish_reason: Optional[FinishReason] = None
+    # Number of times this sequence was evicted under memory pressure.
+    preemptions: int = 0
+    # Content-hash chain of the sequence's sealed KV blocks (engine-managed;
+    # entry i is the chain hash covering token_history[: (i+1) * block_tokens]).
+    block_hashes: list[bytes] = field(default_factory=list)
+    # Engine-memoized prefill/restore schedule; valid only while the request
+    # waits in the queue (the engine clears it on admission and preemption).
+    prefill_plan: Optional[object] = None
 
     @property
     def request_id(self) -> str:
@@ -75,6 +91,13 @@ class RequestState:
     @property
     def generated_ids(self) -> np.ndarray:
         return np.asarray(self.generated, dtype=np.int64)
+
+    @property
+    def token_history(self) -> np.ndarray:
+        """Prompt plus every token generated so far (the full replay history)."""
+        return np.concatenate(
+            [self.request.prompt_ids, np.asarray(self.generated, dtype=np.int64)]
+        )
 
     @property
     def is_finished(self) -> bool:

@@ -6,14 +6,31 @@ Admission is FCFS with a ``max_batch_size`` cap on the running set; a slot
 freed by a finishing sequence is refilled on the next :meth:`admit` call, so
 the batch stays full while the queue is non-empty (continuous batching, as
 opposed to static batching which would wait for the whole batch to drain).
+
+Memory awareness is injected from the outside: :meth:`admit_next` accepts an
+*admission gate* — a predicate supplied by the engine that consults the KV
+block pool — so the scheduler itself stays free of memory policy.  Admission
+is strictly head-of-line: if the oldest queued request does not fit, nothing
+younger is admitted past it (no starvation of large requests).
+
+Two further lifecycle transitions support the block pool:
+
+* :meth:`preempt` — a running sequence evicted under memory pressure goes to
+  the *front* of the queue with status ``PREEMPTED``, so it is restored
+  before newly arrived requests are admitted.
+* :meth:`cancel` — withdraw a queued, preempted or running request; it moves
+  straight to the finished set.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict, deque
+from typing import Callable, Optional
 
 from repro.serving.request import RequestState, RequestStatus
 from repro.utils.validation import require
+
+AdmissionGate = Callable[[RequestState], bool]
 
 
 class ContinuousBatchingScheduler:
@@ -43,15 +60,40 @@ class ContinuousBatchingScheduler:
         )
         self._queued.append(state)
 
-    def admit(self) -> list[RequestState]:
+    def admit_next(self, gate: Optional[AdmissionGate] = None) -> Optional[RequestState]:
+        """Admit the head of the queue into a free running slot.
+
+        Returns ``None`` when the queue is empty, the batch is full, or the
+        ``gate`` (e.g. a block-pool capacity check) refuses the head request.
+        """
+        if not self._queued or len(self._running) >= self.max_batch_size:
+            return None
+        state = self._queued[0]
+        if gate is not None and not gate(state):
+            return None
+        self._queued.popleft()
+        state.status = RequestStatus.RUNNING
+        self._running[state.request_id] = state
+        return state
+
+    def admit(self, gate: Optional[AdmissionGate] = None) -> list[RequestState]:
         """Move queued requests into free running slots; return the admitted."""
         admitted: list[RequestState] = []
-        while self._queued and len(self._running) < self.max_batch_size:
-            state = self._queued.popleft()
-            state.status = RequestStatus.RUNNING
-            self._running[state.request_id] = state
+        while True:
+            state = self.admit_next(gate)
+            if state is None:
+                return admitted
             admitted.append(state)
-        return admitted
+
+    def preempt(self, state: RequestState) -> None:
+        """Evict a running request to the front of the queue (to be restored)."""
+        require(
+            state.request_id in self._running,
+            f"request {state.request_id!r} is not running",
+        )
+        del self._running[state.request_id]
+        state.status = RequestStatus.PREEMPTED
+        self._queued.appendleft(state)
 
     def release(self, state: RequestState) -> None:
         """Mark a running request finished and free its slot."""
@@ -63,12 +105,40 @@ class ContinuousBatchingScheduler:
         state.status = RequestStatus.FINISHED
         self._finished[state.request_id] = state
 
+    def cancel(self, request_id: str) -> Optional[RequestState]:
+        """Withdraw a queued, preempted or running request.
+
+        The state moves to the finished set with status ``FINISHED``; the
+        caller (engine) is responsible for setting the finish reason and
+        releasing any resources.  Returns ``None`` if the id is not queued or
+        running (unknown, or already finished).
+        """
+        for state in self._queued:
+            if state.request_id == request_id:
+                self._queued.remove(state)
+                state.status = RequestStatus.FINISHED
+                self._finished[request_id] = state
+                return state
+        if request_id in self._running:
+            state = self._running.pop(request_id)
+            state.status = RequestStatus.FINISHED
+            self._finished[request_id] = state
+            return state
+        return None
+
     # Introspection -------------------------------------------------------
 
     @property
     def running(self) -> list[RequestState]:
         """Running sequences in admission order."""
         return list(self._running.values())
+
+    @property
+    def youngest_running(self) -> Optional[RequestState]:
+        """The most recently admitted running sequence (preemption victim)."""
+        if not self._running:
+            return None
+        return next(reversed(self._running.values()))
 
     @property
     def queued_count(self) -> int:

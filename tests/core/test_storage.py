@@ -17,7 +17,7 @@ import pytest
 from repro.core.config import MillionConfig
 from repro.core.million_cache import MillionKVCacheLayer
 from repro.core.pq import ProductQuantizer
-from repro.core.storage import CodeStore, PendingBuffer
+from repro.core.storage import BlockArena, CodeStore, PendingBuffer
 from repro.models.attention_math import attention_scores, repeat_kv_heads
 from repro.models.config import ModelConfig
 from repro.models.tensor_ops import softmax
@@ -92,6 +92,35 @@ class TestCodeStore:
             store.append(np.zeros((3, 2, 5), dtype=np.uint8))
         with pytest.raises(Exception):
             store.append(np.zeros((2, 4), dtype=np.uint8))  # missing token axis
+
+
+class TestBlockArena:
+    def test_write_read_roundtrip_and_zero_copy(self):
+        arena = BlockArena(num_blocks=4, block_rows=8, row_shape=(2, 4), dtype=np.uint8)
+        block = np.arange(8 * 2 * 4, dtype=np.uint8).reshape(8, 2, 4)
+        arena.write(2, block)
+        view = arena.read(2)
+        np.testing.assert_array_equal(view, block)
+        assert view.base is not None  # a view into the slab, not a copy
+        assert arena.block_nbytes == block.nbytes
+
+    def test_partial_blocks_rejected(self):
+        arena = BlockArena(num_blocks=2, block_rows=8, row_shape=(2, 4), dtype=np.uint8)
+        with pytest.raises(Exception, match="shape"):
+            arena.write(0, np.zeros((5, 2, 4), dtype=np.uint8))
+
+    def test_block_id_bounds_checked(self):
+        arena = BlockArena(num_blocks=2, block_rows=4, row_shape=(1,), dtype=np.uint8)
+        with pytest.raises(Exception, match="out of range"):
+            arena.read(2)
+        with pytest.raises(Exception, match="out of range"):
+            arena.write(-1, np.zeros((4, 1), dtype=np.uint8))
+
+    def test_preallocated_capacity_is_fixed(self):
+        arena = BlockArena(num_blocks=3, block_rows=4, row_shape=(2,), dtype=np.uint16)
+        assert arena.num_blocks == 3
+        assert arena.block_rows == 4
+        assert arena.dtype == np.dtype(np.uint16)
 
 
 class TestPendingBuffer:

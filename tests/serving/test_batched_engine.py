@@ -269,3 +269,45 @@ class TestBatchedMillionEngine:
         engine.run()
         assert engine.active_cache_memory_bytes() == 0.0
         tiny_model.reset_cache(FullPrecisionCacheFactory())
+
+    def test_unclaimed_results_bounded_with_warning(
+        self, tiny_model, million_factory, calibration_tokens, caplog
+    ):
+        """A client that never calls run() must not leak one array per request."""
+        engine = BatchedMillionEngine(
+            tiny_model, million_factory, max_unclaimed_results=2
+        )
+        ids = [
+            engine.add_request(calibration_tokens[i : i + 8], 1) for i in (0, 10, 20)
+        ]
+        with caplog.at_level("WARNING", logger="repro.serving"):
+            while engine.scheduler.has_work:
+                engine.step()
+        assert any("unclaimed result" in r.message for r in caplog.records)
+        results = engine.run()
+        assert ids[0] not in results  # the oldest was dropped at the cap
+        assert set(results) == set(ids[1:])
+        tiny_model.reset_cache(FullPrecisionCacheFactory())
+
+    def test_stats_without_pool(self, tiny_model, million_factory, calibration_tokens):
+        engine = BatchedMillionEngine(tiny_model, million_factory)
+        engine.add_request(calibration_tokens[:10], max_new_tokens=4)
+        engine.step()
+        stats = engine.stats()
+        assert stats["running"] == 1 and stats["pool"] is None
+        assert stats["preemptions"] == 0
+        assert stats["active_cache_memory_bytes"] > 0.0
+        engine.run()
+        tiny_model.reset_cache(FullPrecisionCacheFactory())
+
+    def test_cancel_without_pool(self, tiny_model, million_factory, calibration_tokens):
+        """cancel() is independent of block-pool mode."""
+        engine = BatchedMillionEngine(tiny_model, million_factory, max_batch_size=1)
+        first = engine.add_request(calibration_tokens[:10], max_new_tokens=3)
+        second = engine.add_request(calibration_tokens[10:20], max_new_tokens=3)
+        engine.step()
+        assert engine.cancel(second) is True
+        assert engine.state_of(second).finish_reason is FinishReason.CANCELLED
+        results = engine.run()
+        assert results[first].shape == (3,) and results[second].size == 0
+        tiny_model.reset_cache(FullPrecisionCacheFactory())

@@ -1,0 +1,444 @@
+"""Tests for the paged KV block pool: sharing, admission, preemption, cancel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.kv_cache import FullPrecisionCacheFactory
+from repro.serving import (
+    BatchedMillionEngine,
+    BlockPool,
+    FinishReason,
+    PooledMillionCacheFactory,
+    PoolExhaustedError,
+    RequestStatus,
+    chain_hashes,
+    hash_token_block,
+)
+
+BLOCK_TOKENS = 4
+
+
+def make_pool(tiny_config, million_config, num_blocks=256):
+    return BlockPool.for_model(
+        tiny_config, million_config, num_blocks=num_blocks, block_tokens=BLOCK_TOKENS
+    )
+
+
+@pytest.fixture()
+def pooled_engine_factory(tiny_model, tiny_config, million_factory, million_config):
+    """Builds a fresh pooled engine (own pool) per call; cleans the model up."""
+
+    def build(num_blocks=256, max_batch_size=4):
+        pool = make_pool(tiny_config, million_config, num_blocks=num_blocks)
+        factory = PooledMillionCacheFactory.from_factory(million_factory, pool)
+        return BatchedMillionEngine(tiny_model, factory, max_batch_size=max_batch_size)
+
+    yield build
+    tiny_model.reset_cache(FullPrecisionCacheFactory())
+
+
+class TestChainHashes:
+    def test_chain_covers_whole_prefix(self):
+        tokens = np.arange(16)
+        hashes = chain_hashes(tokens, 4)
+        assert len(hashes) == 4
+        # Same block content at a different chain position hashes differently.
+        shifted = chain_hashes(np.concatenate([[99], tokens])[:16], 4)
+        assert hashes[0] != shifted[0]
+        # Prefix property: equal prefixes produce equal leading hashes.
+        again = chain_hashes(np.concatenate([tokens[:8], [1, 2, 3, 4]]), 4)
+        assert again[:2] == hashes[:2] and again[2] != hashes[2]
+
+    def test_partial_trailing_block_is_ignored(self):
+        assert len(chain_hashes(np.arange(7), 4)) == 1
+        assert chain_hashes(np.arange(3), 4) == []
+
+    def test_hash_token_block_is_deterministic(self):
+        a = hash_token_block(b"\x00" * 16, np.asarray([1, 2, 3]))
+        b = hash_token_block(b"\x00" * 16, np.asarray([1, 2, 3]))
+        assert a == b and len(a) == 16
+
+
+class TestBlockPool:
+    def _pool(self, num_blocks=8, n_layers=2):
+        return BlockPool(
+            num_blocks=num_blocks,
+            block_tokens=4,
+            n_layers=n_layers,
+            kv_heads=2,
+            key_subspaces=8,
+            value_subspaces=8,
+        )
+
+    def _codes(self, pool, seed=0):
+        rng = np.random.default_rng(seed)
+        shape = (pool.block_tokens, *pool.key_row_shape)
+        return rng.integers(0, 255, size=shape).astype(np.uint8)
+
+    def test_allocate_write_read_roundtrip(self):
+        pool = self._pool()
+        block_id = pool.allocate_block()
+        codes = self._codes(pool)
+        pool.write_block(block_id, codes, codes + 1)
+        np.testing.assert_array_equal(pool.key_codes(block_id), codes)
+        np.testing.assert_array_equal(pool.value_codes(block_id), codes + 1)
+        assert pool.refcount(block_id) == 1
+        assert pool.used_block_count == 1 and pool.free_block_count == 7
+
+    def test_exhaustion_raises_when_nothing_evictable(self):
+        pool = self._pool(num_blocks=2)
+        pool.allocate_block()
+        pool.allocate_block()
+        with pytest.raises(PoolExhaustedError):
+            pool.allocate_block()
+
+    def test_double_free_guarded(self):
+        pool = self._pool()
+        block_id = pool.allocate_block()
+        pool.decref(block_id)
+        with pytest.raises(Exception, match="not allocated|double free"):
+            pool.decref(block_id)
+
+    def test_private_block_freed_at_refcount_zero(self):
+        pool = self._pool()
+        block_id = pool.allocate_block()
+        pool.decref(block_id)
+        assert pool.free_block_count == pool.num_blocks
+
+    def test_publish_adopt_and_refcounts(self):
+        pool = self._pool()
+        group = [pool.allocate_block() for _ in range(pool.n_layers)]
+        for bid in group:
+            pool.write_block(bid, self._codes(pool), self._codes(pool))
+        digest = hash_token_block(b"\x00" * 16, np.arange(4))
+        pool.publish(digest, group)
+        assert pool.lookup(digest) == tuple(group)
+        adopted = pool.adopt(digest)
+        assert adopted == tuple(group)
+        assert all(pool.refcount(b) == 2 for b in group)
+        with pytest.raises(KeyError):
+            pool.adopt(b"\xff" * 16)
+
+    def test_published_blocks_become_cached_then_evicted_lru(self):
+        pool = self._pool(num_blocks=4, n_layers=2)
+        digests = []
+        for i in range(2):
+            group = [pool.allocate_block() for _ in range(2)]
+            for bid in group:
+                pool.write_block(bid, self._codes(pool, i), self._codes(pool, i))
+            digest = hash_token_block(b"\x00" * 16, np.asarray([i]))
+            pool.publish(digest, group)
+            for bid in group:
+                pool.decref(bid)
+            digests.append(digest)
+        # All four blocks are cached (refcount 0, contents kept).
+        assert pool.free_block_count == 0
+        assert pool.evictable_block_count == 4
+        assert pool.can_allocate(4) and not pool.can_allocate(5)
+        # Allocation evicts the least recently used group (the first one).
+        pool.allocate_block()
+        assert pool.lookup(digests[0]) is None
+        assert pool.lookup(digests[1]) is not None
+        assert pool.evictions == 1
+
+    def test_adoption_protects_group_from_eviction(self):
+        pool = self._pool(num_blocks=4, n_layers=2)
+        group = [pool.allocate_block() for _ in range(2)]
+        for bid in group:
+            pool.write_block(bid, self._codes(pool), self._codes(pool))
+        digest = hash_token_block(b"\x00" * 16, np.arange(4))
+        pool.publish(digest, group)
+        for bid in group:
+            pool.decref(bid)
+        assert pool.group_is_evictable(digest)
+        pool.adopt(digest)  # re-referenced: no longer evictable
+        assert not pool.group_is_evictable(digest)
+        pool.allocate_block()
+        pool.allocate_block()
+        with pytest.raises(PoolExhaustedError):
+            pool.allocate_block()
+
+    def test_shared_blocks_are_immutable(self):
+        pool = self._pool()
+        group = [pool.allocate_block() for _ in range(pool.n_layers)]
+        for bid in group:
+            pool.write_block(bid, self._codes(pool), self._codes(pool))
+        pool.publish(hash_token_block(b"\x00" * 16, np.arange(4)), group)
+        with pytest.raises(Exception, match="published"):
+            pool.write_block(group[0], self._codes(pool), self._codes(pool))
+
+    def test_stats_keys(self):
+        stats = self._pool().stats()
+        for key in ("num_blocks", "free_blocks", "used_blocks", "utilization",
+                    "memory_bytes", "allocations", "evictions", "adoptions"):
+            assert key in stats
+
+
+class TestPrefixSharing:
+    def test_prefix_blocks_and_prefill_paid_once(
+        self, pooled_engine_factory, calibration_tokens
+    ):
+        """N requests sharing a prompt pay its aligned prefix exactly once."""
+        engine = pooled_engine_factory(max_batch_size=4)
+        prompt = calibration_tokens[:41]
+        n_requests = 4
+        aligned = BLOCK_TOKENS * ((prompt.size - 1) // BLOCK_TOKENS)
+        for _ in range(n_requests):
+            engine.add_request(prompt, max_new_tokens=4)
+        engine.step()  # admits and prefills all four
+        # Prefix compute paid once; every other request only runs the tail.
+        tail = prompt.size - aligned
+        assert engine.prefill_tokens_computed == prompt.size + (n_requests - 1) * tail
+        assert engine.prefill_tokens_reused == (n_requests - 1) * aligned
+        # The aligned prefix occupies one set of blocks, shared by all four.
+        pool = engine.pool
+        n_layers = pool.n_layers
+        expected_prefix_blocks = (aligned // BLOCK_TOKENS) * n_layers
+        running = engine.scheduler.running
+        tables = [cache.block_table for cache in running[0].context.caches]
+        shared = {bid for table in tables for bid in table[: aligned // BLOCK_TOKENS]}
+        assert len(shared) == expected_prefix_blocks
+        for bid in shared:
+            assert pool.refcount(bid) == n_requests
+        # Aggregate accounting counts shared blocks once: the four sequences
+        # together reference exactly the unique prefix blocks.
+        results = engine.run()
+        outputs = list(results.values())
+        for other in outputs[1:]:
+            np.testing.assert_array_equal(outputs[0], other)
+
+    def test_shared_prefill_identical_to_cold_prefill(
+        self, pooled_engine_factory, calibration_tokens
+    ):
+        """Adopting published blocks must not change the generated tokens."""
+        prompt = calibration_tokens[:30]
+        cold = pooled_engine_factory().generate_batch([prompt], max_new_tokens=8)[0]
+        engine = pooled_engine_factory()
+        first = engine.generate_batch([prompt], max_new_tokens=8)[0]
+        warm = engine.generate_batch([prompt], max_new_tokens=8)[0]  # prefix hit
+        assert engine.prefill_tokens_reused > 0
+        np.testing.assert_array_equal(cold, first)
+        np.testing.assert_array_equal(cold, warm)
+
+    def test_copy_on_write_divergence_after_shared_prefix(
+        self, pooled_engine_factory, calibration_tokens
+    ):
+        """Diverging suffixes write private blocks; the shared prefix stays intact."""
+        engine = pooled_engine_factory()
+        pool = engine.pool
+        prefix = calibration_tokens[:24]
+        prompt_a = np.concatenate([prefix, calibration_tokens[50:58]])
+        prompt_b = np.concatenate([prefix, calibration_tokens[60:68]])
+        engine.add_request(prompt_a, max_new_tokens=6)
+        engine.add_request(prompt_b, max_new_tokens=6)
+        engine.step()
+        state_a, state_b = engine.scheduler.running
+        table_a = state_a.context.caches[0].block_table
+        table_b = state_b.context.caches[0].block_table
+        n_shared = prefix.size // BLOCK_TOKENS
+        assert table_a[:n_shared] == table_b[:n_shared]  # same physical blocks
+        assert set(table_a[n_shared:]).isdisjoint(table_b[n_shared:])
+        shared_codes = pool.key_codes(table_a[0]).copy()
+        # Outputs match what each prompt produces alone (no cross-corruption),
+        # and the shared blocks' contents are untouched by the divergence.
+        results = engine.run()
+        np.testing.assert_array_equal(pool.key_codes(table_a[0]), shared_codes)
+        solo_a = pooled_engine_factory().generate_batch([prompt_a], 6)[0]
+        solo_b = pooled_engine_factory().generate_batch([prompt_b], 6)[0]
+        outputs = list(results.values())
+        np.testing.assert_array_equal(outputs[0], solo_a)
+        np.testing.assert_array_equal(outputs[1], solo_b)
+
+    def test_finished_requests_leave_blocks_cached_for_reuse(
+        self, pooled_engine_factory, calibration_tokens
+    ):
+        engine = pooled_engine_factory()
+        prompt = calibration_tokens[:20]
+        engine.generate_batch([prompt], max_new_tokens=4)
+        pool = engine.pool
+        # All references dropped, but published groups remain cached.
+        assert pool.evictable_block_count > 0
+        assert pool.available_block_count == pool.num_blocks
+        engine.generate_batch([prompt], max_new_tokens=4)
+        assert engine.prefill_tokens_reused > 0
+
+
+class TestMemoryAwareAdmission:
+    def test_admission_waits_for_pool_capacity(
+        self, pooled_engine_factory, calibration_tokens
+    ):
+        """With a pool fitting ~one sequence, requests run one after another."""
+        engine = pooled_engine_factory(num_blocks=14, max_batch_size=4)
+        prompts = [calibration_tokens[i : i + 17] for i in (0, 30, 60)]
+        for prompt in prompts:
+            engine.add_request(prompt, max_new_tokens=4)
+        engine.step()
+        assert engine.running_count < 3  # the pool refused at least one
+        results = engine.run()
+        assert len(results) == 3  # but everyone completes eventually
+        solo = pooled_engine_factory().generate_batch(prompts, max_new_tokens=4)
+        for got, want in zip(results.values(), solo):
+            np.testing.assert_array_equal(got, want)
+
+    def test_request_larger_than_pool_is_a_hard_error(
+        self, pooled_engine_factory, calibration_tokens
+    ):
+        engine = pooled_engine_factory(num_blocks=4)
+        engine.add_request(calibration_tokens[:60], max_new_tokens=2)
+        with pytest.raises(PoolExhaustedError):
+            engine.run()
+
+
+class TestPreemption:
+    def test_preempted_and_restored_outputs_token_identical(
+        self, pooled_engine_factory, calibration_tokens
+    ):
+        prompts = [calibration_tokens[i : i + 20] for i in (0, 25, 50)]
+        uncontended = pooled_engine_factory(num_blocks=512)
+        reference = uncontended.generate_batch(prompts, max_new_tokens=16)
+        assert uncontended.preemption_count == 0
+        contended = pooled_engine_factory(num_blocks=30)
+        outputs = contended.generate_batch(prompts, max_new_tokens=16)
+        assert contended.preemption_count >= 1
+        for want, got in zip(reference, outputs):
+            np.testing.assert_array_equal(want, got)
+        preempted = [
+            s for s in contended.scheduler.finished_states() if s.preemptions > 0
+        ]
+        assert preempted, "at least one sequence must have been preempted"
+        assert all(s.finish_reason is FinishReason.LENGTH for s in preempted)
+
+    def test_preemption_evicts_youngest_and_frees_blocks(
+        self, pooled_engine_factory, calibration_tokens
+    ):
+        engine = pooled_engine_factory(num_blocks=26, max_batch_size=2)
+        first = engine.add_request(calibration_tokens[:20], max_new_tokens=16)
+        second = engine.add_request(calibration_tokens[25:45], max_new_tokens=16)
+        preempted_ids = []
+        original = engine._preempt
+
+        def spy(state):
+            preempted_ids.append(state.request_id)
+            original(state)
+
+        engine._preempt = spy
+        engine.run()
+        assert preempted_ids, "the tiny pool must force a preemption"
+        # The youngest running sequence (admitted last) is evicted first.
+        assert preempted_ids[0] == second
+        state = engine.state_of(second)
+        assert state.preemptions >= 1
+        # After draining, no blocks are referenced.
+        assert engine.pool.available_block_count == engine.pool.num_blocks
+        np.testing.assert_array_equal(
+            engine.state_of(first).generated_ids,
+            pooled_engine_factory(num_blocks=512).generate_batch(
+                [calibration_tokens[:20]], max_new_tokens=16
+            )[0],
+        )
+
+    def test_preempted_status_visible_while_queued(
+        self, pooled_engine_factory, calibration_tokens
+    ):
+        engine = pooled_engine_factory(num_blocks=26, max_batch_size=2)
+        engine.add_request(calibration_tokens[:20], max_new_tokens=16)
+        second = engine.add_request(calibration_tokens[25:45], max_new_tokens=16)
+        seen_preempted = False
+        while engine.scheduler.has_work:
+            engine.step()
+            if engine.state_of(second).status is RequestStatus.PREEMPTED:
+                seen_preempted = True
+        assert seen_preempted
+        assert engine.state_of(second).is_finished
+
+
+class TestCancel:
+    def test_cancel_queued_request(self, pooled_engine_factory, calibration_tokens):
+        engine = pooled_engine_factory(max_batch_size=1)
+        first = engine.add_request(calibration_tokens[:10], max_new_tokens=4)
+        second = engine.add_request(calibration_tokens[10:20], max_new_tokens=4)
+        engine.step()  # first running, second still queued
+        assert engine.cancel(second) is True
+        state = engine.state_of(second)
+        assert state.is_finished and state.finish_reason is FinishReason.CANCELLED
+        results = engine.run()
+        assert results[second].size == 0
+        assert results[first].shape == (4,)
+
+    def test_cancel_running_request_frees_blocks(
+        self, pooled_engine_factory, calibration_tokens
+    ):
+        engine = pooled_engine_factory()
+        request_id = engine.add_request(calibration_tokens[:20], max_new_tokens=50)
+        engine.step()
+        assert engine.running_count == 1
+        pool = engine.pool
+        assert pool.available_block_count < pool.num_blocks  # blocks referenced
+        assert engine.cancel(request_id) is True
+        assert engine.running_count == 0
+        assert pool.available_block_count == pool.num_blocks
+        state = engine.state_of(request_id)
+        assert state.finish_reason is FinishReason.CANCELLED
+        assert state.context is None
+        assert not engine.scheduler.has_work
+
+    def test_cancel_finished_returns_false_and_unknown_raises(
+        self, pooled_engine_factory, calibration_tokens
+    ):
+        engine = pooled_engine_factory()
+        request_id = engine.add_request(calibration_tokens[:10], max_new_tokens=2)
+        engine.run()
+        assert engine.cancel(request_id) is False
+        with pytest.raises(Exception, match="unknown request id"):
+            engine.cancel("no-such-request")
+
+    def test_cancelled_result_counts_generated_so_far(
+        self, pooled_engine_factory, calibration_tokens
+    ):
+        engine = pooled_engine_factory()
+        request_id = engine.add_request(calibration_tokens[:10], max_new_tokens=50)
+        engine.step()
+        engine.step()
+        engine.cancel(request_id)
+        results = engine.run()
+        assert results[request_id].size == 2  # one token per completed step
+
+
+class TestStats:
+    def test_stats_shapes_and_pool_section(
+        self, pooled_engine_factory, calibration_tokens
+    ):
+        engine = pooled_engine_factory()
+        prompt = calibration_tokens[:30]
+        engine.add_request(prompt, max_new_tokens=8)
+        engine.add_request(prompt, max_new_tokens=8)
+        engine.step()
+        stats = engine.stats()
+        assert stats["running"] == 2
+        assert stats["prefill_tokens_reused"] > 0
+        assert stats["pool"]["used_blocks"] > 0
+        assert 0.0 < stats["pool"]["utilization"] <= 1.0
+        assert stats["active_cache_memory_bytes"] > 0.0
+        engine.run()
+        assert engine.stats()["active_cache_memory_bytes"] == 0.0
+
+    def test_aggregate_memory_counts_shared_prefix_once(
+        self, pooled_engine_factory, calibration_tokens
+    ):
+        prompt = calibration_tokens[:41]
+        solo = pooled_engine_factory()
+        solo.add_request(prompt, max_new_tokens=4)
+        solo.step()
+        single = solo.active_cache_memory_bytes()
+        shared = pooled_engine_factory()
+        for _ in range(4):
+            shared.add_request(prompt, max_new_tokens=4)
+        shared.step()
+        aggregate = shared.active_cache_memory_bytes()
+        # Four sequences sharing the prefix cost far less than four privates;
+        # the codebooks and pending tokens are per-sequence, the blocks are not.
+        assert aggregate < 2.5 * single
+        solo.run()
+        shared.run()
