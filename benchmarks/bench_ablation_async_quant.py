@@ -4,10 +4,15 @@ MILLION assigns KV quantization to a low-priority CUDA stream so it overlaps
 with the memory-bound decode work.  This ablation compares modelled TPOT with
 the quantization stream enabled versus forced onto the main stream, across
 prefill lengths, and reports how much quantization time stays hidden.
+
+Registered as ``quant.async_quant``; the analytic model is deterministic, so
+its metrics gate tightly.
 """
 
 from __future__ import annotations
 
+from _bench_shared import run_registered
+from repro.bench import BenchContext, benchmark_case
 from repro.perf import (
     LLAMA_2_7B,
     A40,
@@ -22,7 +27,9 @@ from repro.perf import (
 PREFILL_LENGTHS = [1024, 4096, 16384, 32768, 65536]
 
 
-def _run():
+@benchmark_case("quant.async_quant", suite="quant", budget_s=60.0, smoke_budget_s=20.0)
+def bench_async_quant(ctx: BenchContext) -> None:
+    ctx.set_params(prefill_lengths=PREFILL_LENGTHS, device="A40")
     rows = []
     for prefill in PREFILL_LENGTHS:
         async_result = estimate_tpot(LLAMA_2_7B, MILLION_4BIT, prefill, device=A40)
@@ -40,29 +47,39 @@ def _run():
                 step.hidden_quant_time_s * 1e3,
             )
         )
-    return rows
+        label = f"{prefill // 1024}k"
+        ctx.record(f"async_tpot_ms@{label}", async_result.tpot_ms, unit="ms",
+                   tolerance_pct=2.0)
+        ctx.record(f"sync_tpot_ms@{label}", sync_result.tpot_ms, unit="ms",
+                   tolerance_pct=2.0)
+        ctx.record(f"hidden_quant_frac@{label}",
+                   step.hidden_quant_time_s / step.quant_time_s if step.quant_time_s else 1.0,
+                   unit="frac", direction="higher_is_better", tolerance_pct=2.0)
 
-
-def test_ablation_async_quantization(benchmark, results_writer):
-    rows = benchmark(_run)
-    lines = [
+    ctx.emit(
         f"{'prefill':>9s} {'async TPOT':>11s} {'sync TPOT':>10s} {'quant ms':>9s} "
         f"{'hidden ms':>10s} {'saving %':>9s}"
-    ]
+    )
     for prefill, async_ms, sync_ms, quant_ms, hidden_ms in rows:
         saving = 100.0 * (sync_ms - async_ms) / sync_ms
-        lines.append(
+        ctx.emit(
             f"{prefill:>9d} {async_ms:>11.2f} {sync_ms:>10.2f} {quant_ms:>9.3f} "
             f"{hidden_ms:>10.3f} {saving:>9.2f}"
         )
-    lines.append("")
-    lines.append(
+    ctx.emit(
+        "",
         "The async stream hides essentially all quantization work behind the"
         " memory-bound decode step, so enabling it never hurts and its relative"
-        " benefit is largest at short contexts where the step is cheapest."
+        " benefit is largest at short contexts where the step is cheapest.",
     )
-    results_writer("ablation_async_quant", "\n".join(lines))
 
-    for prefill, async_ms, sync_ms, quant_ms, hidden_ms in rows:
-        assert async_ms <= sync_ms
-        assert hidden_ms >= 0.9 * quant_ms  # decode is memory-bound, so it hides
+
+def test_ablation_async_quantization(results_writer):
+    result = run_registered("quant.async_quant")
+    results_writer("ablation_async_quant", result.text)
+    metrics = {m.name: m.value for m in result.metrics}
+    for prefill in PREFILL_LENGTHS:
+        label = f"{prefill // 1024}k"
+        assert metrics[f"async_tpot_ms@{label}"] <= metrics[f"sync_tpot_ms@{label}"]
+        # Decode is memory-bound, so it hides (nearly) all quantization work.
+        assert metrics[f"hidden_quant_frac@{label}"] >= 0.9

@@ -6,16 +6,19 @@ head_dim 128.  This ablation sweeps the same trade-off on real (sampled) key
 and value vectors of the tiny model: at a fixed bit budget, more subspaces
 with smaller codebooks versus fewer subspaces with larger codebooks, reporting
 reconstruction MSE and attention-score error.
+
+Registered as ``quant.m_nbits_sweep``; the sweep is seeded and deterministic,
+so the error metrics gate with a modest tolerance for cross-platform float
+drift.
 """
 
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro.core import ProductQuantizer, collect_kv_samples
-from repro.data import load_corpus
-from repro.models import load_model
+from _bench_shared import run_registered, sampled_kv
+from repro.bench import BenchContext, benchmark_case
+from repro.core import ProductQuantizer
 
 # (label, M, nbits) grouped by equivalent bit budget for head_dim = 64.
 SWEEP = [
@@ -27,21 +30,15 @@ SWEEP = [
     ("2-bit", 32, 4),
     ("2-bit", 16, 8),
 ]
+# One point per budget so the monotonicity claims stay checkable in smoke mode.
+SMOKE_SWEEP = [
+    ("4-bit", 32, 8),
+    ("3-bit", 32, 6),
+    ("2-bit", 32, 4),
+]
 
 
-@pytest.fixture(scope="module")
-def kv_vectors():
-    model = load_model("llama-2-7b-tiny", seed=0)
-    tokens = load_corpus("wikitext2-syn", "train", 768) % model.config.vocab_size
-    collector = collect_kv_samples(model, tokens, chunk_size=128, max_samples_per_layer=4096)
-    return {
-        "keys": collector.key_vectors(0),
-        "values": collector.value_vectors(0),
-        "queries": collector.key_vectors(1)[:64],  # arbitrary query stand-ins
-    }
-
-
-def _evaluate(kv_vectors, m_subspaces: int, nbits: int) -> dict[str, float]:
+def _evaluate(kv_vectors, m_subspaces: int, nbits: int, kmeans_iters: int) -> dict[str, float]:
     keys = kv_vectors["keys"]
     queries = kv_vectors["queries"]
     head_dim = keys.shape[1]
@@ -49,7 +46,8 @@ def _evaluate(kv_vectors, m_subspaces: int, nbits: int) -> dict[str, float]:
     # Train on a split disjoint from the evaluation vectors.
     train, test = keys[: keys.shape[0] // 2], keys[keys.shape[0] // 2 :][:512]
     pq = ProductQuantizer.fit(
-        train, m_subspaces, nbits, kmeans_iters=8, seed=0, max_samples=min(8 * n_centroids, 4096)
+        train, m_subspaces, nbits, kmeans_iters=kmeans_iters, seed=0,
+        max_samples=min(8 * n_centroids, 4096),
     )
     codes = pq.encode(test)
     reconstruction_mse = float(np.mean((pq.decode(codes) - test) ** 2))
@@ -64,36 +62,48 @@ def _evaluate(kv_vectors, m_subspaces: int, nbits: int) -> dict[str, float]:
     }
 
 
-def test_ablation_m_nbits(benchmark, results_writer, kv_vectors):
-    results = benchmark.pedantic(
-        lambda: {(m, b): _evaluate(kv_vectors, m, b) for _, m, b in SWEEP},
-        iterations=1,
-        rounds=1,
-    )
-    lines = [
+@benchmark_case("quant.m_nbits_sweep", suite="quant", budget_s=240.0, smoke_budget_s=60.0)
+def bench_m_nbits_sweep(ctx: BenchContext) -> None:
+    sweep = ctx.pick(full=SWEEP, smoke=SMOKE_SWEEP)
+    kmeans_iters = ctx.pick(full=8, smoke=4)
+    kv_vectors = sampled_kv(ctx.smoke)
+    ctx.set_params(sweep=[list(point) for point in sweep], kmeans_iters=kmeans_iters)
+    results = {(m, b): _evaluate(kv_vectors, m, b, kmeans_iters) for _, m, b in sweep}
+
+    ctx.emit(
         f"{'budget':>8s} {'M':>4s} {'nbits':>6s} {'bits/val':>9s} {'recon MSE':>11s} "
         f"{'score RMSE':>11s} {'codebook KiB':>13s}"
-    ]
-    for label, m, b in SWEEP:
+    )
+    for label, m, b in sweep:
         metrics = results[(m, b)]
-        lines.append(
+        ctx.record(f"recon_mse_m{m}_b{b}", metrics["reconstruction_mse"],
+                   tolerance_pct=15.0)
+        ctx.record(f"score_rmse_m{m}_b{b}", metrics["score_rmse"], gated=False)
+        ctx.emit(
             f"{label:>8s} {m:>4d} {b:>6d} {metrics['bits_per_value']:>9.2f} "
             f"{metrics['reconstruction_mse']:>11.5f} {metrics['score_rmse']:>11.4f} "
             f"{metrics['codebook_kib']:>13.1f}"
         )
-    lines.append("")
-    lines.append(
+    ctx.emit(
+        "",
         "Within a bit budget, moderate codebooks (nbits 6-8) beat very large ones"
         " trained from limited calibration data — matching the paper's preference"
-        " for (64, 8) at 4 bits."
+        " for (64, 8) at 4 bits.",
     )
-    results_writer("ablation_m_nbits", "\n".join(lines))
-
-    # Higher bit budgets must reconstruct better (comparing the best of each budget).
-    best = {}
-    for label, m, b in SWEEP:
+    best: dict[str, float] = {}
+    for label, m, b in sweep:
         err = results[(m, b)]["reconstruction_mse"]
         best[label] = min(best.get(label, np.inf), err)
-    assert best["4-bit"] < best["3-bit"] < best["2-bit"]
+    for label, err in best.items():
+        ctx.record(f"best_recon_mse_{label}", err, tolerance_pct=15.0)
+
+
+def test_ablation_m_nbits(results_writer):
+    result = run_registered("quant.m_nbits_sweep")
+    results_writer("ablation_m_nbits", result.text)
+    metrics = {m.name: m.value for m in result.metrics}
+    # Higher bit budgets must reconstruct better (comparing the best of each budget).
+    assert metrics["best_recon_mse_4-bit"] < metrics["best_recon_mse_3-bit"]
+    assert metrics["best_recon_mse_3-bit"] < metrics["best_recon_mse_2-bit"]
     # The oversized 16-bit codebook at 4-bit budget must not beat the (32, 8) preset.
-    assert results[(32, 8)]["reconstruction_mse"] <= results[(16, 16)]["reconstruction_mse"] * 1.5
+    assert metrics["recon_mse_m32_b8"] <= metrics["recon_mse_m16_b16"] * 1.5

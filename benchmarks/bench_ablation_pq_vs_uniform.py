@@ -5,40 +5,31 @@ the outlier-heavy key cache, while product quantization spends its centroid
 resolution where the data lives.  This ablation quantizes the *same* sampled
 key/value vectors with both schemes at 2/3/4 bits per value and compares
 reconstruction error and attention-score error.
+
+Registered as ``quant.pq_vs_uniform``; seeded and deterministic, so the error
+metrics gate with a modest tolerance.
 """
 
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro.core import ProductQuantizer, collect_kv_samples
+from _bench_shared import run_registered, sampled_kv
+from repro.bench import BenchContext, benchmark_case
+from repro.core import ProductQuantizer
 from repro.core.config import MillionConfig
-from repro.data import load_corpus
-from repro.models import load_model
 from repro.quant import quantize_uniform
 
 BIT_BUDGETS = [2, 3, 4]
+SMOKE_BIT_BUDGETS = [2, 4]
 
 
-@pytest.fixture(scope="module")
-def sampled_kv():
-    model = load_model("llama-2-7b-tiny", seed=0)
-    tokens = load_corpus("wikitext2-syn", "train", 768) % model.config.vocab_size
-    collector = collect_kv_samples(model, tokens, chunk_size=128, max_samples_per_layer=4096)
-    return {
-        "head_dim": model.config.head_dim,
-        "keys": collector.key_vectors(0),
-        "values": collector.value_vectors(0),
-        "queries": collector.key_vectors(1)[:64],
-    }
-
-
-def _pq_metrics(vectors, queries, head_dim, bits):
+def _pq_metrics(vectors, queries, head_dim, bits, kmeans_iters):
     config = MillionConfig.for_equivalent_bits(head_dim, bits, prefer_small_codebooks=True)
     train, test = vectors[: vectors.shape[0] // 2], vectors[vectors.shape[0] // 2 :][:512]
     pq = ProductQuantizer.fit(
-        train, config.m_subspaces, config.nbits, kmeans_iters=8, seed=0, max_samples=4096
+        train, config.m_subspaces, config.nbits, kmeans_iters=kmeans_iters, seed=0,
+        max_samples=4096,
     )
     codes = pq.encode(test)
     reconstructed = pq.decode(codes)
@@ -58,43 +49,58 @@ def _uniform_metrics(vectors, queries, bits, per_channel: bool):
     return mse, score_rmse
 
 
-def test_ablation_pq_vs_uniform(benchmark, results_writer, sampled_kv):
-    def run():
-        rows = []
-        for kind in ("keys", "values"):
-            vectors = sampled_kv[kind]
-            for bits in BIT_BUDGETS:
-                pq_mse, pq_rmse = _pq_metrics(
-                    vectors, sampled_kv["queries"], sampled_kv["head_dim"], bits
-                )
-                tensor_mse, tensor_rmse = _uniform_metrics(vectors, sampled_kv["queries"], bits, False)
-                channel_mse, channel_rmse = _uniform_metrics(vectors, sampled_kv["queries"], bits, True)
-                rows.append((kind, bits, pq_mse, pq_rmse, tensor_mse, tensor_rmse, channel_mse, channel_rmse))
-        return rows
+@benchmark_case("quant.pq_vs_uniform", suite="quant", budget_s=240.0, smoke_budget_s=60.0)
+def bench_pq_vs_uniform(ctx: BenchContext) -> None:
+    kv = sampled_kv(ctx.smoke)
+    budgets = ctx.pick(full=BIT_BUDGETS, smoke=SMOKE_BIT_BUDGETS)
+    kmeans_iters = ctx.pick(full=8, smoke=4)
+    ctx.set_params(bit_budgets=budgets, kmeans_iters=kmeans_iters)
+    rows = []
+    for kind in ("keys", "values"):
+        vectors = kv[kind]
+        for bits in budgets:
+            pq_mse, pq_rmse = _pq_metrics(
+                vectors, kv["queries"], kv["head_dim"], bits, kmeans_iters
+            )
+            tensor_mse, tensor_rmse = _uniform_metrics(vectors, kv["queries"], bits, False)
+            channel_mse, channel_rmse = _uniform_metrics(vectors, kv["queries"], bits, True)
+            rows.append(
+                (kind, bits, pq_mse, pq_rmse, tensor_mse, tensor_rmse, channel_mse, channel_rmse)
+            )
+            ctx.record(f"pq_mse_{kind}_{bits}b", pq_mse, tolerance_pct=15.0)
+            ctx.record(f"uniform_tensor_mse_{kind}_{bits}b", tensor_mse, tolerance_pct=15.0)
+            ctx.record(f"uniform_channel_mse_{kind}_{bits}b", channel_mse, tolerance_pct=15.0)
+            ctx.record(f"pq_score_rmse_{kind}_{bits}b", pq_rmse, gated=False)
+            ctx.record(f"uniform_tensor_score_rmse_{kind}_{bits}b", tensor_rmse, gated=False)
 
-    rows = benchmark.pedantic(run, iterations=1, rounds=1)
-    lines = [
+    ctx.emit(
         f"{'tensor':>7s} {'bits':>5s} {'PQ mse':>10s} {'PQ score':>10s} "
-        f"{'int/tensor mse':>15s} {'int/tensor score':>17s} {'int/channel mse':>16s} {'int/channel score':>18s}"
-    ]
+        f"{'int/tensor mse':>15s} {'int/tensor score':>17s} {'int/channel mse':>16s} "
+        f"{'int/channel score':>18s}"
+    )
     for kind, bits, pq_mse, pq_rmse, t_mse, t_rmse, c_mse, c_rmse in rows:
-        lines.append(
+        ctx.emit(
             f"{kind:>7s} {bits:>5d} {pq_mse:>10.5f} {pq_rmse:>10.4f} "
             f"{t_mse:>15.5f} {t_rmse:>17.4f} {c_mse:>16.5f} {c_rmse:>18.4f}"
         )
-    lines.append("")
-    lines.append(
+    ctx.emit(
+        "",
         "PQ beats per-tensor integer quantization everywhere and beats even"
         " per-channel integer quantization on the outlier-heavy key cache at"
-        " low bit budgets — the 'outlier-immunized' claim."
+        " low bit budgets — the 'outlier-immunized' claim.",
     )
-    results_writer("ablation_pq_vs_uniform", "\n".join(lines))
 
-    by_key = {(r[0], r[1]): r for r in rows}
-    for bits in BIT_BUDGETS:
-        kind_row = by_key[("keys", bits)]
+
+def test_ablation_pq_vs_uniform(results_writer):
+    result = run_registered("quant.pq_vs_uniform")
+    results_writer("ablation_pq_vs_uniform", result.text)
+    metrics = {m.name: m.value for m in result.metrics}
+    for bits in result.params["bit_budgets"]:
         # PQ beats per-tensor uniform quantization on keys at every budget.
-        assert kind_row[2] < kind_row[4]
-        assert kind_row[3] < kind_row[5]
+        assert metrics[f"pq_mse_keys_{bits}b"] < metrics[f"uniform_tensor_mse_keys_{bits}b"]
+        assert (
+            metrics[f"pq_score_rmse_keys_{bits}b"]
+            < metrics[f"uniform_tensor_score_rmse_keys_{bits}b"]
+        )
     # At the lowest budgets PQ also beats per-channel uniform on keys.
-    assert by_key[("keys", 2)][2] < by_key[("keys", 2)][6]
+    assert metrics["pq_mse_keys_2b"] < metrics["uniform_channel_mse_keys_2b"]

@@ -5,72 +5,83 @@ past token quantized) as a stress test.  This ablation varies the recent
 full-precision window of the MILLION cache and reports logit fidelity against
 the fp16 reference together with the cache footprint, showing the
 accuracy/memory trade-off the residual window buys.
+
+Registered as ``quant.recent_window``; seeded and deterministic, so the
+fidelity metrics gate with a modest tolerance.
 """
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
+from _bench_shared import run_registered, tiny_model
+from repro.bench import HIGHER, BenchContext, benchmark_case
 from repro.core import MillionConfig, calibrate_million
 from repro.data import load_corpus
 from repro.eval import logit_fidelity
-from repro.models import load_model
 from repro.models.kv_cache import FullPrecisionCacheFactory
 
 WINDOW_SIZES = [0, 8, 32, 128]
+SMOKE_WINDOW_SIZES = [0, 32]
 
 
-@pytest.fixture(scope="module")
-def window_setup():
-    model = load_model("llama-2-7b-tiny", seed=0)
-    calibration = load_corpus("wikitext2-syn", "train", 768) % model.config.vocab_size
-    test = load_corpus("wikitext2-syn", "test", 384) % model.config.vocab_size
-    return model, calibration, test
+@benchmark_case("quant.recent_window", suite="quant", budget_s=300.0, smoke_budget_s=90.0)
+def bench_recent_window(ctx: BenchContext) -> None:
+    model = tiny_model()
+    windows = ctx.pick(full=WINDOW_SIZES, smoke=SMOKE_WINDOW_SIZES)
+    n_calibration = ctx.pick(full=768, smoke=384)
+    n_test = ctx.pick(full=384, smoke=192)
+    kmeans_iters = ctx.pick(full=6, smoke=3)
+    ctx.set_params(windows=windows, n_calibration=n_calibration, n_test=n_test,
+                   kmeans_iters=kmeans_iters)
+    calibration = load_corpus("wikitext2-syn", "train", n_calibration) % model.config.vocab_size
+    test = load_corpus("wikitext2-syn", "test", n_test) % model.config.vocab_size
 
-
-def _run(model, calibration, test):
     rows = []
-    for window in WINDOW_SIZES:
+    for window in windows:
         config = MillionConfig.for_equivalent_bits(
-            model.config.head_dim, bits=4, recent_window=window, kmeans_iters=6,
+            model.config.head_dim, bits=4, recent_window=window, kmeans_iters=kmeans_iters,
             calibration_samples=2048,
         )
         factory = calibrate_million(model, calibration, config)
         fidelity = logit_fidelity(model, test, factory, chunk_size=8, scheme_name=f"window={window}")
         # Measure the cache footprint after a 256-token prefill.
+        prefill = min(256, n_test)
         model.reset_cache(factory)
-        for start in range(0, 256, 32):
+        for start in range(0, prefill, 32):
             model.forward(test[start : start + 32])
         cache_kib = model.cache_memory_bytes() / 1024.0
         model.reset_cache(FullPrecisionCacheFactory())
         rows.append((window, fidelity.mean_kl, fidelity.top1_agreement, cache_kib))
-    return rows
+        ctx.record(f"mean_kl_window{window}", fidelity.mean_kl, tolerance_pct=20.0)
+        ctx.record(f"top1_agreement_window{window}", fidelity.top1_agreement,
+                   direction=HIGHER, tolerance_pct=10.0)
+        ctx.record(f"cache_kib_window{window}", cache_kib, unit="KiB", tolerance_pct=5.0)
 
-
-def test_ablation_recent_window(benchmark, results_writer, window_setup):
-    model, calibration, test = window_setup
-    rows = benchmark.pedantic(lambda: _run(model, calibration, test), iterations=1, rounds=1)
-    lines = [
-        f"{'recent window':>14s} {'KL vs fp16':>11s} {'top-1 agree':>12s} {'cache KiB @256':>15s}"
-    ]
+    ctx.emit(
+        f"{'recent window':>14s} {'KL vs fp16':>11s} {'top-1 agree':>12s} {'cache KiB':>15s}"
+    )
     for window, kl, agree, kib in rows:
-        lines.append(f"{window:>14d} {kl:>11.5f} {agree:>12.3f} {kib:>15.1f}")
-    lines.append("")
-    lines.append(
+        ctx.emit(f"{window:>14d} {kl:>11.5f} {agree:>12.3f} {kib:>15.1f}")
+    ctx.emit(
+        "",
         "A larger full-precision recent window improves fidelity monotonically at"
         " the cost of cache memory; window 0 (the paper's stress setting) is"
-        " already close to the fp16 reference."
+        " already close to the fp16 reference.",
     )
-    results_writer("ablation_recent_window", "\n".join(lines))
 
-    kls = [row[1] for row in rows]
-    agreements = [row[2] for row in rows]
-    cache_sizes = [row[3] for row in rows]
+
+def test_ablation_recent_window(results_writer):
+    result = run_registered("quant.recent_window")
+    results_writer("ablation_recent_window", result.text)
+    metrics = {m.name: m.value for m in result.metrics}
+    windows = result.params["windows"]
+    first, last = windows[0], windows[-1]
     # Fidelity improves (KL does not increase) as the window grows.
-    assert kls[-1] <= kls[0] + 1e-6
-    assert agreements[-1] >= agreements[0] - 0.05
+    assert metrics[f"mean_kl_window{last}"] <= metrics[f"mean_kl_window{first}"] + 1e-6
+    assert (
+        metrics[f"top1_agreement_window{last}"]
+        >= metrics[f"top1_agreement_window{first}"] - 0.05
+    )
     # Memory grows with the window.
-    assert cache_sizes[-1] > cache_sizes[0]
+    assert metrics[f"cache_kib_window{last}"] > metrics[f"cache_kib_window{first}"]
     # Even window 0 keeps top-1 agreement reasonably high.
-    assert agreements[0] > 0.3
+    assert metrics["top1_agreement_window0"] > 0.3

@@ -8,40 +8,24 @@ attention needs", while quantization keeps (a coarse version of) every token.
 This ablation pits the StreamingLLM-style and H2O-style caches against
 MILLION-4b on the same model at a comparable KV memory budget and reports
 logit fidelity against the fp16 reference plus the measured cache footprint.
+
+Registered as ``quant.sparse_vs_quant``.
 """
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
+from _bench_shared import run_registered, tiny_model
+from repro.bench import HIGHER, BenchContext, benchmark_case
 from repro.baselines import HeavyHitterCacheFactory, SlidingWindowCacheFactory
 from repro.core import MillionConfig, calibrate_million
 from repro.data import load_corpus
 from repro.eval import logit_fidelity
-from repro.models import load_model
 from repro.models.kv_cache import FullPrecisionCacheFactory
 
 CONTEXT = 512
 # A 4-bit quantized cache of 512 tokens costs about as much as ~128 fp16
 # tokens, so the eviction baselines get a 128-token budget.
 MATCHED_BUDGET = 128
-
-
-@pytest.fixture(scope="module")
-def ablation_setup():
-    model = load_model("llama-2-7b-tiny", seed=0)
-    calibration = load_corpus("wikitext2-syn", "train", 768) % model.config.vocab_size
-    test = load_corpus("wikitext2-syn", "test", CONTEXT) % model.config.vocab_size
-    million_config = MillionConfig.for_equivalent_bits(
-        model.config.head_dim, bits=4, kmeans_iters=6, calibration_samples=2048
-    )
-    factories = {
-        "million-4b": calibrate_million(model, calibration, million_config),
-        "sliding-window": SlidingWindowCacheFactory(window=MATCHED_BUDGET - 4, n_sink=4),
-        "heavy-hitter": HeavyHitterCacheFactory(budget=MATCHED_BUDGET, recent=32),
-    }
-    return model, test, factories
 
 
 def _cache_kib(model, factory, tokens) -> float:
@@ -53,37 +37,56 @@ def _cache_kib(model, factory, tokens) -> float:
     return kib
 
 
-def test_ablation_sparse_vs_quant(benchmark, results_writer, ablation_setup):
-    model, test, factories = ablation_setup
-
-    def run():
-        rows = []
-        for name, factory in factories.items():
-            fidelity = logit_fidelity(model, test, factory, chunk_size=32, scheme_name=name)
-            rows.append((name, fidelity.mean_kl, fidelity.top1_agreement, _cache_kib(model, factory, test)))
-        return rows
-
-    rows = benchmark.pedantic(run, iterations=1, rounds=1)
-    fp16_kib = CONTEXT * model.config.kv_cache_bytes_per_token() / 1024.0
-    lines = [
-        f"context {CONTEXT} tokens, fp16 cache {fp16_kib:.0f} KiB, eviction budget "
-        f"{MATCHED_BUDGET} tokens",
-        f"{'scheme':>16s} {'KL vs fp16':>11s} {'top-1 agree':>12s} {'cache KiB':>10s}",
-    ]
-    for name, kl, agree, kib in rows:
-        lines.append(f"{name:>16s} {kl:>11.4f} {agree:>12.3f} {kib:>10.1f}")
-    lines.append("")
-    lines.append(
-        "At a matched memory budget, keeping every token at 4 bits (MILLION) is"
-        " far more faithful to the fp16 model than dropping tokens outright."
+@benchmark_case("quant.sparse_vs_quant", suite="quant", budget_s=300.0, smoke_budget_s=90.0)
+def bench_sparse_vs_quant(ctx: BenchContext) -> None:
+    model = tiny_model()
+    context = ctx.pick(full=CONTEXT, smoke=256)
+    budget = ctx.pick(full=MATCHED_BUDGET, smoke=64)
+    kmeans_iters = ctx.pick(full=6, smoke=3)
+    ctx.set_params(context_tokens=context, eviction_budget=budget, kmeans_iters=kmeans_iters)
+    calibration = load_corpus("wikitext2-syn", "train", 768) % model.config.vocab_size
+    test = load_corpus("wikitext2-syn", "test", context) % model.config.vocab_size
+    million_config = MillionConfig.for_equivalent_bits(
+        model.config.head_dim, bits=4, kmeans_iters=kmeans_iters, calibration_samples=2048
     )
-    results_writer("ablation_sparse_vs_quant", "\n".join(lines))
+    factories = {
+        "million-4b": calibrate_million(model, calibration, million_config),
+        "sliding-window": SlidingWindowCacheFactory(window=budget - 4, n_sink=4),
+        "heavy-hitter": HeavyHitterCacheFactory(budget=budget, recent=32),
+    }
 
-    metrics = {name: (kl, agree, kib) for name, kl, agree, kib in rows}
-    million_kl, million_agree, million_kib = metrics["million-4b"]
-    for baseline in ("sliding-window", "heavy-hitter"):
-        kl, agree, kib = metrics[baseline]
-        assert million_kl < kl
-        assert million_agree > agree
+    rows = []
+    for name, factory in factories.items():
+        fidelity = logit_fidelity(model, test, factory, chunk_size=32, scheme_name=name)
+        kib = _cache_kib(model, factory, test)
+        rows.append((name, fidelity.mean_kl, fidelity.top1_agreement, kib))
+        slug = name.replace("-", "_")
+        ctx.record(f"mean_kl_{slug}", fidelity.mean_kl, tolerance_pct=20.0)
+        ctx.record(f"top1_agreement_{slug}", fidelity.top1_agreement,
+                   direction=HIGHER, tolerance_pct=10.0)
+        ctx.record(f"cache_kib_{slug}", kib, unit="KiB", tolerance_pct=5.0)
+
+    fp16_kib = context * model.config.kv_cache_bytes_per_token() / 1024.0
+    ctx.emit(
+        f"context {context} tokens, fp16 cache {fp16_kib:.0f} KiB, eviction budget "
+        f"{budget} tokens",
+        f"{'scheme':>16s} {'KL vs fp16':>11s} {'top-1 agree':>12s} {'cache KiB':>10s}",
+    )
+    for name, kl, agree, kib in rows:
+        ctx.emit(f"{name:>16s} {kl:>11.4f} {agree:>12.3f} {kib:>10.1f}")
+    ctx.emit(
+        "",
+        "At a matched memory budget, keeping every token at 4 bits (MILLION) is"
+        " far more faithful to the fp16 model than dropping tokens outright.",
+    )
+
+
+def test_ablation_sparse_vs_quant(results_writer):
+    result = run_registered("quant.sparse_vs_quant")
+    results_writer("ablation_sparse_vs_quant", result.text)
+    metrics = {m.name: m.value for m in result.metrics}
+    for baseline in ("sliding_window", "heavy_hitter"):
+        assert metrics["mean_kl_million_4b"] < metrics[f"mean_kl_{baseline}"]
+        assert metrics["top1_agreement_million_4b"] > metrics[f"top1_agreement_{baseline}"]
         # Memory budgets are comparable (within ~2.5x, codebooks included).
-        assert million_kib < 2.5 * kib
+        assert metrics["cache_kib_million_4b"] < 2.5 * metrics[f"cache_kib_{baseline}"]

@@ -8,10 +8,15 @@ the OOM points.  The paper's qualitative findings checked here:
   contexts and are the two operators MILLION shrinks,
 * speedups grow with context length, reaching ~2x around 32K,
 * the fp16 baseline runs out of memory at 64K/80K while MILLION keeps running.
+
+Registered as ``serving.latency_breakdown``; the analytic model is
+deterministic, so the speedup metrics gate tightly.
 """
 
 from __future__ import annotations
 
+from _bench_shared import run_registered
+from repro.bench import HIGHER, BenchContext, benchmark_case
 from repro.perf import LLAMA_2_7B, A40, ATTENTION_OPERATORS, breakdown_sweep
 
 CONTEXT_LENGTHS = [128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 80000]
@@ -47,24 +52,52 @@ def _format(points) -> str:
     return "\n".join(lines)
 
 
-def test_fig7_latency_breakdown(benchmark, results_writer):
-    points = benchmark(breakdown_sweep, LLAMA_2_7B, CONTEXT_LENGTHS, device=A40)
-    results_writer("fig7_latency_breakdown", _format(points))
-
+@benchmark_case(
+    "serving.latency_breakdown", suite="serving", budget_s=60.0, smoke_budget_s=20.0
+)
+def bench_latency_breakdown(ctx: BenchContext) -> None:
+    points = breakdown_sweep(LLAMA_2_7B, CONTEXT_LENGTHS, device=A40)
+    ctx.set_params(context_lengths=CONTEXT_LENGTHS, device="A40")
     by_length = {p.context_length: p for p in points}
+    # Deterministic analytic model: 2% tolerance flags any real change.
+    for context in (1024, 8192, 32768):
+        ctx.record(f"e2e_speedup_{context // 1024}k_x", by_length[context].e2e_speedup,
+                   unit="x", direction=HIGHER, tolerance_pct=2.0)
     p32k = by_length[32768]
-    # cat + sdpa dominate the baseline at 32K and MILLION shrinks both.
-    baseline_ops = p32k.baseline.operator_ms
-    assert baseline_ops["cat"] + baseline_ops["sdpa"] > 0.5 * p32k.baseline.total_ms
-    assert p32k.million.operator_ms["cat"] < baseline_ops["cat"] / 5
-    assert p32k.million.operator_ms["sdpa"] < baseline_ops["sdpa"]
+    ctx.record("sdpa_speedup_32k_x", p32k.sdpa_speedup, unit="x", direction=HIGHER,
+               tolerance_pct=2.0)
+    ctx.record("baseline_total_ms_32k", p32k.baseline.total_ms, unit="ms", tolerance_pct=2.0)
+    ctx.record("million_total_ms_32k", p32k.million.total_ms, unit="ms", tolerance_pct=2.0)
+    ctx.record("baseline_cat_ms_32k", p32k.baseline.operator_ms["cat"], unit="ms",
+               tolerance_pct=2.0)
+    ctx.record("million_cat_ms_32k", p32k.million.operator_ms["cat"], unit="ms",
+               tolerance_pct=2.0)
+    ctx.record("baseline_cat_sdpa_share_32k",
+               (p32k.baseline.operator_ms["cat"] + p32k.baseline.operator_ms["sdpa"])
+               / p32k.baseline.total_ms,
+               unit="frac", direction=HIGHER, tolerance_pct=5.0)
+    oom_contexts = [p.context_length for p in points if p.baseline.oom]
+    million_oom = [p.context_length for p in points if p.million.oom]
+    ctx.record("baseline_oom_contexts", len(oom_contexts), unit="count", tolerance_pct=0.0)
+    ctx.record("million_oom_contexts", len(million_oom), unit="count", tolerance_pct=0.0)
+    ctx.emit(_format(points))
+
+
+def test_fig7_latency_breakdown(results_writer):
+    result = run_registered("serving.latency_breakdown")
+    results_writer("fig7_latency_breakdown", result.text)
+    metrics = {m.name: m.value for m in result.metrics}
+
+    # cat + sdpa dominate the baseline at 32K and MILLION shrinks cat by >5x.
+    assert metrics["baseline_cat_sdpa_share_32k"] > 0.5
+    assert metrics["million_cat_ms_32k"] < metrics["baseline_cat_ms_32k"] / 5
     # Speedup grows with context and is ~2x at 32K.
-    speedups = [by_length[c].e2e_speedup for c in (1024, 8192, 32768)]
+    speedups = [metrics[f"e2e_speedup_{c}k_x"] for c in (1, 8, 32)]
     assert speedups[0] < speedups[1] < speedups[2]
     assert 1.7 < speedups[2] < 3.2
-    assert 1.3 < p32k.sdpa_speedup < 3.0
+    assert 1.3 < metrics["sdpa_speedup_32k_x"] < 3.0
     # Baseline OOM at 64K/80K; MILLION still running.
-    assert by_length[65536].baseline.oom and by_length[80000].baseline.oom
-    assert not by_length[65536].million.oom and not by_length[80000].million.oom
+    assert metrics["baseline_oom_contexts"] == 2
+    assert metrics["million_oom_contexts"] == 0
     # Attention-block operators are a strict subset of the total.
     assert set(REPORTED_OPERATORS) <= set(ATTENTION_OPERATORS)

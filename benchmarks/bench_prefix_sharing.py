@@ -13,49 +13,65 @@ are paid once.  The benchmark measures:
 * **peak pool blocks and modelled KV bytes** right after all prefills, where
   sharing should hold the prefix cost constant in N.
 
-Run with::
+Registered as ``serving.prefix_sharing`` in the unified harness.  Run
+standalone with::
 
     PYTHONPATH=src python benchmarks/bench_prefix_sharing.py [--smoke]
 
-``--smoke`` shrinks every dimension so the benchmark finishes in seconds
-(used by CI to keep the file from bit-rotting).
+or through ``python -m repro.bench run --suite serving``.  ``--smoke``
+shrinks every dimension so the benchmark finishes in seconds.
 """
 
 from __future__ import annotations
 
 import argparse
 import time
-from pathlib import Path
+from dataclasses import dataclass
 
 import numpy as np
 
+from _bench_shared import run_registered
+from repro.bench import HIGHER, BenchContext, benchmark_case
 from repro.core import MillionConfig, calibrate_million
 from repro.data import load_corpus
 from repro.models import ModelConfig, build_model
 from repro.serving import BatchedMillionEngine, BlockPool, PooledMillionCacheFactory
 
-RESULTS_PATH = Path(__file__).parent / "results" / "prefix_sharing.txt"
+
+@dataclass(frozen=True)
+class Params:
+    requests: int = 8
+    prefix_tokens: int = 1024
+    suffix_tokens: int = 24
+    max_new_tokens: int = 8
+    block_tokens: int = 32
+
+    @classmethod
+    def smoke(cls) -> "Params":
+        return cls(
+            requests=4, prefix_tokens=256, suffix_tokens=8, max_new_tokens=2, block_tokens=16
+        )
 
 
-def build_engine(model, factory, million_config, args, n_requests):
+def build_engine(model, factory, million_config, params: Params, n_requests: int):
     per_request_blocks = (
-        (args.prefix_tokens + args.suffix_tokens + args.max_new_tokens)
-        // args.block_tokens
+        (params.prefix_tokens + params.suffix_tokens + params.max_new_tokens)
+        // params.block_tokens
         + 2
     )
     num_blocks = n_requests * per_request_blocks * model.config.n_layers + 8
     pool = BlockPool.for_model(
-        model.config, million_config, num_blocks=num_blocks, block_tokens=args.block_tokens
+        model.config, million_config, num_blocks=num_blocks, block_tokens=params.block_tokens
     )
     pooled = PooledMillionCacheFactory.from_factory(factory, pool)
     return BatchedMillionEngine(model, pooled, max_batch_size=n_requests)
 
 
-def run_workload(model, factory, million_config, args, prompts):
+def run_workload(model, factory, million_config, params: Params, prompts):
     """Serve ``prompts`` on a fresh pool; returns timing and peak stats."""
-    engine = build_engine(model, factory, million_config, args, len(prompts))
+    engine = build_engine(model, factory, million_config, params, len(prompts))
     for prompt in prompts:
-        engine.add_request(prompt, max_new_tokens=args.max_new_tokens)
+        engine.add_request(prompt, max_new_tokens=params.max_new_tokens)
     start = time.perf_counter()
     engine.step()  # admits + prefills every request (batch == len(prompts))
     prefill_seconds = time.perf_counter() - start
@@ -72,54 +88,38 @@ def run_workload(model, factory, million_config, args, prompts):
     }
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--requests", type=int, default=8)
-    parser.add_argument("--prefix-tokens", type=int, default=1024)
-    parser.add_argument("--suffix-tokens", type=int, default=24)
-    parser.add_argument("--max-new-tokens", type=int, default=8)
-    parser.add_argument("--block-tokens", type=int, default=32)
-    parser.add_argument(
-        "--smoke", action="store_true", help="tiny sizes for CI smoke testing"
-    )
-    args = parser.parse_args()
-    if args.smoke:
-        args.requests = 4
-        args.prefix_tokens = 256
-        args.suffix_tokens = 8
-        args.max_new_tokens = 2
-        args.block_tokens = 16
-
+def measure_prefix_sharing(ctx: BenchContext, params: Params) -> None:
+    """Core measurement shared by the registered case and the CLI script."""
     config = ModelConfig(
         name="bench-prefix-sharing",
         vocab_size=256,
         d_model=64,
         n_layers=2,
         n_heads=2,
-        max_seq_len=args.prefix_tokens + args.suffix_tokens + args.max_new_tokens + 64,
+        max_seq_len=params.prefix_tokens + params.suffix_tokens + params.max_new_tokens + 64,
         positional="rope",
         norm="rmsnorm",
         activation="silu",
     )
+    ctx.set_params(**vars(params))
     model = build_model(config, seed=0)
     vocab = config.vocab_size
     calibration = load_corpus("wikitext2-syn", "train", 1024, seed=1) % vocab
     million_config = MillionConfig.for_equivalent_bits(
         config.head_dim, bits=4, kmeans_iters=4, calibration_samples=1024
     )
-    print("calibrating MILLION codebooks ...")
     factory = calibrate_million(model, calibration, million_config)
 
-    prefix = load_corpus("wikitext2-syn", "test", args.prefix_tokens, seed=2) % vocab
+    prefix = load_corpus("wikitext2-syn", "test", params.prefix_tokens, seed=2) % vocab
     suffixes = [
-        load_corpus("wikitext2-syn", "test", args.suffix_tokens, seed=10 + i) % vocab
-        for i in range(args.requests)
+        load_corpus("wikitext2-syn", "test", params.suffix_tokens, seed=10 + i) % vocab
+        for i in range(params.requests)
     ]
     shared_prompts = [np.concatenate([prefix, suffix]) for suffix in suffixes]
     unique_prompts = [
         np.concatenate(
             [
-                load_corpus("wikitext2-syn", "test", args.prefix_tokens, seed=100 + i)
+                load_corpus("wikitext2-syn", "test", params.prefix_tokens, seed=100 + i)
                 % vocab,
                 suffix,
             ]
@@ -127,17 +127,26 @@ def main() -> None:
         for i, suffix in enumerate(suffixes)
     ]
 
-    print(
-        f"serving {args.requests} requests, prefix={args.prefix_tokens} "
-        f"suffix={args.suffix_tokens} block={args.block_tokens} ..."
-    )
-    unshared = run_workload(model, factory, million_config, args, unique_prompts)
-    shared = run_workload(model, factory, million_config, args, shared_prompts)
+    unshared = run_workload(model, factory, million_config, params, unique_prompts)
+    shared = run_workload(model, factory, million_config, params, shared_prompts)
     speedup = shared["prefill_tokens_per_s"] / unshared["prefill_tokens_per_s"]
     block_ratio = unshared["peak_used_blocks"] / shared["peak_used_blocks"]
     kv_ratio = unshared["peak_kv_bytes"] / shared["peak_kv_bytes"]
 
-    rows = [
+    ctx.record("prefill_speedup_x", speedup, unit="x", direction=HIGHER, tolerance_pct=60.0)
+    # Block/token accounting is deterministic (integer block bookkeeping), so
+    # it gates tightly — a prefix-sharing regression shows up here first.
+    ctx.record("peak_block_ratio_x", block_ratio, unit="x", direction=HIGHER,
+               tolerance_pct=10.0)
+    ctx.record("peak_kv_ratio_x", kv_ratio, unit="x", direction=HIGHER, tolerance_pct=10.0)
+    ctx.record("prefix_tokens_reused", shared["reused"], unit="tokens", direction=HIGHER,
+               tolerance_pct=5.0)
+    ctx.record("shared_prefill_tokens_per_s", shared["prefill_tokens_per_s"],
+               unit="tok/s", direction=HIGHER, gated=False)
+    ctx.record("unique_prefill_tokens_per_s", unshared["prefill_tokens_per_s"],
+               unit="tok/s", direction=HIGHER, gated=False)
+
+    ctx.emit(
         "workload   prefill_tok/s  computed  reused  peak_blocks  peak_kv_bytes",
         (
             f"unique     {unshared['prefill_tokens_per_s']:12.1f}  "
@@ -153,18 +162,51 @@ def main() -> None:
         f"prefill speedup from sharing: {speedup:.2f}x",
         f"peak pool blocks reduced:     {block_ratio:.2f}x",
         f"peak modelled KV reduced:     {kv_ratio:.2f}x",
-    ]
-    text = "\n".join(rows)
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS_PATH.write_text(text + "\n")
-    print(text)
+    )
 
-    assert speedup >= 2.0, (
-        f"prefix sharing must speed up prefill by >= 2x, got {speedup:.2f}x"
+
+@benchmark_case("serving.prefix_sharing", suite="serving", budget_s=300.0, smoke_budget_s=60.0)
+def bench_prefix_sharing(ctx: BenchContext) -> None:
+    measure_prefix_sharing(ctx, Params.smoke() if ctx.smoke else Params())
+
+
+def _assert_claims(metrics: dict[str, float]) -> None:
+    speedup = metrics["prefill_speedup_x"]
+    block_ratio = metrics["peak_block_ratio_x"]
+    assert speedup >= 2.0, f"prefix sharing must speed up prefill by >= 2x, got {speedup:.2f}x"
+    assert block_ratio > 1.5, f"sharing must reduce peak pool blocks, got {block_ratio:.2f}x"
+
+
+def test_prefix_sharing(results_writer):
+    result = run_registered("serving.prefix_sharing")
+    results_writer("prefix_sharing", result.text)
+    _assert_claims({m.name: m.value for m in result.metrics})
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--prefix-tokens", type=int, default=None)
+    parser.add_argument("--suffix-tokens", type=int, default=None)
+    parser.add_argument("--max-new-tokens", type=int, default=None)
+    parser.add_argument("--block-tokens", type=int, default=None)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes for CI smoke testing"
     )
-    assert block_ratio > 1.5, (
-        f"sharing must reduce peak pool blocks, got {block_ratio:.2f}x"
-    )
+    args = parser.parse_args()
+    params = Params.smoke() if args.smoke else Params()
+    overrides = {
+        field: getattr(args, field)
+        for field in vars(params)
+        if getattr(args, field) is not None
+    }
+    params = Params(**{**vars(params), **overrides})
+
+    print("calibrating MILLION codebooks ...")
+    ctx = BenchContext(smoke=args.smoke)
+    measure_prefix_sharing(ctx, params)
+    print(ctx.text)
+    _assert_claims({m.name: m.value for m in ctx.metrics})
     print("OK")
 
 

@@ -1,0 +1,56 @@
+"""Unified benchmark harness: registry, runner, regression gate and reports.
+
+The paper's claims are performance claims, so this package gives every
+benchmark one machine-readable trajectory:
+
+* :func:`benchmark_case` — decorator each ``benchmarks/bench_*.py`` file uses
+  to register its measurement core (see :mod:`repro.bench.registry`);
+* ``python -m repro.bench run [--smoke] [--suite serving|quant|kernels|all]``
+  — execute suites and write schema-versioned ``BENCH_<suite>.json``
+  (:mod:`repro.bench.runner`, :mod:`repro.bench.schema`);
+* ``python -m repro.bench gate --baseline benchmarks/baselines`` — diff a run
+  against committed baselines, exiting non-zero on regressions beyond
+  per-metric tolerances (:mod:`repro.bench.gate`);
+* ``python -m repro.bench report`` — render results as markdown
+  (:mod:`repro.bench.report`).
+"""
+
+from repro.bench.registry import (
+    HIGHER,
+    LOWER,
+    BenchCase,
+    BenchContext,
+    benchmark_case,
+    cases,
+    get_case,
+    run_case,
+)
+from repro.bench.schema import (
+    HIGHER_IS_BETTER,
+    LOWER_IS_BETTER,
+    SCHEMA_VERSION,
+    CaseResult,
+    Metric,
+    SchemaError,
+    SuiteResult,
+    result_filename,
+)
+
+__all__ = [
+    "BenchCase",
+    "BenchContext",
+    "CaseResult",
+    "HIGHER",
+    "HIGHER_IS_BETTER",
+    "LOWER",
+    "LOWER_IS_BETTER",
+    "Metric",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "SuiteResult",
+    "benchmark_case",
+    "cases",
+    "get_case",
+    "result_filename",
+    "run_case",
+]

@@ -1,0 +1,271 @@
+"""Command-line interface: ``python -m repro.bench`` / ``repro-bench``.
+
+Subcommands
+-----------
+
+``run``
+    Execute one suite (or ``all``), writing ``BENCH_<suite>.json`` to
+    ``--output-dir`` (default ``benchmarks/results``).  ``--write-baseline``
+    additionally refreshes the committed ``benchmarks/baselines/`` copies.
+
+``gate``
+    Diff current results against committed baselines and exit non-zero on
+    any regression beyond tolerance.  If ``--current`` is omitted the suites
+    named by the baselines are re-run fresh first.
+
+``report``
+    Render every ``BENCH_*.json`` under a directory as one markdown document
+    (optionally diffed against the baselines directory).
+
+``list``
+    Show the registered cases per suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from repro.bench import gate as gate_mod
+from repro.bench import registry, report, runner
+from repro.bench.schema import SchemaError, SuiteResult, result_filename, suite_files
+
+DEFAULT_OUTPUT_DIR = Path("benchmarks") / "results"
+DEFAULT_BASELINE_DIR = Path("benchmarks") / "baselines"
+
+
+def _suite_choices(value: str) -> list[str]:
+    if value == "all":
+        return list(registry.SUITES)
+    if value in registry.SUITES:
+        return [value]
+    raise argparse.ArgumentTypeError(
+        f"unknown suite {value!r}; choose from {', '.join(registry.SUITES)} or 'all'"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Unified benchmark harness: run suites, gate regressions, render reports.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run benchmark suites and write BENCH_<suite>.json")
+    run_p.add_argument(
+        "--suite",
+        type=_suite_choices,
+        default=list(registry.SUITES),
+        help="serving | quant | kernels | all (default: all)",
+    )
+    run_p.add_argument("--smoke", action="store_true", help="tiny sizes for CI smoke runs")
+    run_p.add_argument("--output-dir", type=Path, default=DEFAULT_OUTPUT_DIR)
+    run_p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=f"also refresh the committed baselines under {DEFAULT_BASELINE_DIR}",
+    )
+    run_p.add_argument("--baseline-dir", type=Path, default=DEFAULT_BASELINE_DIR)
+    run_p.add_argument("--benchmarks-dir", type=Path, default=None)
+    run_p.add_argument(
+        "--case",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only the named case(s); repeatable",
+    )
+
+    gate_p = sub.add_parser("gate", help="fail on perf regressions vs committed baselines")
+    gate_p.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE_DIR,
+        help="baseline BENCH_*.json file or directory of them",
+    )
+    gate_p.add_argument(
+        "--current",
+        type=Path,
+        default=None,
+        help="current BENCH_*.json file or directory; omitted = run the suites fresh",
+    )
+    gate_p.add_argument(
+        "--tolerance-pct",
+        type=float,
+        default=gate_mod.DEFAULT_TOLERANCE_PCT,
+        help="default regression allowance for metrics without a recorded tolerance",
+    )
+    gate_p.add_argument("--smoke", action="store_true", help="fresh runs use smoke sizes")
+    gate_p.add_argument("--benchmarks-dir", type=Path, default=None)
+    gate_p.add_argument(
+        "--report-output", type=Path, default=None, help="also write a markdown report here"
+    )
+
+    report_p = sub.add_parser("report", help="render BENCH_*.json as markdown")
+    report_p.add_argument(
+        "--results", type=Path, default=DEFAULT_OUTPUT_DIR,
+        help="BENCH_*.json file or directory of them",
+    )
+    report_p.add_argument(
+        "--baseline", type=Path, default=None,
+        help="optional baseline file/directory for a Δ column",
+    )
+    report_p.add_argument("--output", type=Path, default=None, help="write markdown here")
+
+    list_p = sub.add_parser("list", help="list registered benchmark cases")
+    list_p.add_argument("--suite", type=_suite_choices, default=list(registry.SUITES))
+    list_p.add_argument("--benchmarks-dir", type=Path, default=None)
+
+    return parser
+
+
+def _load_results(path: Path) -> list[SuiteResult]:
+    if path.is_dir():
+        files = suite_files(path)
+        if not files:
+            raise FileNotFoundError(f"no BENCH_*.json files under {path}")
+        return [SuiteResult.load(f) for f in files]
+    return [SuiteResult.load(path)]
+
+
+def _annotate_failure(finding: gate_mod.Finding) -> None:
+    """Emit a GitHub Actions error annotation naming the regressed metric."""
+    if os.environ.get("GITHUB_ACTIONS") != "true":
+        return
+    where = f"{finding.suite}/{finding.case}"
+    metric = finding.metric or "(case)"
+    print(
+        f"::error title=Benchmark regression in {where}::"
+        f"metric {metric}: {finding.message}"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.write_baseline and args.case:
+        # A filtered run would overwrite a full-suite baseline with a partial
+        # document, silently shrinking what the gate covers.
+        print(
+            "[bench] error: --write-baseline cannot be combined with --case; "
+            "refresh baselines from a full suite run",
+            file=sys.stderr,
+        )
+        return 2
+    results = runner.run_suites(
+        args.suite,
+        smoke=args.smoke,
+        benchmarks_dir=args.benchmarks_dir,
+        output_dir=args.output_dir,
+        case_names=args.case,
+    )
+    failed = [
+        case.name for result in results.values() for case in result.cases if not case.ok
+    ]
+    if failed:
+        if args.write_baseline:
+            print("[bench] NOT refreshing baselines: run contains failed cases",
+                  file=sys.stderr)
+        print(f"[bench] FAILED case(s): {', '.join(failed)}", file=sys.stderr)
+        return 1
+    if args.write_baseline:
+        for suite, result in results.items():
+            path = result.save(args.baseline_dir / result_filename(suite))
+            print(f"[bench] refreshed baseline {path}")
+    return 0
+
+
+def _cmd_gate(args: argparse.Namespace) -> int:
+    baselines = _load_results(args.baseline)
+    if args.current is not None:
+        current_by_suite = {r.suite: r for r in _load_results(args.current)}
+    else:
+        suites = [b.suite for b in baselines]
+        current_by_suite = runner.run_suites(
+            suites, smoke=args.smoke, benchmarks_dir=args.benchmarks_dir, output_dir=None
+        )
+    all_findings: list[gate_mod.Finding] = []
+    current_results: list[SuiteResult] = []
+    for baseline in baselines:
+        current = current_by_suite.get(baseline.suite)
+        if current is None:
+            all_findings.append(
+                gate_mod.Finding(
+                    gate_mod.Kind.MISSING_CASE,
+                    baseline.suite,
+                    "",
+                    "",
+                    f"no current results for suite {baseline.suite!r} "
+                    f"(expected {result_filename(baseline.suite)})",
+                )
+            )
+            continue
+        current_results.append(current)
+        all_findings.extend(
+            gate_mod.compare_suites(
+                baseline, current, default_tolerance_pct=args.tolerance_pct
+            )
+        )
+    for finding in all_findings:
+        print(finding)
+        if finding.fails:
+            _annotate_failure(finding)
+    print(gate_mod.summarize(all_findings))
+    if args.report_output is not None:
+        markdown = report.render_report(
+            current_results,
+            baselines={b.suite: b for b in baselines},
+            findings=all_findings,
+            title="Benchmark gate report",
+        )
+        report.write_report(args.report_output, markdown)
+        print(f"[bench] wrote {args.report_output}")
+    return 1 if gate_mod.has_failures(all_findings) else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    results = _load_results(args.results)
+    baselines: dict[str, SuiteResult] = {}
+    if args.baseline is not None:
+        try:
+            baselines = {r.suite: r for r in _load_results(args.baseline)}
+        except FileNotFoundError:
+            print(f"[bench] no baselines under {args.baseline}; rendering without Δ")
+    markdown = report.render_report(results, baselines=baselines)
+    if args.output is not None:
+        report.write_report(args.output, markdown)
+        print(f"[bench] wrote {args.output}")
+    else:
+        print(markdown)
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    runner.discover(args.benchmarks_dir)
+    for suite in args.suite:
+        cases = registry.cases(suite)
+        print(f"{suite}: {len(cases)} case(s)")
+        for case in cases:
+            print(
+                f"  {case.name:40s} budget {case.budget_s:>6.0f}s "
+                f"(smoke {case.smoke_budget_s:>4.0f}s)  [{case.module}]"
+            )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "gate": _cmd_gate,
+        "report": _cmd_report,
+        "list": _cmd_list,
+    }[args.command]
+    try:
+        return handler(args)
+    except (SchemaError, FileNotFoundError, KeyError) as exc:
+        print(f"[bench] error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,220 @@
+"""Regression gate: diff a fresh suite run against a committed baseline.
+
+The comparison is direction-aware and per-metric:
+
+* a *gated* metric that moved in the bad direction by more than its tolerance
+  (its recorded ``tolerance_pct``, else the CLI default) is a **regression**;
+* a gated baseline metric (or whole case) absent from the current run is a
+  **regression** — silently dropping a measurement must not pass CI;
+* a current metric absent from the baseline is **informational** (new metrics
+  appear whenever a PR adds coverage; the next baseline refresh adopts them);
+* non-gated metrics and improvements are reported but never fail the gate;
+* a case that errored in the current run is a regression outright.
+
+Comparing a smoke run against a full-mode baseline (or vice versa) is almost
+always a configuration mistake, so it is surfaced as a warning finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.bench.schema import HIGHER_IS_BETTER, Metric, SuiteResult
+
+DEFAULT_TOLERANCE_PCT = 25.0
+
+
+class Kind(Enum):
+    PASS = "pass"
+    IMPROVEMENT = "improvement"
+    REGRESSION = "regression"
+    MISSING_METRIC = "missing-metric"
+    MISSING_CASE = "missing-case"
+    CASE_ERROR = "case-error"
+    NEW_METRIC = "new-metric"
+    INFO = "info"
+    WARNING = "warning"
+
+    @property
+    def fails(self) -> bool:
+        return self in (
+            Kind.REGRESSION,
+            Kind.MISSING_METRIC,
+            Kind.MISSING_CASE,
+            Kind.CASE_ERROR,
+        )
+
+
+@dataclass(frozen=True)
+class Finding:
+    kind: Kind
+    suite: str
+    case: str
+    metric: str
+    message: str
+
+    @property
+    def fails(self) -> bool:
+        return self.kind.fails
+
+    def __str__(self) -> str:
+        label = f"{self.suite}/{self.case}" + (f"/{self.metric}" if self.metric else "")
+        return f"[{self.kind.value}] {label}: {self.message}"
+
+
+def _relative_change_pct(baseline: float, current: float) -> float:
+    """Signed change where positive always means 'worse-direction-agnostic'."""
+    denom = abs(baseline)
+    if denom < 1e-12:
+        # A zero baseline admits no relative comparison; treat any nonzero
+        # current value as a 100% move so the tolerance still has teeth.
+        return 0.0 if abs(current) < 1e-12 else 100.0
+    return 100.0 * (current - baseline) / denom
+
+
+def compare_metric(
+    suite: str,
+    case: str,
+    baseline: Metric,
+    current: Metric,
+    default_tolerance_pct: float,
+) -> Finding:
+    tolerance = baseline.tolerance_pct
+    if tolerance is None:
+        tolerance = default_tolerance_pct
+    change_pct = _relative_change_pct(baseline.value, current.value)
+    if baseline.direction == HIGHER_IS_BETTER:
+        worsening_pct = -change_pct
+    else:
+        worsening_pct = change_pct
+    unit = f" {baseline.unit}" if baseline.unit else ""
+    detail = (
+        f"{baseline.value:g}{unit} -> {current.value:g}{unit} "
+        f"({change_pct:+.1f}%, tolerance {tolerance:g}%)"
+    )
+    if not baseline.gated:
+        return Finding(Kind.INFO, suite, case, baseline.name, f"not gated: {detail}")
+    if worsening_pct > tolerance:
+        return Finding(Kind.REGRESSION, suite, case, baseline.name, f"regressed: {detail}")
+    if worsening_pct < -tolerance:
+        return Finding(Kind.IMPROVEMENT, suite, case, baseline.name, f"improved: {detail}")
+    return Finding(Kind.PASS, suite, case, baseline.name, detail)
+
+
+def compare_suites(
+    baseline: SuiteResult,
+    current: SuiteResult,
+    *,
+    default_tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+) -> list[Finding]:
+    """All findings from diffing ``current`` against ``baseline``."""
+    findings: list[Finding] = []
+    suite = baseline.suite
+    if current.suite != baseline.suite:
+        findings.append(
+            Finding(
+                Kind.WARNING,
+                suite,
+                "",
+                "",
+                f"comparing suite {current.suite!r} against baseline suite "
+                f"{baseline.suite!r}",
+            )
+        )
+    if current.smoke != baseline.smoke:
+        findings.append(
+            Finding(
+                Kind.WARNING,
+                suite,
+                "",
+                "",
+                f"smoke mismatch: baseline smoke={baseline.smoke}, "
+                f"current smoke={current.smoke} — numbers are not comparable "
+                "at different scales",
+            )
+        )
+    current_cases = current.cases_by_name()
+    for base_case in baseline.cases:
+        cur_case = current_cases.get(base_case.name)
+        if cur_case is None:
+            findings.append(
+                Finding(
+                    Kind.MISSING_CASE,
+                    suite,
+                    base_case.name,
+                    "",
+                    "case present in baseline but absent from the current run",
+                )
+            )
+            continue
+        if cur_case.error is not None:
+            findings.append(
+                Finding(
+                    Kind.CASE_ERROR,
+                    suite,
+                    base_case.name,
+                    "",
+                    f"case failed: {cur_case.error.splitlines()[0]}",
+                )
+            )
+            continue
+        cur_metrics = cur_case.metrics_by_name()
+        for base_metric in base_case.metrics:
+            cur_metric = cur_metrics.get(base_metric.name)
+            if cur_metric is None:
+                kind = Kind.MISSING_METRIC if base_metric.gated else Kind.INFO
+                findings.append(
+                    Finding(
+                        kind,
+                        suite,
+                        base_case.name,
+                        base_metric.name,
+                        "metric present in baseline but absent from the current run",
+                    )
+                )
+                continue
+            findings.append(
+                compare_metric(
+                    suite, base_case.name, base_metric, cur_metric, default_tolerance_pct
+                )
+            )
+        for name in cur_metrics:
+            if name not in {m.name for m in base_case.metrics}:
+                findings.append(
+                    Finding(
+                        Kind.NEW_METRIC,
+                        suite,
+                        base_case.name,
+                        name,
+                        "metric absent from baseline (adopted at next "
+                        "--write-baseline refresh)",
+                    )
+                )
+    base_case_names = {case.name for case in baseline.cases}
+    for name in current_cases:
+        if name not in base_case_names:
+            findings.append(
+                Finding(
+                    Kind.NEW_METRIC,
+                    suite,
+                    name,
+                    "",
+                    "case absent from baseline (adopted at next "
+                    "--write-baseline refresh)",
+                )
+            )
+    return findings
+
+
+def has_failures(findings: list[Finding]) -> bool:
+    return any(finding.fails for finding in findings)
+
+
+def summarize(findings: list[Finding]) -> str:
+    counts: dict[Kind, int] = {}
+    for finding in findings:
+        counts[finding.kind] = counts.get(finding.kind, 0) + 1
+    parts = [f"{kind.value}={count}" for kind, count in sorted(counts.items(), key=lambda kv: kv[0].value)]
+    verdict = "FAIL" if has_failures(findings) else "PASS"
+    return f"gate {verdict} ({', '.join(parts) if parts else 'no findings'})"

@@ -1,0 +1,233 @@
+"""Benchmark case registry and the decorator API benchmark files use.
+
+A benchmark file under ``benchmarks/`` registers its measurement cores like::
+
+    from repro.bench import benchmark_case
+
+    @benchmark_case("serving.prefix_sharing", suite="serving",
+                    budget_s=300.0, smoke_budget_s=60.0)
+    def bench_prefix_sharing(ctx):
+        n = ctx.pick(full=8, smoke=4)
+        ...
+        ctx.record("prefill_speedup_x", speedup, unit="x",
+                   direction="higher_is_better", tolerance_pct=60.0)
+
+The same function then backs both entry points: the ``pytest -s`` test in the
+benchmark file (which asserts the paper's qualitative claims on the recorded
+metrics) and ``python -m repro.bench run`` (which persists them to
+``BENCH_<suite>.json`` for the CI gate).  Case functions should only *assert*
+correctness invariants (e.g. token-identical outputs); threshold claims belong
+in the pytest wrappers and regressions are caught by the gate against
+committed baselines.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.bench.schema import (
+    HIGHER_IS_BETTER,
+    LOWER_IS_BETTER,
+    CaseResult,
+    Metric,
+)
+
+#: Known suites; registration outside this set is rejected to catch typos.
+SUITES = ("serving", "quant", "kernels")
+
+
+class BenchContext:
+    """Handed to every case function; collects metrics, params and report text."""
+
+    def __init__(self, smoke: bool = False):
+        self.smoke = bool(smoke)
+        self.params: dict[str, Any] = {}
+        self.metrics: list[Metric] = []
+        self._lines: list[str] = []
+
+    # -- configuration helpers -------------------------------------------------
+
+    def pick(self, full: Any, smoke: Any) -> Any:
+        """Choose a size parameter depending on smoke mode."""
+        return smoke if self.smoke else full
+
+    def set_params(self, **params: Any) -> None:
+        """Record the configuration knobs this run used (stored in the JSON)."""
+        self.params.update(params)
+
+    # -- measurement -----------------------------------------------------------
+
+    def record(
+        self,
+        name: str,
+        value: float,
+        *,
+        unit: str = "",
+        direction: str = LOWER_IS_BETTER,
+        tolerance_pct: float | None = None,
+        gated: bool = True,
+    ) -> Metric:
+        """Record one metric; ``gated=False`` marks it informational-only."""
+        if any(metric.name == name for metric in self.metrics):
+            raise ValueError(f"metric {name!r} recorded twice in one case")
+        metric = Metric(
+            name=name,
+            value=float(value),
+            unit=unit,
+            direction=direction,
+            tolerance_pct=tolerance_pct,
+            gated=gated,
+        )
+        self.metrics.append(metric)
+        return metric
+
+    def measure(
+        self,
+        fn: Callable[[], Any],
+        *,
+        repeats: int = 10,
+        warmup: int = 2,
+    ) -> float:
+        """Mean wall seconds per call of ``fn`` after ``warmup`` untimed calls."""
+        for _ in range(warmup):
+            fn()
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        return (time.perf_counter() - start) / repeats
+
+    # -- human-readable report ------------------------------------------------
+
+    def emit(self, *lines: str) -> None:
+        """Append lines to the case's human-readable report table."""
+        self._lines.extend(lines)
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self._lines)
+
+
+# Convenience re-exports so benchmark files only import from repro.bench.
+LOWER = LOWER_IS_BETTER
+HIGHER = HIGHER_IS_BETTER
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One registered benchmark: a named, suite-tagged measurement function."""
+
+    name: str
+    suite: str
+    fn: Callable[[BenchContext], None]
+    budget_s: float = 120.0
+    smoke_budget_s: float = 30.0
+    module: str = ""
+    qualname: str = ""
+
+    def budget(self, smoke: bool) -> float:
+        return self.smoke_budget_s if smoke else self.budget_s
+
+
+_REGISTRY: dict[str, BenchCase] = {}
+
+
+def register(case: BenchCase) -> BenchCase:
+    """Register ``case``; re-registering the same function is idempotent.
+
+    Two *different* functions claiming one name is a bug (silent clobbering
+    would make a suite quietly lose coverage), so that raises.  Re-importing
+    the module that defined a case — pytest and the runner may both import a
+    benchmark file — replaces the entry in place.
+    """
+    if case.suite not in SUITES:
+        raise ValueError(
+            f"benchmark case {case.name!r}: unknown suite {case.suite!r} "
+            f"(expected one of {SUITES})"
+        )
+    existing = _REGISTRY.get(case.name)
+    if existing is not None and (existing.module, existing.qualname) != (
+        case.module,
+        case.qualname,
+    ):
+        raise ValueError(
+            f"duplicate benchmark case name {case.name!r}: already registered by "
+            f"{existing.module}.{existing.qualname}, now also "
+            f"{case.module}.{case.qualname}"
+        )
+    _REGISTRY[case.name] = case
+    return case
+
+
+def unregister(name: str) -> None:
+    """Remove a case (test helper; discovery never unregisters)."""
+    _REGISTRY.pop(name, None)
+
+
+def benchmark_case(
+    name: str,
+    *,
+    suite: str,
+    budget_s: float = 120.0,
+    smoke_budget_s: float = 30.0,
+) -> Callable[[Callable[[BenchContext], None]], Callable[[BenchContext], None]]:
+    """Decorator registering ``fn`` as benchmark case ``name`` in ``suite``."""
+
+    def decorate(fn: Callable[[BenchContext], None]) -> Callable[[BenchContext], None]:
+        register(
+            BenchCase(
+                name=name,
+                suite=suite,
+                fn=fn,
+                budget_s=budget_s,
+                smoke_budget_s=smoke_budget_s,
+                module=fn.__module__,
+                qualname=fn.__qualname__,
+            )
+        )
+        return fn
+
+    return decorate
+
+
+def get_case(name: str) -> BenchCase:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(f"no benchmark case named {name!r} (registered: {known})") from None
+
+
+def cases(suite: str | None = None) -> list[BenchCase]:
+    """All registered cases (optionally one suite's), sorted by name."""
+    selected = [
+        case for case in _REGISTRY.values() if suite is None or case.suite == suite
+    ]
+    return sorted(selected, key=lambda case: case.name)
+
+
+def run_case(case: BenchCase | str, *, smoke: bool = False) -> CaseResult:
+    """Execute one case, capturing metrics, wall time and any failure."""
+    if isinstance(case, str):
+        case = get_case(case)
+    ctx = BenchContext(smoke=smoke)
+    error: str | None = None
+    start = time.perf_counter()
+    try:
+        case.fn(ctx)
+    except Exception as exc:  # noqa: BLE001 - a failed case must not kill the run
+        tail = traceback.format_exc(limit=4)
+        error = f"{type(exc).__name__}: {exc}\n{tail}"
+    wall_s = time.perf_counter() - start
+    return CaseResult(
+        name=case.name,
+        suite=case.suite,
+        metrics=list(ctx.metrics),
+        params=dict(ctx.params),
+        wall_s=wall_s,
+        budget_s=case.budget(smoke),
+        error=error,
+        text=ctx.text,
+    )

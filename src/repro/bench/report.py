@@ -1,0 +1,110 @@
+"""Markdown rendering of ``BENCH_*.json`` documents (the ``report`` command).
+
+Used locally to eyeball a run, and by CI to publish the smoke numbers into
+the job summary and the uploaded artifact bundle.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.gate import Finding
+from repro.bench.schema import CaseResult, Metric, SuiteResult
+
+
+def _fmt_value(metric: Metric) -> str:
+    value = metric.value
+    if value == 0:
+        text = "0"
+    elif abs(value) >= 1000:
+        text = f"{value:,.0f}"
+    elif abs(value) >= 1:
+        text = f"{value:.2f}"
+    else:
+        text = f"{value:.4g}"
+    return f"{text} {metric.unit}".strip()
+
+
+def _case_rows(case: CaseResult, baseline: CaseResult | None) -> list[str]:
+    rows = []
+    baseline_metrics = baseline.metrics_by_name() if baseline is not None else {}
+    for metric in case.metrics:
+        base = baseline_metrics.get(metric.name)
+        if base is None or abs(base.value) < 1e-12:
+            delta = "—"
+        else:
+            delta = f"{100.0 * (metric.value - base.value) / abs(base.value):+.1f}%"
+        arrow = "↑" if metric.direction == "higher_is_better" else "↓"
+        gated = "yes" if metric.gated else "no"
+        rows.append(
+            f"| `{case.name}` | `{metric.name}` {arrow} | {_fmt_value(metric)} | "
+            f"{_fmt_value(base) if base is not None else '—'} | {delta} | {gated} |"
+        )
+    if case.error is not None:
+        first_line = case.error.splitlines()[0]
+        rows.append(f"| `{case.name}` | **ERROR** | `{first_line}` | — | — | — |")
+    return rows
+
+
+def render_suite(result: SuiteResult, baseline: SuiteResult | None = None) -> str:
+    """One suite as a markdown section with a metric table."""
+    mode = "smoke" if result.smoke else "full"
+    lines = [
+        f"## Suite `{result.suite}` ({mode})",
+        "",
+        f"- created: {result.created_at or 'unknown'}  ·  git: "
+        f"`{result.git_sha or 'unknown'}`  ·  python {result.host.get('python', '?')} "
+        f"/ numpy {result.host.get('numpy', '?')}",
+        f"- cases: {len(result.cases)}, wall "
+        f"{sum(case.wall_s for case in result.cases):.1f}s"
+        + ("" if result.ok else " — **contains failed cases**"),
+    ]
+    if baseline is not None:
+        lines.append(
+            f"- baseline: {baseline.created_at or 'unknown'} "
+            f"(git `{baseline.git_sha or 'unknown'}`)"
+        )
+    lines += [
+        "",
+        "| case | metric | value | baseline | Δ | gated |",
+        "|---|---|---|---|---|---|",
+    ]
+    baseline_cases = baseline.cases_by_name() if baseline is not None else {}
+    for case in result.cases:
+        lines.extend(_case_rows(case, baseline_cases.get(case.name)))
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_report(
+    results: list[SuiteResult],
+    baselines: dict[str, SuiteResult] | None = None,
+    findings: list[Finding] | None = None,
+    title: str = "Benchmark report",
+) -> str:
+    """Full markdown document across suites, with optional gate findings."""
+    baselines = baselines or {}
+    lines = [f"# {title}", ""]
+    for result in results:
+        lines.append(render_suite(result, baselines.get(result.suite)))
+    if findings is not None:
+        lines += ["## Gate findings", ""]
+        failures = [finding for finding in findings if finding.fails]
+        if not findings:
+            lines.append("No findings.")
+        for finding in findings:
+            marker = "❌" if finding.fails else "·"
+            lines.append(f"- {marker} {finding}")
+        lines += [
+            "",
+            f"**{len(failures)} failing finding(s).**" if failures else "**Gate passed.**",
+        ]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(path: str | Path, markdown: str) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(markdown)
+    return path

@@ -1,0 +1,172 @@
+"""Discovery and execution of registered benchmark suites.
+
+Discovery imports every ``benchmarks/bench_*.py`` file; the import side
+effect is the :func:`repro.bench.benchmark_case` registrations.  Files are
+imported under their stem name (``bench_kernels``) — the same name pytest
+uses for rootless collection — so a process that mixes pytest and the runner
+sees exactly one module object per file and re-registration stays idempotent.
+Benchmark files that register nothing (the heavyweight accuracy experiments
+that need a trained model) are imported and simply contribute no cases.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+import time
+from pathlib import Path
+
+from repro.bench import registry
+from repro.bench.schema import (
+    CaseResult,
+    SuiteResult,
+    collect_host_info,
+    current_git_sha,
+    result_filename,
+    utc_now_iso,
+)
+
+
+def default_benchmarks_dir() -> Path:
+    """Locate the repo's ``benchmarks/`` directory.
+
+    Preference order: ``$REPRO_BENCHMARKS_DIR``, ``./benchmarks`` relative to
+    the working directory, then the source checkout layout relative to this
+    file (``src/repro/bench/runner.py`` → ``<repo>/benchmarks``).
+    """
+    import os
+
+    env = os.environ.get("REPRO_BENCHMARKS_DIR")
+    if env:
+        return Path(env)
+    cwd_candidate = Path.cwd() / "benchmarks"
+    if cwd_candidate.is_dir():
+        return cwd_candidate
+    repo_candidate = Path(__file__).resolve().parents[3] / "benchmarks"
+    if repo_candidate.is_dir():
+        return repo_candidate
+    return cwd_candidate
+
+
+def discover(benchmarks_dir: str | Path | None = None) -> list[Path]:
+    """Import every ``bench_*.py`` under ``benchmarks_dir``; return the files.
+
+    Import errors are not swallowed: a benchmark file that cannot import is a
+    broken suite and should fail loudly rather than silently shrink coverage.
+    """
+    directory = Path(benchmarks_dir) if benchmarks_dir else default_benchmarks_dir()
+    if not directory.is_dir():
+        raise FileNotFoundError(
+            f"benchmarks directory {directory} does not exist "
+            "(pass --benchmarks-dir or set REPRO_BENCHMARKS_DIR)"
+        )
+    # Benchmark files import their shared helpers (and each other) by stem.
+    dir_str = str(directory.resolve())
+    if dir_str not in sys.path:
+        sys.path.insert(0, dir_str)
+    files = sorted(directory.glob("bench_*.py"))
+    for path in files:
+        _import_by_stem(path)
+    return files
+
+
+def _import_by_stem(path: Path):
+    name = path.stem
+    cached = sys.modules.get(name)
+    if cached is not None:
+        return cached
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:  # pragma: no cover - defensive
+        raise ImportError(f"cannot build import spec for {path}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        sys.modules.pop(name, None)
+        raise
+    return module
+
+
+def run_suite(
+    suite: str,
+    *,
+    smoke: bool = False,
+    case_names: list[str] | None = None,
+    progress: bool = True,
+) -> SuiteResult:
+    """Run every registered case of ``suite`` (assumes discovery already ran)."""
+    selected = registry.cases(suite)
+    if case_names:
+        wanted = set(case_names)
+        # Names matching no suite at all are rejected in run_suites; here a
+        # non-matching name simply belongs to a different suite.
+        selected = [case for case in selected if case.name in wanted]
+    result = SuiteResult(
+        suite=suite,
+        smoke=smoke,
+        created_at=utc_now_iso(),
+        git_sha=current_git_sha(),
+        host=collect_host_info(),
+    )
+    for case in selected:
+        if progress:
+            print(f"[bench] {case.name} ...", flush=True)
+        case_result = registry.run_case(case, smoke=smoke)
+        result.cases.append(case_result)
+        if progress:
+            _print_case_outcome(case_result)
+    return result
+
+
+def _print_case_outcome(case_result: CaseResult) -> None:
+    if case_result.error is not None:
+        print(f"[bench] {case_result.name} FAILED after {case_result.wall_s:.1f}s")
+        print("        " + case_result.error.splitlines()[0])
+        return
+    status = f"[bench] {case_result.name} ok in {case_result.wall_s:.1f}s"
+    if case_result.wall_s > case_result.budget_s:
+        status += f" (OVER BUDGET {case_result.budget_s:.0f}s)"
+    print(status, flush=True)
+
+
+def run_suites(
+    suites: list[str],
+    *,
+    smoke: bool = False,
+    benchmarks_dir: str | Path | None = None,
+    output_dir: str | Path | None = None,
+    case_names: list[str] | None = None,
+    progress: bool = True,
+) -> dict[str, SuiteResult]:
+    """Discover, run and (optionally) persist the requested suites."""
+    discover(benchmarks_dir)
+    if case_names:
+        available = {case.name for suite in suites for case in registry.cases(suite)}
+        missing = set(case_names) - available
+        if missing:
+            raise KeyError(
+                f"no case(s) named {sorted(missing)} in suite(s) {suites}"
+            )
+    start = time.perf_counter()
+    results: dict[str, SuiteResult] = {}
+    for suite in suites:
+        result = run_suite(suite, smoke=smoke, case_names=case_names, progress=progress)
+        if case_names and not result.cases:
+            # The filter selected nothing from this suite; skip it rather
+            # than clobber its BENCH_<suite>.json with an empty document.
+            continue
+        results[suite] = result
+    if output_dir is not None:
+        out = Path(output_dir)
+        for suite, result in results.items():
+            path = result.save(out / result_filename(suite))
+            if progress:
+                print(f"[bench] wrote {path}")
+    if progress:
+        total_cases = sum(len(r.cases) for r in results.values())
+        print(
+            f"[bench] ran {total_cases} case(s) across {len(results)} suite(s) "
+            f"in {time.perf_counter() - start:.1f}s"
+        )
+    return results

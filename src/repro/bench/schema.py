@@ -1,0 +1,291 @@
+"""Machine-readable benchmark result schema (``BENCH_<suite>.json``).
+
+Every suite run produces one JSON document that the gate and report commands
+can consume without re-running anything.  The layout is versioned so future
+PRs can evolve it without silently mis-reading old baselines:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "suite": "serving",
+      "smoke": true,
+      "created_at": "2026-07-26T12:00:00+00:00",
+      "git_sha": "abc1234",
+      "host": {"platform": "...", "python": "3.11.7", "numpy": "2.4.6", "cpu_count": 8},
+      "cases": [
+        {
+          "name": "serving.prefix_sharing",
+          "suite": "serving",
+          "wall_s": 3.21,
+          "budget_s": 60.0,
+          "params": {"requests": 4, "prefix_tokens": 256},
+          "error": null,
+          "text": "human-readable table ...",
+          "metrics": [
+            {"name": "prefill_speedup_x", "value": 5.98, "unit": "x",
+             "direction": "higher_is_better", "tolerance_pct": 60.0, "gated": true}
+          ]
+        }
+      ]
+    }
+
+Directions are explicit per metric so the gate never has to guess whether a
+bigger number is good (throughput) or bad (latency).  ``tolerance_pct`` is the
+per-metric regression allowance recorded at measurement time; ``gated: false``
+marks informational metrics (absolute wall-clock timings, which are too noisy
+to gate in shared CI) that are reported but never fail the gate.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import math
+import os
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+SCHEMA_VERSION = 1
+
+LOWER_IS_BETTER = "lower_is_better"
+HIGHER_IS_BETTER = "higher_is_better"
+_DIRECTIONS = (LOWER_IS_BETTER, HIGHER_IS_BETTER)
+
+
+class SchemaError(ValueError):
+    """Raised when a benchmark JSON document does not match the schema."""
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One measured number with enough metadata to compare runs."""
+
+    name: str
+    value: float
+    unit: str = ""
+    direction: str = LOWER_IS_BETTER
+    tolerance_pct: float | None = None
+    gated: bool = True
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise SchemaError(
+                f"metric {self.name!r}: direction must be one of {_DIRECTIONS}, "
+                f"got {self.direction!r}"
+            )
+        if not math.isfinite(self.value):
+            # A NaN would compare False against every tolerance and sail
+            # through the gate; reject it at record/load time instead.
+            raise SchemaError(f"metric {self.name!r}: value must be finite, got {self.value!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "value": self.value,
+            "unit": self.unit,
+            "direction": self.direction,
+            "tolerance_pct": self.tolerance_pct,
+            "gated": self.gated,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Metric":
+        _require(data, ("name", "value"), "metric")
+        tolerance = data.get("tolerance_pct")
+        return cls(
+            name=str(data["name"]),
+            value=float(data["value"]),
+            unit=str(data.get("unit", "")),
+            direction=str(data.get("direction", LOWER_IS_BETTER)),
+            tolerance_pct=None if tolerance is None else float(tolerance),
+            gated=bool(data.get("gated", True)),
+        )
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one registered benchmark case."""
+
+    name: str
+    suite: str
+    metrics: list[Metric] = field(default_factory=list)
+    params: dict[str, Any] = field(default_factory=dict)
+    wall_s: float = 0.0
+    budget_s: float = 0.0
+    error: str | None = None
+    text: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def metric(self, name: str) -> Metric:
+        for metric in self.metrics:
+            if metric.name == name:
+                return metric
+        raise KeyError(f"case {self.name!r} recorded no metric named {name!r}")
+
+    def metrics_by_name(self) -> dict[str, Metric]:
+        return {metric.name: metric for metric in self.metrics}
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "suite": self.suite,
+            "wall_s": round(self.wall_s, 4),
+            "budget_s": self.budget_s,
+            "params": self.params,
+            "error": self.error,
+            "text": self.text,
+            "metrics": [metric.to_dict() for metric in self.metrics],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CaseResult":
+        _require(data, ("name", "suite", "metrics"), "case")
+        if not isinstance(data["metrics"], list):
+            raise SchemaError(f"case {data['name']!r}: 'metrics' must be a list")
+        return cls(
+            name=str(data["name"]),
+            suite=str(data["suite"]),
+            metrics=[Metric.from_dict(m) for m in data["metrics"]],
+            params=dict(data.get("params", {})),
+            wall_s=float(data.get("wall_s", 0.0)),
+            budget_s=float(data.get("budget_s", 0.0)),
+            error=data.get("error"),
+            text=str(data.get("text", "")),
+        )
+
+
+@dataclass
+class SuiteResult:
+    """One suite run: everything needed to diff it against another run."""
+
+    suite: str
+    smoke: bool
+    cases: list[CaseResult] = field(default_factory=list)
+    schema_version: int = SCHEMA_VERSION
+    created_at: str = ""
+    git_sha: str | None = None
+    host: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(case.ok for case in self.cases)
+
+    def case(self, name: str) -> CaseResult:
+        for case in self.cases:
+            if case.name == name:
+                return case
+        raise KeyError(f"suite {self.suite!r} has no case named {name!r}")
+
+    def cases_by_name(self) -> dict[str, CaseResult]:
+        return {case.name: case for case in self.cases}
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "suite": self.suite,
+            "smoke": self.smoke,
+            "created_at": self.created_at,
+            "git_sha": self.git_sha,
+            "host": self.host,
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SuiteResult":
+        if not isinstance(data, dict):
+            raise SchemaError(f"suite document must be a JSON object, got {type(data).__name__}")
+        _require(data, ("schema_version", "suite", "smoke", "cases"), "suite")
+        version = data["schema_version"]
+        if version != SCHEMA_VERSION:
+            raise SchemaError(
+                f"unsupported schema_version {version!r} (this build reads {SCHEMA_VERSION})"
+            )
+        if not isinstance(data["cases"], list):
+            raise SchemaError("suite 'cases' must be a list")
+        return cls(
+            suite=str(data["suite"]),
+            smoke=bool(data["smoke"]),
+            cases=[CaseResult.from_dict(c) for c in data["cases"]],
+            schema_version=int(version),
+            created_at=str(data.get("created_at", "")),
+            git_sha=data.get("git_sha"),
+            host=dict(data.get("host", {})),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SuiteResult":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"{path}: not valid JSON ({exc})") from exc
+        try:
+            return cls.from_dict(data)
+        except SchemaError as exc:
+            raise SchemaError(f"{path}: {exc}") from exc
+
+
+def result_filename(suite: str) -> str:
+    """Canonical on-disk name for one suite's results."""
+    return f"BENCH_{suite}.json"
+
+
+def suite_files(directory: str | Path) -> list[Path]:
+    """All ``BENCH_*.json`` documents under ``directory``, sorted by name."""
+    return sorted(Path(directory).glob("BENCH_*.json"))
+
+
+def collect_host_info() -> dict[str, Any]:
+    """Enough host context to judge whether two runs are comparable."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep everywhere else
+        numpy_version = None
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def current_git_sha(cwd: str | Path | None = None) -> str | None:
+    """Short git SHA of the working tree, or ``None`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(cwd) if cwd else None,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def utc_now_iso() -> str:
+    return _dt.datetime.now(tz=_dt.timezone.utc).isoformat(timespec="seconds")
+
+
+def _require(data: dict[str, Any], keys: Iterable[str], kind: str) -> None:
+    missing = [key for key in keys if key not in data]
+    if missing:
+        raise SchemaError(f"{kind} document missing required keys: {missing}")

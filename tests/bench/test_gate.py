@@ -1,0 +1,195 @@
+"""Gate tolerance logic: pass, regress, missing-baseline and new-metric cases."""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import CaseResult, Metric, SuiteResult
+from repro.bench.cli import main as cli_main
+from repro.bench.gate import (
+    DEFAULT_TOLERANCE_PCT,
+    Kind,
+    compare_suites,
+    has_failures,
+    summarize,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+COMMITTED_SERVING_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_serving.json"
+
+
+def _suite(metrics: list[Metric], *, smoke: bool = True, error: str | None = None) -> SuiteResult:
+    return SuiteResult(
+        suite="serving",
+        smoke=smoke,
+        cases=[CaseResult(name="serving.case", suite="serving", metrics=metrics, error=error)],
+    )
+
+
+def _kinds(findings) -> list[Kind]:
+    return [finding.kind for finding in findings]
+
+
+def test_within_tolerance_passes():
+    baseline = _suite([Metric("tpot_ms", 100.0, tolerance_pct=10.0)])
+    current = _suite([Metric("tpot_ms", 105.0, tolerance_pct=10.0)])
+    findings = compare_suites(baseline, current)
+    assert _kinds(findings) == [Kind.PASS]
+    assert not has_failures(findings)
+    assert "PASS" in summarize(findings)
+
+
+def test_lower_is_better_regression_beyond_tolerance_fails():
+    baseline = _suite([Metric("tpot_ms", 100.0, tolerance_pct=10.0)])
+    current = _suite([Metric("tpot_ms", 120.0, tolerance_pct=10.0)])
+    findings = compare_suites(baseline, current)
+    assert _kinds(findings) == [Kind.REGRESSION]
+    assert has_failures(findings)
+    assert "FAIL" in summarize(findings)
+
+
+def test_higher_is_better_direction_is_respected():
+    higher = Metric("speedup_x", 4.0, direction="higher_is_better", tolerance_pct=20.0)
+    # Dropping 4.0 -> 3.0 is -25%, beyond the 20% allowance.
+    findings = compare_suites(_suite([higher]), _suite([Metric(
+        "speedup_x", 3.0, direction="higher_is_better", tolerance_pct=20.0)]))
+    assert _kinds(findings) == [Kind.REGRESSION]
+    # Rising 4.0 -> 6.0 is an improvement, never a failure.
+    findings = compare_suites(_suite([higher]), _suite([Metric(
+        "speedup_x", 6.0, direction="higher_is_better", tolerance_pct=20.0)]))
+    assert _kinds(findings) == [Kind.IMPROVEMENT]
+    assert not has_failures(findings)
+
+
+def test_default_tolerance_applies_when_metric_has_none():
+    baseline = _suite([Metric("tpot_ms", 100.0)])
+    ok = _suite([Metric("tpot_ms", 100.0 + DEFAULT_TOLERANCE_PCT - 1.0)])
+    bad = _suite([Metric("tpot_ms", 100.0 + DEFAULT_TOLERANCE_PCT + 1.0)])
+    assert not has_failures(compare_suites(baseline, ok))
+    assert has_failures(compare_suites(baseline, bad))
+    # A stricter CLI-level default makes the same diff fail.
+    assert has_failures(compare_suites(baseline, ok, default_tolerance_pct=5.0))
+
+
+def test_missing_gated_metric_fails():
+    baseline = _suite([Metric("tpot_ms", 100.0)])
+    current = _suite([])
+    findings = compare_suites(baseline, current)
+    assert _kinds(findings) == [Kind.MISSING_METRIC]
+    assert has_failures(findings)
+
+
+def test_missing_ungated_metric_is_informational():
+    baseline = _suite([Metric("wall_us", 100.0, gated=False)])
+    findings = compare_suites(baseline, _suite([]))
+    assert _kinds(findings) == [Kind.INFO]
+    assert not has_failures(findings)
+
+
+def test_missing_case_fails():
+    baseline = _suite([Metric("tpot_ms", 100.0)])
+    current = SuiteResult(suite="serving", smoke=True, cases=[])
+    findings = compare_suites(baseline, current)
+    assert _kinds(findings) == [Kind.MISSING_CASE]
+    assert has_failures(findings)
+
+
+def test_new_metric_and_new_case_are_informational():
+    baseline = _suite([Metric("tpot_ms", 100.0)])
+    current = _suite([Metric("tpot_ms", 100.0), Metric("extra", 1.0)])
+    current.cases.append(CaseResult(name="serving.new_case", suite="serving"))
+    findings = compare_suites(baseline, current)
+    kinds = _kinds(findings)
+    assert kinds.count(Kind.NEW_METRIC) == 2  # one new metric + one new case
+    assert not has_failures(findings)
+
+
+def test_ungated_metric_never_fails():
+    baseline = _suite([Metric("wall_us", 100.0, gated=False, tolerance_pct=5.0)])
+    current = _suite([Metric("wall_us", 500.0, gated=False, tolerance_pct=5.0)])
+    findings = compare_suites(baseline, current)
+    assert _kinds(findings) == [Kind.INFO]
+    assert not has_failures(findings)
+
+
+def test_errored_case_in_current_run_fails():
+    baseline = _suite([Metric("tpot_ms", 100.0)])
+    current = _suite([], error="RuntimeError: boom")
+    findings = compare_suites(baseline, current)
+    assert _kinds(findings) == [Kind.CASE_ERROR]
+    assert has_failures(findings)
+
+
+def test_smoke_mismatch_warns_but_does_not_fail():
+    baseline = _suite([Metric("tpot_ms", 100.0)], smoke=True)
+    current = _suite([Metric("tpot_ms", 100.0)], smoke=False)
+    findings = compare_suites(baseline, current)
+    assert Kind.WARNING in _kinds(findings)
+    assert not has_failures(findings)
+
+
+def test_zero_baseline_regression_still_detected():
+    baseline = _suite([Metric("errors", 0.0, tolerance_pct=10.0)])
+    current = _suite([Metric("errors", 3.0, tolerance_pct=10.0)])
+    assert has_failures(compare_suites(baseline, current))
+    same = _suite([Metric("errors", 0.0, tolerance_pct=10.0)])
+    assert not has_failures(compare_suites(baseline, same))
+
+
+# ---------------------------------------------------------------------------
+# CLI-level acceptance check against the committed serving baseline
+# ---------------------------------------------------------------------------
+
+
+def test_gate_cli_passes_against_identical_serving_results(tmp_path, capsys):
+    current = tmp_path / "BENCH_serving.json"
+    current.write_text(COMMITTED_SERVING_BASELINE.read_text())
+    exit_code = cli_main(
+        ["gate", "--baseline", str(COMMITTED_SERVING_BASELINE), "--current", str(current)]
+    )
+    assert exit_code == 0
+    assert "gate PASS" in capsys.readouterr().out
+
+
+def test_gate_cli_fails_when_serving_metric_artificially_degraded(tmp_path, capsys):
+    doc = json.loads(COMMITTED_SERVING_BASELINE.read_text())
+    degraded = copy.deepcopy(doc)
+    hit = False
+    for case in degraded["cases"]:
+        if case["name"] != "serving.prefix_sharing":
+            continue
+        for metric in case["metrics"]:
+            if metric["name"] == "prefill_speedup_x":
+                metric["value"] /= 4.0  # sharing win collapses far past tolerance
+                hit = True
+    assert hit, "committed serving baseline must contain prefix-sharing speedup"
+    current = tmp_path / "BENCH_serving.json"
+    current.write_text(json.dumps(degraded))
+    exit_code = cli_main(
+        ["gate", "--baseline", str(COMMITTED_SERVING_BASELINE), "--current", str(current)]
+    )
+    assert exit_code == 1
+    out = capsys.readouterr().out
+    assert "prefill_speedup_x" in out
+    assert "gate FAIL" in out
+
+
+def test_gate_cli_missing_baseline_file_errors(tmp_path, capsys):
+    exit_code = cli_main(["gate", "--baseline", str(tmp_path / "nope.json"),
+                          "--current", str(COMMITTED_SERVING_BASELINE)])
+    assert exit_code == 2
+    assert "error" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("missing_dir", ["empty"])
+def test_gate_cli_empty_baseline_dir_errors(tmp_path, capsys, missing_dir):
+    empty = tmp_path / missing_dir
+    empty.mkdir()
+    exit_code = cli_main(["gate", "--baseline", str(empty),
+                          "--current", str(COMMITTED_SERVING_BASELINE)])
+    assert exit_code == 2
+    assert "no BENCH_*.json files" in capsys.readouterr().err

@@ -1,0 +1,111 @@
+"""Registry registration, dedup and BenchContext behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchContext, benchmark_case, get_case, run_case
+from repro.bench.registry import cases, register, unregister, BenchCase
+
+
+@pytest.fixture
+def scratch_cases():
+    """Track dummy registrations and always unregister them afterwards."""
+    registered: list[str] = []
+
+    def track(name: str) -> str:
+        registered.append(name)
+        return name
+
+    yield track
+    for name in registered:
+        unregister(name)
+
+
+def test_decorator_registers_and_runs(scratch_cases):
+    name = scratch_cases("kernels.test_dummy_registers")
+
+    @benchmark_case(name, suite="kernels", budget_s=5.0, smoke_budget_s=1.0)
+    def dummy(ctx):
+        ctx.set_params(n=ctx.pick(full=100, smoke=10))
+        ctx.record("latency_ms", 1.5, unit="ms")
+        ctx.emit("a line")
+
+    case = get_case(name)
+    assert case.suite == "kernels"
+    assert case.budget(smoke=True) == 1.0
+    assert case.budget(smoke=False) == 5.0
+
+    result = run_case(name, smoke=True)
+    assert result.ok
+    assert result.params == {"n": 10}
+    assert result.metric("latency_ms").value == 1.5
+    assert result.text == "a line"
+    assert result.budget_s == 1.0
+
+
+def test_duplicate_name_from_different_function_raises(scratch_cases):
+    name = scratch_cases("kernels.test_dummy_dup")
+
+    @benchmark_case(name, suite="kernels")
+    def first(ctx):
+        pass
+
+    # Re-registering the exact same function is idempotent (re-import path).
+    register(
+        BenchCase(name=name, suite="kernels", fn=first,
+                  module=first.__module__, qualname=first.__qualname__)
+    )
+
+    with pytest.raises(ValueError, match="duplicate benchmark case name"):
+        @benchmark_case(name, suite="kernels")
+        def second(ctx):
+            pass
+
+
+def test_unknown_suite_rejected():
+    with pytest.raises(ValueError, match="unknown suite"):
+        @benchmark_case("bogus.case", suite="no-such-suite")
+        def dummy(ctx):
+            pass
+
+
+def test_cases_filter_by_suite(scratch_cases):
+    name = scratch_cases("quant.test_dummy_filter")
+
+    @benchmark_case(name, suite="quant")
+    def dummy(ctx):
+        pass
+
+    names = [case.name for case in cases("quant")]
+    assert name in names
+    assert all(case.suite == "quant" for case in cases("quant"))
+    assert name not in [case.name for case in cases("kernels")]
+
+
+def test_case_error_is_captured_not_raised(scratch_cases):
+    name = scratch_cases("kernels.test_dummy_error")
+
+    @benchmark_case(name, suite="kernels")
+    def broken(ctx):
+        ctx.record("partial", 1.0)
+        raise RuntimeError("boom")
+
+    result = run_case(name)
+    assert not result.ok
+    assert "RuntimeError: boom" in result.error
+    # Metrics recorded before the failure are preserved for debugging.
+    assert result.metric("partial").value == 1.0
+
+
+def test_context_rejects_duplicate_metric():
+    ctx = BenchContext()
+    ctx.record("m", 1.0)
+    with pytest.raises(ValueError, match="recorded twice"):
+        ctx.record("m", 2.0)
+
+
+def test_context_measure_returns_positive_time():
+    ctx = BenchContext(smoke=True)
+    per_call = ctx.measure(lambda: sum(range(100)), repeats=3, warmup=1)
+    assert per_call > 0

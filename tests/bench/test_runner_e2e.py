@@ -1,0 +1,230 @@
+"""Runner discovery + an end-to-end --smoke run through the real CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.bench import SuiteResult
+from repro.bench.registry import unregister
+from repro.bench.report import render_report
+from repro.bench.runner import discover, run_suites
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _write_dummy_bench(tmp_path: Path, stem: str, case_name: str) -> Path:
+    path = tmp_path / f"{stem}.py"
+    path.write_text(
+        textwrap.dedent(
+            f"""
+            from repro.bench import benchmark_case
+
+            @benchmark_case("{case_name}", suite="kernels", budget_s=5.0, smoke_budget_s=1.0)
+            def dummy(ctx):
+                ctx.set_params(smoke=ctx.smoke)
+                ctx.record("value_ms", 2.0 if ctx.smoke else 4.0, unit="ms")
+                ctx.emit("dummy ran")
+            """
+        )
+    )
+    return path
+
+
+@pytest.fixture
+def scratch_module():
+    stems: list[str] = []
+    names: list[str] = []
+    yield stems, names
+    for name in names:
+        unregister(name)
+    for stem in stems:
+        sys.modules.pop(stem, None)
+
+
+def test_discovery_imports_and_run_writes_schema_valid_json(tmp_path, scratch_module):
+    stems, names = scratch_module
+    stems.append("bench_e2e_dummy")
+    names.append("kernels.e2e_dummy")
+    _write_dummy_bench(tmp_path, "bench_e2e_dummy", "kernels.e2e_dummy")
+
+    out_dir = tmp_path / "out"
+    results = run_suites(
+        ["kernels"],
+        smoke=True,
+        benchmarks_dir=tmp_path,
+        output_dir=out_dir,
+        case_names=["kernels.e2e_dummy"],
+        progress=False,
+    )
+    assert set(results) == {"kernels"}
+    path = out_dir / "BENCH_kernels.json"
+    restored = SuiteResult.load(path)
+    assert restored.smoke is True
+    case = restored.case("kernels.e2e_dummy")
+    assert case.ok
+    assert case.params == {"smoke": True}
+    assert case.metric("value_ms").value == 2.0
+    assert case.budget_s == 1.0
+    assert restored.git_sha  # runs from a checkout
+    assert restored.host.get("python")
+    # The markdown report renders the fresh result without a baseline.
+    markdown = render_report([restored])
+    assert "kernels.e2e_dummy" in markdown and "value_ms" in markdown
+
+
+def test_discovery_missing_directory_raises(tmp_path):
+    with pytest.raises(FileNotFoundError, match="benchmarks directory"):
+        discover(tmp_path / "does-not-exist")
+
+
+def test_unknown_case_filter_raises(tmp_path, scratch_module):
+    stems, names = scratch_module
+    stems.append("bench_e2e_dummy2")
+    names.append("kernels.e2e_dummy2")
+    _write_dummy_bench(tmp_path, "bench_e2e_dummy2", "kernels.e2e_dummy2")
+    with pytest.raises(KeyError, match="no case"):
+        run_suites(
+            ["kernels"],
+            benchmarks_dir=tmp_path,
+            output_dir=None,
+            case_names=["kernels.no_such_case"],
+            progress=False,
+        )
+
+
+def test_case_filter_works_across_multiple_suites(tmp_path, scratch_module):
+    """--case without narrowing --suite runs the owning suite, skips the rest."""
+    stems, names = scratch_module
+    stems.append("bench_e2e_dummy3")
+    names.append("kernels.e2e_dummy3")
+    _write_dummy_bench(tmp_path, "bench_e2e_dummy3", "kernels.e2e_dummy3")
+    out_dir = tmp_path / "out"
+    results = run_suites(
+        ["serving", "quant", "kernels"],
+        benchmarks_dir=tmp_path,
+        output_dir=out_dir,
+        case_names=["kernels.e2e_dummy3"],
+        progress=False,
+    )
+    # Only the suite owning the case produced (and persisted) results.
+    assert set(results) == {"kernels"}
+    assert [p.name for p in sorted(out_dir.glob("BENCH_*.json"))] == ["BENCH_kernels.json"]
+
+
+def test_write_baseline_refused_with_case_filter(tmp_path, scratch_module, capsys):
+    """A filtered run must not clobber a full-suite baseline with a partial one."""
+    from repro.bench.cli import main as cli_main
+
+    stems, names = scratch_module
+    stems.append("bench_e2e_dummy4")
+    names.append("kernels.e2e_dummy4")
+    _write_dummy_bench(tmp_path, "bench_e2e_dummy4", "kernels.e2e_dummy4")
+    baseline_dir = tmp_path / "baselines"
+    exit_code = cli_main(
+        [
+            "run",
+            "--suite", "kernels",
+            "--case", "kernels.e2e_dummy4",
+            "--benchmarks-dir", str(tmp_path),
+            "--output-dir", str(tmp_path / "out"),
+            "--write-baseline",
+            "--baseline-dir", str(baseline_dir),
+        ]
+    )
+    assert exit_code == 2
+    assert not baseline_dir.exists()
+    assert "--write-baseline cannot be combined with --case" in capsys.readouterr().err
+
+
+def test_write_baseline_refused_when_a_case_fails(tmp_path, scratch_module, capsys):
+    from repro.bench.cli import main as cli_main
+
+    stems, names = scratch_module
+    stems.append("bench_e2e_failing")
+    names.append("kernels.e2e_failing")
+    path = tmp_path / "bench_e2e_failing.py"
+    path.write_text(
+        textwrap.dedent(
+            """
+            from repro.bench import benchmark_case
+
+            @benchmark_case("kernels.e2e_failing", suite="kernels")
+            def failing(ctx):
+                raise RuntimeError("boom")
+            """
+        )
+    )
+    baseline_dir = tmp_path / "baselines"
+    # No --case filter: the tmp benchmarks dir contains only the failing
+    # case, so the whole-suite run is exactly that case.
+    exit_code = cli_main(
+        [
+            "run",
+            "--suite", "kernels",
+            "--benchmarks-dir", str(tmp_path),
+            "--output-dir", str(tmp_path / "out"),
+            "--write-baseline",
+            "--baseline-dir", str(baseline_dir),
+        ]
+    )
+    assert exit_code == 1
+    # The failed run must not clobber committed baselines; results are still
+    # written for debugging.
+    assert not baseline_dir.exists()
+    assert (tmp_path / "out" / "BENCH_kernels.json").exists()
+    assert "NOT refreshing baselines" in capsys.readouterr().err
+
+
+def _bench_cli(args: list[str], cwd: Path) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.bench", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_cli_smoke_run_and_gate_end_to_end(tmp_path):
+    """The acceptance path: run --smoke, validate JSON, gate fresh-vs-fresh."""
+    out_dir = tmp_path / "results"
+    proc = _bench_cli(
+        ["run", "--smoke", "--suite", "kernels", "--output-dir", str(out_dir)],
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    path = out_dir / "BENCH_kernels.json"
+    raw = json.loads(path.read_text())
+    assert raw["schema_version"] == 1
+    restored = SuiteResult.load(path)
+    assert restored.ok and restored.smoke
+    case_names = {case.name for case in restored.cases}
+    assert "kernels.adc_scores" in case_names
+    assert restored.case("kernels.adc_scores").metric("adc_speedup_vs_naive_x").value > 0
+
+    # A fresh run gated against itself always passes.
+    gate = _bench_cli(
+        ["gate", "--baseline", str(path), "--current", str(path)], cwd=REPO_ROOT
+    )
+    assert gate.returncode == 0, gate.stdout + gate.stderr
+    assert "gate PASS" in gate.stdout
+
+    # And the report command renders it.
+    report = _bench_cli(
+        ["report", "--results", str(out_dir), "--output", str(tmp_path / "r.md")],
+        cwd=REPO_ROOT,
+    )
+    assert report.returncode == 0, report.stdout + report.stderr
+    assert "kernels.adc_scores" in (tmp_path / "r.md").read_text()

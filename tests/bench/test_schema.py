@@ -1,0 +1,125 @@
+"""JSON schema round-trip and validation for BENCH_<suite>.json documents."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    CaseResult,
+    Metric,
+    SchemaError,
+    SuiteResult,
+    result_filename,
+)
+from repro.bench.schema import suite_files
+
+
+def _sample_suite() -> SuiteResult:
+    return SuiteResult(
+        suite="serving",
+        smoke=True,
+        created_at="2026-07-26T00:00:00+00:00",
+        git_sha="abc1234",
+        host={"platform": "linux", "python": "3.11.7", "numpy": "2.4.6", "cpu_count": 8},
+        cases=[
+            CaseResult(
+                name="serving.prefix_sharing",
+                suite="serving",
+                params={"requests": 4, "prefix_tokens": 256},
+                wall_s=3.21,
+                budget_s=60.0,
+                text="workload table",
+                metrics=[
+                    Metric("prefill_speedup_x", 5.98, unit="x",
+                           direction="higher_is_better", tolerance_pct=60.0),
+                    Metric("storage_us", 12.5, unit="us", gated=False),
+                ],
+            ),
+            CaseResult(
+                name="serving.broken",
+                suite="serving",
+                error="RuntimeError: boom",
+            ),
+        ],
+    )
+
+
+def test_round_trip_through_dict():
+    suite = _sample_suite()
+    restored = SuiteResult.from_dict(suite.to_dict())
+    assert restored.to_dict() == suite.to_dict()
+    assert restored.suite == "serving"
+    assert restored.smoke is True
+    assert restored.case("serving.prefix_sharing").metric("prefill_speedup_x").value == 5.98
+    assert restored.case("serving.prefix_sharing").metric("storage_us").gated is False
+    assert not restored.case("serving.broken").ok
+    assert not restored.ok
+
+
+def test_round_trip_through_file(tmp_path):
+    suite = _sample_suite()
+    path = suite.save(tmp_path / result_filename("serving"))
+    assert path.name == "BENCH_serving.json"
+    restored = SuiteResult.load(path)
+    assert restored.to_dict() == suite.to_dict()
+    assert suite_files(tmp_path) == [path]
+
+
+def test_saved_document_has_versioned_layout(tmp_path):
+    path = _sample_suite().save(tmp_path / "BENCH_serving.json")
+    raw = json.loads(path.read_text())
+    assert raw["schema_version"] == SCHEMA_VERSION
+    assert {"suite", "smoke", "created_at", "git_sha", "host", "cases"} <= set(raw)
+    case = raw["cases"][0]
+    assert {"name", "suite", "wall_s", "budget_s", "params", "metrics"} <= set(case)
+    metric = case["metrics"][0]
+    assert {"name", "value", "unit", "direction", "tolerance_pct", "gated"} == set(metric)
+
+
+def test_unsupported_schema_version_rejected():
+    data = _sample_suite().to_dict()
+    data["schema_version"] = 999
+    with pytest.raises(SchemaError, match="unsupported schema_version"):
+        SuiteResult.from_dict(data)
+
+
+def test_missing_required_keys_rejected():
+    data = _sample_suite().to_dict()
+    del data["cases"]
+    with pytest.raises(SchemaError, match="missing required keys"):
+        SuiteResult.from_dict(data)
+
+
+def test_bad_metric_direction_rejected():
+    with pytest.raises(SchemaError, match="direction"):
+        Metric("m", 1.0, direction="sideways")
+
+
+def test_non_finite_metric_values_rejected():
+    # NaN compares False against every tolerance, so it must never enter a
+    # document the gate could read.
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(SchemaError, match="finite"):
+            Metric("m", bad)
+    data = _sample_suite().to_dict()
+    data["cases"][0]["metrics"][0]["value"] = float("nan")
+    with pytest.raises(SchemaError, match="finite"):
+        SuiteResult.from_dict(data)
+
+
+def test_invalid_json_file_reports_path(tmp_path):
+    path = tmp_path / "BENCH_serving.json"
+    path.write_text("{not json")
+    with pytest.raises(SchemaError, match="BENCH_serving.json"):
+        SuiteResult.load(path)
+
+
+def test_metric_lookup_raises_keyerror():
+    case = _sample_suite().case("serving.prefix_sharing")
+    with pytest.raises(KeyError, match="no metric named"):
+        case.metric("nope")
+    with pytest.raises(KeyError, match="no case named"):
+        _sample_suite().case("nope")

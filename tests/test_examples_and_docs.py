@@ -60,3 +60,27 @@ def test_public_package_exports_resolve():
 
     for name in repro.__all__:
         assert getattr(repro, name, None) is not None
+
+
+def test_pyproject_metadata_is_valid():
+    tomllib = pytest.importorskip("tomllib")  # stdlib on 3.11+
+    data = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+    project = data["project"]
+    assert project["name"] == "repro-million"
+    assert "numpy" in " ".join(project["dependencies"])
+    test_extra = " ".join(project["optional-dependencies"]["test"])
+    assert "pytest" in test_extra and "hypothesis" in test_extra
+    # Version is dynamic, sourced from repro.version.
+    assert "version" in project["dynamic"]
+    attr = data["tool"]["setuptools"]["dynamic"]["version"]["attr"]
+    assert attr == "repro.version.__version__"
+    import repro.version
+
+    assert repro.version.__version__
+
+    # The repro-bench console script must point at a real callable.
+    module_name, func_name = project["scripts"]["repro-bench"].split(":")
+    import importlib
+
+    entry = getattr(importlib.import_module(module_name), func_name)
+    assert callable(entry)
