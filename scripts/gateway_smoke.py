@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""CI smoke test for the serving gateway, across a real process boundary.
+
+Starts ``python -m repro.gateway`` as a subprocess on an ephemeral port,
+then from this process:
+
+1. waits for ``/healthz`` to come up;
+2. streams one completion over HTTP (SSE) and asserts the tokens are
+   **identical** to a direct :meth:`BatchedMillionEngine.run` on an engine
+   built from the same :class:`GatewayConfig` — everything the demo gateway
+   serves is synthesized from seeds, so both processes hold the same model;
+3. exercises ``/metrics`` and checks the gateway/engine/pool counters moved;
+4. checks a malformed request is rejected with 400.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/gateway_smoke.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.data import load_corpus  # noqa: E402
+from repro.gateway import GatewayConfig, build_engines  # noqa: E402
+
+CONFIG = GatewayConfig(
+    max_seq_len=512,
+    calibration_tokens=512,
+    pool_blocks=256,
+    replicas=1,
+)
+MAX_TOKENS = 12
+
+
+def start_gateway() -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.gateway", "--port", "0",
+            "--max-seq-len", str(CONFIG.max_seq_len),
+            "--calibration-tokens", str(CONFIG.calibration_tokens),
+            "--pool-blocks", str(CONFIG.pool_blocks),
+            "--replicas", str(CONFIG.replicas),
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.time() + 180
+    assert process.stdout is not None
+    while time.time() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise SystemExit(f"gateway exited early (rc={process.poll()})")
+        print(f"  [gateway] {line.rstrip()}")
+        match = re.search(r"listening on http://[^:]+:(\d+)", line)
+        if match:
+            return process, int(match.group(1))
+    raise SystemExit("gateway did not start within 180s")
+
+
+def request(port: int, method: str, path: str, payload=None):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    body = json.dumps(payload) if payload is not None else None
+    headers = {"Content-Type": "application/json"} if body else {}
+    connection.request(method, path, body=body, headers=headers)
+    response = connection.getresponse()
+    data = response.read()
+    connection.close()
+    return response.status, data
+
+
+def main() -> None:
+    print("building reference engine (same seeds as the gateway subprocess) ...")
+    reference_engine = build_engines(CONFIG)[0]
+    vocab = reference_engine.model.config.vocab_size
+    prompt = (load_corpus("wikitext2-syn", "test", 48, seed=11) % vocab).tolist()
+    request_id = reference_engine.add_request(
+        np.asarray(prompt), max_new_tokens=MAX_TOKENS
+    )
+    expected = reference_engine.run()[request_id].tolist()
+    print(f"reference tokens: {expected}")
+
+    print("starting gateway subprocess ...")
+    process, port = start_gateway()
+    try:
+        status, body = request(port, "GET", "/healthz")
+        assert status == 200, (status, body)
+        assert json.loads(body)["status"] == "ok"
+        print("healthz ok")
+
+        status, body = request(
+            port, "POST", "/v1/completions",
+            {"prompt": prompt, "max_tokens": MAX_TOKENS, "stream": True},
+        )
+        assert status == 200, (status, body)
+        streamed = []
+        for line in body.decode().splitlines():
+            if line.startswith("data: ") and line != "data: [DONE]":
+                token = json.loads(line[len("data: "):])["choices"][0]["token_id"]
+                if token is not None:
+                    streamed.append(token)
+        print(f"streamed tokens:  {streamed}")
+        assert streamed == expected, (
+            "gateway stream diverged from direct engine.run():\n"
+            f"  gateway: {streamed}\n  direct:  {expected}"
+        )
+        print("token identity across the HTTP boundary ok")
+
+        status, body = request(port, "GET", "/metrics")
+        assert status == 200
+        metrics = body.decode()
+        for needle in (
+            f"repro_gateway_tokens_streamed_total {len(expected)}",
+            'repro_gateway_http_requests_total{path="/v1/completions",status="200"} 1',
+            'repro_engine_finished{replica="0"} 1',
+            "repro_pool_utilization",
+            "repro_router_decisions_total",
+        ):
+            assert needle in metrics, f"missing from /metrics: {needle}\n{metrics}"
+        print("metrics ok")
+
+        status, body = request(port, "POST", "/v1/completions", {"max_tokens": 4})
+        assert status == 400, (status, body)
+        print("validation ok")
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+    print("gateway smoke PASS")
+
+
+if __name__ == "__main__":
+    main()

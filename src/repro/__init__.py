@@ -12,6 +12,8 @@ The package is organised by subsystem:
   the high-level :class:`~repro.core.engine.MillionEngine`;
 * :mod:`repro.serving` — continuous-batching multi-sequence serving on top
   of one calibrated model (:class:`~repro.serving.engine.BatchedMillionEngine`);
+* :mod:`repro.gateway` — asyncio HTTP front door: OpenAI-style streaming
+  completions, prefix-affinity multi-replica routing, Prometheus metrics;
 * :mod:`repro.perf` — analytic GPU performance model (TPOT, breakdowns, OOM);
 * :mod:`repro.eval` — perplexity, KV-distribution analysis, LongBench
   substitute;
@@ -33,6 +35,7 @@ Quickstart::
 """
 
 from repro.core import MillionConfig, MillionEngine, ProductQuantizer
+from repro.gateway import GatewayServer
 from repro.models import ModelConfig, TransformerLM, load_model
 from repro.serving import BatchedMillionEngine
 from repro.version import __version__
@@ -41,6 +44,7 @@ __all__ = [
     "MillionConfig",
     "MillionEngine",
     "BatchedMillionEngine",
+    "GatewayServer",
     "ProductQuantizer",
     "ModelConfig",
     "TransformerLM",

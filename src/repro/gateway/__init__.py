@@ -1,0 +1,52 @@
+"""Async serving gateway: a network front door for the batched engine.
+
+The gateway is the engine/frontend split production LLM servers use — the
+synchronous :class:`~repro.serving.engine.BatchedMillionEngine` stays a pure
+compute loop, and this package adds the asynchronous serving shell:
+
+* :mod:`~repro.gateway.protocol` — OpenAI-style ``/v1/completions`` request
+  parsing and response/SSE shaping (pure data, no I/O);
+* :mod:`~repro.gateway.runner` — :class:`AsyncEngineRunner`, a background
+  stepper that drives one engine replica in a thread executor and fans each
+  decoded token out to per-request asyncio queues;
+* :mod:`~repro.gateway.router` — :class:`ReplicaRouter`, prefix-affinity
+  placement over the block pool's chained prompt hashes with least-loaded
+  fallback and 429 backpressure;
+* :mod:`~repro.gateway.metrics` — Prometheus text rendering of gateway,
+  router and per-replica engine statistics;
+* :mod:`~repro.gateway.server` — :class:`GatewayServer`, the stdlib asyncio
+  HTTP server with SSE token streaming and disconnect-driven cancellation;
+* :mod:`~repro.gateway.bootstrap` — deterministic assembly of a demo
+  gateway (``python -m repro.gateway``), reused by CI smoke and benchmarks.
+"""
+
+from repro.gateway.bootstrap import GatewayConfig, build_engines, build_gateway
+from repro.gateway.metrics import GatewayMetrics, render_prometheus
+from repro.gateway.protocol import (
+    CompletionRequest,
+    ProtocolError,
+    chunk_json,
+    completion_json,
+    sse_event,
+)
+from repro.gateway.router import ReplicaRouter, RoutingDecision
+from repro.gateway.runner import AsyncEngineRunner, ReplicaFailedError
+from repro.gateway.server import GatewayServer
+
+__all__ = [
+    "AsyncEngineRunner",
+    "ReplicaFailedError",
+    "CompletionRequest",
+    "GatewayConfig",
+    "GatewayMetrics",
+    "GatewayServer",
+    "ProtocolError",
+    "ReplicaRouter",
+    "RoutingDecision",
+    "build_engines",
+    "build_gateway",
+    "chunk_json",
+    "completion_json",
+    "render_prometheus",
+    "sse_event",
+]

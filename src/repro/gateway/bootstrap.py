@@ -1,0 +1,104 @@
+"""Deterministic gateway assembly shared by the CLI, CI smoke and benchmarks.
+
+Everything the demo gateway serves is synthesized reproducibly from seeds
+(zoo model weights, synthetic calibration corpus, MILLION codebooks), so two
+processes that call :func:`build_gateway` with the same :class:`GatewayConfig`
+hold *identical* engines.  That property is what the CI smoke test leans on:
+it streams a completion from a gateway subprocess and compares the tokens
+against a direct :meth:`BatchedMillionEngine.run` on an engine it built
+itself — token identity across the HTTP boundary, asserted end to end.
+
+Calibration runs once; replicas share the read-only quantizers but each gets
+its own model instance and its own block pool (engines step concurrently on
+executor threads, so no mutable state may be shared between replicas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.calibration import calibrate_million
+from repro.core.config import MillionConfig
+from repro.data.corpus import load_corpus
+from repro.models.model_zoo import load_model
+from repro.models.tokenizer import ByteTokenizer
+from repro.serving.engine import BatchedMillionEngine
+from repro.serving.memory import BlockPool, PooledMillionCacheFactory
+
+from repro.gateway.runner import AsyncEngineRunner
+from repro.gateway.router import ReplicaRouter
+from repro.gateway.server import GatewayServer
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Knobs for the self-contained demo gateway (all defaults are tiny)."""
+
+    model: str = "llama-2-7b-tiny"
+    seed: int = 0
+    max_seq_len: int = 1024
+    replicas: int = 1
+    max_batch_size: int = 4
+    max_queue_size: int = 64
+    pool_blocks: int = 512
+    block_tokens: int = 16
+    calibration_tokens: int = 768
+    bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+
+
+def build_engines(config: GatewayConfig) -> list[BatchedMillionEngine]:
+    """One engine per replica; weights and codebooks identical across calls."""
+    models = [
+        load_model(config.model, seed=config.seed, max_seq_len=config.max_seq_len)
+        for _ in range(config.replicas)
+    ]
+    vocab = models[0].config.vocab_size
+    calibration = load_corpus(
+        "wikitext2-syn", "train", config.calibration_tokens, seed=config.seed
+    ) % vocab
+    million = MillionConfig.for_equivalent_bits(
+        models[0].config.head_dim,
+        bits=config.bits,
+        kmeans_iters=4,
+        calibration_samples=1536,
+    )
+    base_factory = calibrate_million(models[0], calibration, million)
+    engines = []
+    for model in models:
+        if config.pool_blocks > 0:
+            pool = BlockPool.for_model(
+                model.config,
+                million,
+                num_blocks=config.pool_blocks,
+                block_tokens=config.block_tokens,
+            )
+            factory = PooledMillionCacheFactory.from_factory(base_factory, pool)
+        else:
+            factory = base_factory
+        engines.append(
+            BatchedMillionEngine(
+                model,
+                factory,
+                max_batch_size=config.max_batch_size,
+                max_queue_size=config.max_queue_size,
+            )
+        )
+    return engines
+
+
+def build_gateway(config: GatewayConfig) -> GatewayServer:
+    """Assemble runners, router and server (not yet started)."""
+    engines = build_engines(config)
+    runners = [
+        AsyncEngineRunner(engine, name=f"replica-{i}")
+        for i, engine in enumerate(engines)
+    ]
+    router = ReplicaRouter(runners)
+    return GatewayServer(router, tokenizer=ByteTokenizer(), model_name=config.model)
+
+
+__all__ = ["GatewayConfig", "build_engines", "build_gateway"]

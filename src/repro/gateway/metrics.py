@@ -1,0 +1,185 @@
+"""Prometheus text-format rendering of gateway, router and engine state.
+
+``GET /metrics`` renders three layers into the standard
+`text exposition format <https://prometheus.io/docs/instrumenting/exposition_formats/>`_:
+
+* gateway HTTP counters (requests by path/status, streamed tokens, client
+  disconnects, in-flight requests);
+* router decision counters (prefix vs sticky vs least-loaded placements);
+* per-replica engine statistics straight from ``engine.stats()`` — scheduler
+  queue depths, prefill reuse, preemptions, and block-pool occupancy —
+  labelled ``{replica="<index>"}``.
+
+Rendering is pull-based and stateless: every scrape reflects the live
+counters, nothing is sampled or aggregated in between.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional, Sequence
+
+_GATEWAY_PREFIX = "repro_gateway"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class GatewayMetrics:
+    """Mutable counters the HTTP server increments as it serves."""
+
+    def __init__(self) -> None:
+        self.http_requests: Counter = Counter()  # (path, status) -> count
+        self.tokens_streamed = 0
+        self.streams_started = 0
+        self.streams_cancelled = 0
+        self.in_flight = 0
+
+    def observe_request(self, path: str, status: int) -> None:
+        self.http_requests[(path, str(status))] += 1
+
+
+class _Lines:
+    """Accumulates exposition lines with one HELP/TYPE header per metric."""
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._declared: set[str] = set()
+
+    def add(
+        self,
+        name: str,
+        value,
+        help_text: str,
+        metric_type: str = "gauge",
+        labels: Optional[dict] = None,
+    ) -> None:
+        if name not in self._declared:
+            self._lines.append(f"# HELP {name} {help_text}")
+            self._lines.append(f"# TYPE {name} {metric_type}")
+            self._declared.add(name)
+        label_str = ""
+        if labels:
+            inner = ",".join(
+                f'{key}="{_escape_label(str(val))}"' for key, val in labels.items()
+            )
+            label_str = "{" + inner + "}"
+        if isinstance(value, float):
+            rendered = repr(value)
+        else:
+            rendered = str(int(value))
+        self._lines.append(f"{name}{label_str} {rendered}")
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+def render_prometheus(
+    metrics: GatewayMetrics,
+    replica_stats: Sequence[dict],
+    router_stats: Optional[dict] = None,
+) -> str:
+    """Render one scrape; ``replica_stats`` is one ``engine.stats()`` each."""
+    out = _Lines()
+
+    for (path, status), count in sorted(metrics.http_requests.items()):
+        out.add(
+            f"{_GATEWAY_PREFIX}_http_requests_total",
+            count,
+            "HTTP requests served, by path and status.",
+            "counter",
+            {"path": path, "status": status},
+        )
+    out.add(
+        f"{_GATEWAY_PREFIX}_tokens_streamed_total",
+        metrics.tokens_streamed,
+        "Completion tokens sent to clients (streaming and non-streaming).",
+        "counter",
+    )
+    out.add(
+        f"{_GATEWAY_PREFIX}_streams_started_total",
+        metrics.streams_started,
+        "SSE streams opened.",
+        "counter",
+    )
+    out.add(
+        f"{_GATEWAY_PREFIX}_streams_cancelled_total",
+        metrics.streams_cancelled,
+        "Streams cancelled by client disconnect.",
+        "counter",
+    )
+    out.add(
+        f"{_GATEWAY_PREFIX}_requests_in_flight",
+        metrics.in_flight,
+        "Completion requests currently being served.",
+        "gauge",
+    )
+
+    if router_stats is not None:
+        for reason in ("prefix", "sticky", "load"):
+            out.add(
+                "repro_router_decisions_total",
+                router_stats[f"{reason}_routed"],
+                "Routing decisions by strategy.",
+                "counter",
+                {"strategy": reason},
+            )
+        out.add(
+            "repro_router_rejected_total",
+            router_stats["rejected"],
+            "Requests rejected because every replica queue was full.",
+            "counter",
+        )
+
+    engine_gauges = (
+        ("running", "repro_engine_running", "Sequences currently decoding."),
+        ("queued", "repro_engine_queued", "Requests waiting for admission."),
+        ("finished", "repro_engine_finished", "Finished requests not yet evicted."),
+    )
+    engine_counters = (
+        ("preemptions", "repro_engine_preemptions_total",
+         "Sequences evicted under memory pressure."),
+        ("prefill_tokens_computed", "repro_engine_prefill_tokens_computed_total",
+         "Prompt tokens prefillled from scratch."),
+        ("prefill_tokens_reused", "repro_engine_prefill_tokens_reused_total",
+         "Prompt tokens adopted from published pool blocks."),
+        ("prefix_block_hits", "repro_engine_prefix_block_hits_total",
+         "Prefill block lookups that adopted a published group."),
+        ("prefix_block_misses", "repro_engine_prefix_block_misses_total",
+         "Prefill block lookups that had to compute."),
+    )
+    for index, stats in enumerate(replica_stats):
+        labels = {"replica": str(index)}
+        for key, name, help_text in engine_gauges:
+            out.add(name, stats[key], help_text, "gauge", labels)
+        for key, name, help_text in engine_counters:
+            out.add(name, stats[key], help_text, "counter", labels)
+        out.add(
+            "repro_engine_active_cache_memory_bytes",
+            float(stats["active_cache_memory_bytes"]),
+            "Modelled KV bytes across running sequences (shared blocks once).",
+            "gauge",
+            labels,
+        )
+        pool = stats.get("pool")
+        if pool is None:
+            continue
+        out.add("repro_pool_utilization", float(pool["utilization"]),
+                "Fraction of pool blocks holding content.", "gauge", labels)
+        out.add("repro_pool_used_blocks", pool["used_blocks"],
+                "Pool blocks holding content.", "gauge", labels)
+        out.add("repro_pool_num_blocks", pool["num_blocks"],
+                "Total pool blocks.", "gauge", labels)
+        out.add("repro_pool_cached_groups", pool["cached_groups"],
+                "Published block groups available for prefix reuse.", "gauge", labels)
+        out.add("repro_pool_adoptions_total", pool["adoptions"],
+                "Published groups adopted by later sequences.", "counter", labels)
+        out.add("repro_pool_evictions_total", pool["evictions"],
+                "Cached groups evicted to satisfy allocations.", "counter", labels)
+
+    return out.text
+
+
+__all__ = ["GatewayMetrics", "render_prometheus"]

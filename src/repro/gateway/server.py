@@ -1,0 +1,482 @@
+"""Asyncio HTTP front door: streaming completions over stdlib only.
+
+:class:`GatewayServer` is a minimal HTTP/1.1 server built directly on
+``asyncio.start_server`` (the repo takes no third-party dependencies), with
+three endpoints:
+
+* ``POST /v1/completions`` — OpenAI-style completion; ``"stream": true``
+  responds with server-sent events, one ``data:`` chunk per decoded token
+  as the engine produces it, else a single JSON body.
+* ``GET /healthz`` — liveness + replica summary.
+* ``GET /metrics`` — Prometheus text format (see :mod:`repro.gateway.metrics`).
+
+Design points:
+
+* every connection is ``Connection: close`` — one exchange per socket keeps
+  the parser small and makes disconnect detection unambiguous;
+* requests are routed by :class:`~repro.gateway.router.ReplicaRouter`; a
+  full queue surfaces as **429** with a ``Retry-After`` hint rather than
+  unbounded buffering;
+* a *disconnect watcher* reads the socket while a stream is in flight —
+  client EOF (curl hit Ctrl-C) cancels the request inside the engine via
+  :meth:`AsyncEngineRunner.cancel`, freeing its batch slot and pool blocks
+  immediately.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Sequence
+
+from repro.gateway.metrics import GatewayMetrics, render_prometheus
+from repro.gateway.protocol import (
+    SSE_DONE,
+    CompletionRequest,
+    ProtocolError,
+    chunk_json,
+    completion_json,
+    sse_event,
+)
+from repro.gateway.router import ReplicaRouter
+from repro.serving.request import FinishReason, StepOutput
+from repro.serving.scheduler import QueueFullError
+from repro.utils.logging import get_logger
+
+logger = get_logger("gateway")
+
+_MAX_HEADER_BYTES = 32 * 1024
+_MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _Request:
+    """One parsed HTTP request."""
+
+    def __init__(self, method: str, path: str, headers: dict, body: bytes) -> None:
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[_Request]:
+    """Parse one HTTP/1.1 request; ``None`` on immediate EOF."""
+    try:
+        request_line = await reader.readline()
+    except ConnectionError:
+        return None
+    except ValueError:
+        # StreamReader.readline wraps a line longer than the reader limit
+        # (64 KiB default) in ValueError — a client error, not a server one.
+        raise _HttpError(400, "request line too long") from None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise _HttpError(400, "malformed request line")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    total = len(request_line)
+    while True:
+        try:
+            line = await reader.readline()
+        except ValueError:
+            raise _HttpError(400, "header line too long") from None
+        total += len(line)
+        if total > _MAX_HEADER_BYTES:
+            raise _HttpError(400, "headers too large")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise _HttpError(400, "invalid Content-Length") from None
+        if n < 0:
+            raise _HttpError(400, "invalid Content-Length")
+        if n > _MAX_BODY_BYTES:
+            raise _HttpError(413, f"body larger than {_MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(n)
+    # Path only; the gateway defines no query parameters.
+    path = target.split("?", 1)[0]
+    return _Request(method, path, headers, body)
+
+
+def _response_bytes(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: Sequence[tuple[str, str]] = (),
+) -> bytes:
+    phrase = _STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def _json_body(payload: dict) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode()
+
+
+def _error_body(status: int, message: str) -> bytes:
+    return _json_body(
+        {"error": {"message": message, "type": "invalid_request_error", "code": status}}
+    )
+
+
+class GatewayServer:
+    """Serve one :class:`ReplicaRouter` over HTTP."""
+
+    def __init__(
+        self,
+        router: ReplicaRouter,
+        tokenizer=None,
+        model_name: str = "repro-million",
+    ) -> None:
+        self.router = router
+        self.tokenizer = tokenizer
+        self.model_name = model_name
+        self.metrics = GatewayMetrics()
+        # String prompts fold into the smallest replica vocabulary (they are
+        # homogeneous in practice; min() is the safe choice if not).
+        self.vocab_size = min(
+            runner.engine.model.config.vocab_size for runner in router.runners
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # Lifecycle ------------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 8707) -> tuple[str, int]:
+        """Start all replica runners and the listener; returns (host, port)."""
+        for runner in self.router.runners:
+            if not runner.started:
+                await runner.start()
+        self._server = await asyncio.start_server(self._handle_client, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for runner in self.router.runners:
+            await runner.stop()
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server is not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    # Connection handling ----------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        path = "?"
+        try:
+            try:
+                request = await _read_request(reader)
+            except _HttpError as exc:
+                await self._send(
+                    writer, exc.status, _error_body(exc.status, str(exc))
+                )
+                self.metrics.observe_request(path, exc.status)
+                return
+            if request is None:
+                return
+            path = request.path
+            await self._dispatch(request, reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; streaming paths already cancelled
+        except Exception:
+            logger.exception("unhandled error serving %s", path)
+            try:
+                await self._send(
+                    writer, 500, _error_body(500, "internal server error")
+                )
+                self.metrics.observe_request(path, 500)
+            except (ConnectionError, RuntimeError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _dispatch(
+        self,
+        request: _Request,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if request.path == "/healthz":
+            if request.method != "GET":
+                await self._simple(writer, request.path, 405, "use GET")
+                return
+            await self._healthz(request, writer)
+        elif request.path == "/metrics":
+            if request.method != "GET":
+                await self._simple(writer, request.path, 405, "use GET")
+                return
+            await self._metrics(request, writer)
+        elif request.path == "/v1/completions":
+            if request.method != "POST":
+                await self._simple(writer, request.path, 405, "use POST")
+                return
+            await self._completions(request, reader, writer)
+        else:
+            await self._simple(writer, request.path, 404, f"no route for {request.path}")
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        extra_headers: Sequence[tuple[str, str]] = (),
+    ) -> None:
+        writer.write(_response_bytes(status, body, content_type, extra_headers))
+        await writer.drain()
+
+    async def _simple(
+        self, writer: asyncio.StreamWriter, path: str, status: int, message: str
+    ) -> None:
+        await self._send(writer, status, _error_body(status, message))
+        self.metrics.observe_request(path, status)
+
+    # Endpoints --------------------------------------------------------------
+
+    async def _healthz(self, request: _Request, writer: asyncio.StreamWriter) -> None:
+        body = _json_body(
+            {
+                "status": "ok",
+                "model": self.model_name,
+                "replicas": len(self.router.runners),
+                "in_flight": self.metrics.in_flight,
+            }
+        )
+        await self._send(writer, 200, body)
+        self.metrics.observe_request(request.path, 200)
+
+    async def _metrics(self, request: _Request, writer: asyncio.StreamWriter) -> None:
+        replica_stats = [await runner.stats() for runner in self.router.runners]
+        text = render_prometheus(self.metrics, replica_stats, self.router.stats())
+        await self._send(
+            writer, 200, text.encode(), content_type="text/plain; version=0.0.4"
+        )
+        self.metrics.observe_request(request.path, 200)
+
+    async def _completions(
+        self,
+        request: _Request,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            payload = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            await self._simple(writer, request.path, 400, "body is not valid JSON")
+            return
+        try:
+            completion = CompletionRequest.from_json(
+                payload, tokenizer=self.tokenizer, vocab_size=self.vocab_size
+            )
+        except ProtocolError as exc:
+            await self._simple(writer, request.path, exc.status, str(exc))
+            return
+
+        try:
+            decision = self.router.route(completion.prompt_ids)
+            request_id, queue = await decision.runner.submit(
+                completion.to_generation_request()
+            )
+        except QueueFullError as exc:
+            await self._send(
+                writer,
+                429,
+                _error_body(429, str(exc)),
+                extra_headers=(("Retry-After", "1"),),
+            )
+            self.metrics.observe_request(request.path, 429)
+            return
+        except ValueError as exc:
+            # Engine-side validation (e.g. prompt longer than max_seq_len).
+            await self._simple(writer, request.path, 400, str(exc))
+            return
+
+        self.metrics.in_flight += 1
+        try:
+            if completion.stream:
+                await self._stream_completion(
+                    request, reader, writer, decision.runner, request_id, completion, queue
+                )
+            else:
+                await self._full_completion(
+                    request, writer, request_id, completion, queue
+                )
+        finally:
+            self.metrics.in_flight -= 1
+            decision.runner.release(request_id)
+
+    async def _full_completion(
+        self,
+        request: _Request,
+        writer: asyncio.StreamWriter,
+        request_id: str,
+        completion: CompletionRequest,
+        queue: "asyncio.Queue[StepOutput]",
+    ) -> None:
+        tokens: list[int] = []
+        finish_reason = None
+        while True:
+            output = await queue.get()
+            if output.token is not None:
+                tokens.append(output.token)
+            if output.finished:
+                finish_reason = output.finish_reason
+                break
+        if finish_reason is FinishReason.ERROR:
+            # The replica's stepper died mid-request (see AsyncEngineRunner);
+            # an incomplete result must not look like a successful completion.
+            await self._simple(writer, request.path, 500, "engine replica failed")
+            return
+        self.metrics.tokens_streamed += len(tokens)
+        body = _json_body(
+            completion_json(
+                request_id, completion, tokens, finish_reason, tokenizer=self.tokenizer
+            )
+        )
+        await self._send(writer, 200, body)
+        self.metrics.observe_request(request.path, 200)
+
+    async def _stream_completion(
+        self,
+        request: _Request,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        runner,
+        request_id: str,
+        completion: CompletionRequest,
+        queue: "asyncio.Queue[StepOutput]",
+    ) -> None:
+        self.metrics.streams_started += 1
+        header = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/event-stream\r\n"
+            "Cache-Control: no-cache\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(header)
+        disconnected = asyncio.Event()
+        watcher = asyncio.create_task(_watch_disconnect(reader, disconnected))
+        cancelled = False
+        try:
+            while True:
+                get_output = asyncio.create_task(queue.get())
+                disconnect_wait = asyncio.create_task(disconnected.wait())
+                done, pending = await asyncio.wait(
+                    {get_output, disconnect_wait},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                for task in pending:
+                    task.cancel()
+                if get_output not in done:
+                    cancelled = True
+                    break
+                output: StepOutput = get_output.result()
+                if output.finish_reason is FinishReason.CANCELLED:
+                    cancelled = True
+                    break
+                try:
+                    if output.token is not None:
+                        self.metrics.tokens_streamed += 1
+                        writer.write(
+                            sse_event(
+                                chunk_json(
+                                    request_id,
+                                    completion,
+                                    output.token,
+                                    output.finish_reason if output.finished else None,
+                                    tokenizer=self.tokenizer,
+                                )
+                            )
+                        )
+                        await writer.drain()
+                    if output.finished:
+                        if output.token is None:
+                            # Finish marker with no token (e.g. context full
+                            # right at prefill) still needs a final chunk.
+                            writer.write(
+                                sse_event(
+                                    chunk_json(
+                                        request_id,
+                                        completion,
+                                        None,
+                                        output.finish_reason,
+                                        tokenizer=self.tokenizer,
+                                    )
+                                )
+                            )
+                        writer.write(SSE_DONE)
+                        await writer.drain()
+                        break
+                except ConnectionError:
+                    cancelled = True
+                    break
+        finally:
+            watcher.cancel()
+            try:
+                await watcher
+            except (asyncio.CancelledError, Exception):
+                pass
+            if cancelled:
+                self.metrics.streams_cancelled += 1
+                await runner.cancel(request_id)
+        self.metrics.observe_request(request.path, 200)
+
+
+async def _watch_disconnect(
+    reader: asyncio.StreamReader, disconnected: asyncio.Event
+) -> None:
+    """Signal when the client half-closes or resets the connection."""
+    try:
+        while True:
+            chunk = await reader.read(4096)
+            if not chunk:
+                break
+    except (ConnectionError, asyncio.IncompleteReadError):
+        pass
+    finally:
+        disconnected.set()
+
+
+__all__ = ["GatewayServer"]

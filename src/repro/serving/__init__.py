@@ -29,7 +29,7 @@ from repro.serving.request import (
     RequestStatus,
     StepOutput,
 )
-from repro.serving.scheduler import ContinuousBatchingScheduler
+from repro.serving.scheduler import ContinuousBatchingScheduler, QueueFullError
 
 __all__ = [
     "BatchedMillionEngine",
@@ -38,6 +38,7 @@ __all__ = [
     "FinishReason",
     "GenerationRequest",
     "PoolExhaustedError",
+    "QueueFullError",
     "PooledMillionCacheFactory",
     "PooledMillionKVCacheLayer",
     "RequestState",

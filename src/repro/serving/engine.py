@@ -44,7 +44,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -110,13 +110,21 @@ class BatchedMillionEngine:
         factory: KVCacheFactory,
         max_batch_size: int = 8,
         max_unclaimed_results: int = 1024,
+        max_queue_size: Optional[int] = None,
     ) -> None:
         require(max_unclaimed_results >= 1, "max_unclaimed_results must be >= 1")
         self.model = model
         self.factory = factory
-        self.scheduler = ContinuousBatchingScheduler(max_batch_size=max_batch_size)
+        self.scheduler = ContinuousBatchingScheduler(
+            max_batch_size=max_batch_size, max_queue_size=max_queue_size
+        )
         self.max_unclaimed_results = max_unclaimed_results
         self._states: dict[str, RequestState] = {}
+        # Incremental token subscription: every StepOutput is pushed through
+        # these callbacks the moment it is produced (one per decoded token,
+        # plus finish/cancel markers) — this is what lets the async gateway
+        # stream tokens as they are decoded instead of waiting for run().
+        self._output_listeners: list[Callable[[StepOutput], None]] = []
         self._unclaimed_results: dict[str, np.ndarray] = {}
         self._next_request_number = 0
         # Block-pool mode is enabled by pooled factories (PooledMillionCacheFactory).
@@ -176,8 +184,10 @@ class BatchedMillionEngine:
             f"{self.model.config.max_seq_len}",
         )
         state = RequestState(request=request, rng=get_rng(request.seed))
-        self._states[request.request_id] = state
+        # Scheduler first: a QueueFullError (backpressure) must leave no
+        # trace in the engine's state table.
         self.scheduler.submit(state)
+        self._states[request.request_id] = state
         return request.request_id
 
     def add_request(
@@ -216,10 +226,35 @@ class BatchedMillionEngine:
         cancelled = self.scheduler.cancel(request_id)
         assert cancelled is state
         state.finish_reason = FinishReason.CANCELLED
+        state.prefill_plan = None
         self._release_context(state)
         state.next_logits = None
         self._record_result(state)
+        # Subscribers (e.g. a gateway streaming this request) need a finish
+        # marker even though cancel happens outside step().
+        self._emit(
+            StepOutput(state.request_id, None, True, FinishReason.CANCELLED)
+        )
         return True
+
+    # Token subscription -------------------------------------------------------
+
+    def add_output_listener(self, listener: Callable[[StepOutput], None]) -> None:
+        """Subscribe to every :class:`StepOutput` the moment it is produced.
+
+        Listeners fire inside :meth:`step` (one call per decoded token and
+        per finish, in decode order) and inside :meth:`cancel`; they must be
+        fast and must not call back into the engine.
+        """
+        self._output_listeners.append(listener)
+
+    def remove_output_listener(self, listener: Callable[[StepOutput], None]) -> None:
+        self._output_listeners.remove(listener)
+
+    def _emit(self, output: StepOutput) -> StepOutput:
+        for listener in self._output_listeners:
+            listener(output)
+        return output
 
     # Serving loop -------------------------------------------------------------
 
@@ -465,7 +500,9 @@ class BatchedMillionEngine:
         elif state.context.next_position >= self.model.config.max_seq_len:
             self._finish(state, FinishReason.CONTEXT_FULL)
         if state.is_finished:
-            return StepOutput(state.request_id, None, True, state.finish_reason)
+            return self._emit(
+                StepOutput(state.request_id, None, True, state.finish_reason)
+            )
         return None
 
     # Preemption ---------------------------------------------------------------
@@ -517,7 +554,9 @@ class BatchedMillionEngine:
         assert state.context is not None and state.next_logits is not None
         if state.context.next_position >= self.model.config.max_seq_len:
             self._finish(state, FinishReason.CONTEXT_FULL)
-            return StepOutput(state.request_id, None, True, state.finish_reason)
+            return self._emit(
+                StepOutput(state.request_id, None, True, state.finish_reason)
+            )
         sampler = request.sampler or GreedySampler()
         token = sampler(state.next_logits, state.rng)
         state.generated.append(token)
@@ -535,8 +574,8 @@ class BatchedMillionEngine:
                 self._register_new_blocks(state)
             if len(state.generated) >= request.max_new_tokens:
                 self._finish(state, FinishReason.LENGTH)
-        return StepOutput(
-            state.request_id, token, state.is_finished, state.finish_reason
+        return self._emit(
+            StepOutput(state.request_id, token, state.is_finished, state.finish_reason)
         )
 
     def step(self) -> list[StepOutput]:
@@ -629,6 +668,26 @@ class BatchedMillionEngine:
             del self._states[state.request_id]
             self._unclaimed_results.pop(state.request_id, None)
         return len(evicted)
+
+    def prefix_hit_blocks(self, prompt_ids: np.ndarray) -> int:
+        """Leading pool blocks a prompt would adopt if prefillled right now.
+
+        The chain hashes cover the block-aligned prompt prefix the prefill
+        protocol would force-quantize (``A = B*floor((P-1)/B)``); the count
+        is how many of those groups are already published in this engine's
+        pool.  Returns 0 without a pool.  This is the signal the gateway's
+        :class:`~repro.gateway.router.ReplicaRouter` uses for
+        prefix-affinity routing — replicas that already hold a prompt's
+        prefix blocks should serve it.
+        """
+        if self.pool is None:
+            return 0
+        return self.pool.longest_token_prefix(prompt_ids)
+
+    @property
+    def queue_full(self) -> bool:
+        """True when a new submission would be refused with backpressure."""
+        return self.scheduler.queue_full
 
     @property
     def running_count(self) -> int:

@@ -296,6 +296,22 @@ class BlockPool:
             count += 1
         return count
 
+    def longest_token_prefix(self, tokens: np.ndarray) -> int:
+        """Published leading blocks for a raw token prefix (no refcount change).
+
+        Hashes the same aligned span the engine's prefill protocol would
+        force-quantize (``B * floor((P - 1) / B)`` tokens — the final block
+        of an exactly block-aligned prompt stays full-precision so the last
+        forward produces logits) and counts published groups.  This is the
+        read-only probe routers and admission heuristics use to estimate
+        prefix reuse before committing a request to this pool.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64).reshape(-1)
+        if tokens.size == 0:
+            return 0
+        aligned = self.block_tokens * ((tokens.size - 1) // self.block_tokens)
+        return self.longest_prefix(chain_hashes(tokens[:aligned], self.block_tokens))
+
     def adopt(self, chain_hash: bytes) -> Tuple[int, ...]:
         """Take one reference on every block of a published group.
 

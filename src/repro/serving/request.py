@@ -28,12 +28,19 @@ class RequestStatus(Enum):
 
 
 class FinishReason(Enum):
-    """Why a request stopped generating."""
+    """Why a request stopped generating.
+
+    ``ERROR`` is never produced by the engine itself — it is the finish
+    marker a serving shell (the gateway's :class:`AsyncEngineRunner`) emits
+    to unblock subscribers when the engine raised and can no longer make
+    progress.
+    """
 
     LENGTH = "length"
     STOP_TOKEN = "stop_token"
     CONTEXT_FULL = "context_full"
     CANCELLED = "cancelled"
+    ERROR = "error"
 
 
 @dataclass
@@ -53,9 +60,22 @@ class GenerationRequest:
     seed: Optional[int] = None
 
     def __post_init__(self) -> None:
+        # Validate at construction, not deep inside prefill: a malformed
+        # request must fail in the caller's stack frame with a clear message,
+        # never strand the other in-flight sequences of a batch.
         self.prompt_ids = np.asarray(self.prompt_ids, dtype=np.int64).reshape(-1)
-        require(self.prompt_ids.size > 0, "prompt_ids must contain at least one token")
-        require(self.max_new_tokens >= 0, "max_new_tokens must be >= 0")
+        require(
+            self.prompt_ids.size > 0,
+            "prompt_ids must contain at least one token (empty prompt)",
+        )
+        require(
+            self.max_new_tokens >= 1,
+            f"max_new_tokens must be >= 1, got {self.max_new_tokens}",
+        )
+        require(
+            self.request_id is None or self.request_id != "",
+            "request_id must be None (auto-assign) or a non-empty string",
+        )
 
 
 @dataclass

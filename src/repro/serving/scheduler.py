@@ -33,12 +33,35 @@ from repro.utils.validation import require
 AdmissionGate = Callable[[RequestState], bool]
 
 
-class ContinuousBatchingScheduler:
-    """FCFS admission into a bounded running set."""
+class QueueFullError(RuntimeError):
+    """Raised when the wait queue is at ``max_queue_size`` (backpressure).
 
-    def __init__(self, max_batch_size: int = 8) -> None:
+    Callers that front a network (the gateway) translate this into an HTTP
+    429 instead of buffering without bound; in-process callers can simply
+    retry after draining some work.
+    """
+
+
+class ContinuousBatchingScheduler:
+    """FCFS admission into a bounded running set.
+
+    ``max_queue_size`` bounds the *wait* queue only (``None`` = unbounded):
+    submission past the cap raises :class:`QueueFullError`.  Preempted
+    sequences re-enter at the queue front regardless of the cap — eviction
+    must never be refused, or memory pressure would deadlock against
+    backpressure.
+    """
+
+    def __init__(
+        self, max_batch_size: int = 8, max_queue_size: Optional[int] = None
+    ) -> None:
         require(max_batch_size >= 1, "max_batch_size must be >= 1")
+        require(
+            max_queue_size is None or max_queue_size >= 1,
+            "max_queue_size must be >= 1 (or None for unbounded)",
+        )
         self.max_batch_size = max_batch_size
+        self.max_queue_size = max_queue_size
         self._queued: deque[RequestState] = deque()
         # Insertion order == admission order; decode steps iterate this.
         self._running: OrderedDict[str, RequestState] = OrderedDict()
@@ -46,12 +69,29 @@ class ContinuousBatchingScheduler:
 
     # Lifecycle -----------------------------------------------------------
 
+    @property
+    def queue_full(self) -> bool:
+        """True when a new submission would be refused with backpressure."""
+        return (
+            self.max_queue_size is not None
+            and len(self._queued) >= self.max_queue_size
+        )
+
     def submit(self, state: RequestState) -> None:
-        """Enqueue a new request (status must be QUEUED)."""
+        """Enqueue a new request (status must be QUEUED).
+
+        Raises :class:`QueueFullError` when the wait queue is at
+        ``max_queue_size``.
+        """
         require(
             state.status is RequestStatus.QUEUED,
             f"cannot submit a request in state {state.status}",
         )
+        if self.queue_full:
+            raise QueueFullError(
+                f"wait queue is full ({self.max_queue_size} requests); "
+                "retry after in-flight work drains"
+            )
         require(
             state.request_id not in self._running
             and state.request_id not in self._finished

@@ -1,0 +1,133 @@
+"""Fixtures and HTTP helpers for the gateway tests.
+
+The gateway tests run a real :class:`GatewayServer` on an ephemeral
+localhost port inside each test's own event loop (``asyncio.run``), and talk
+to it with a raw asyncio HTTP/1.1 client — the same wire format curl uses,
+no test-only shortcuts through the server internals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core import MillionConfig, calibrate_million
+from repro.models import ModelConfig, build_model
+
+
+# -- HTTP client helpers -----------------------------------------------------
+
+
+async def raw_request(host, port, method, path, payload=None, raw_body=None):
+    """One request/response exchange; returns (status, headers, body bytes)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = raw_body
+        if body is None:
+            body = json.dumps(payload).encode() if payload is not None else b""
+        head = f"{method} {path} HTTP/1.1\r\nHost: gw\r\n"
+        if body:
+            head += f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n"
+        writer.write(head.encode() + b"\r\n" + body)
+        await writer.drain()
+        data = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    header_blob, _, payload_bytes = data.partition(b"\r\n\r\n")
+    lines = header_blob.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, payload_bytes
+
+
+def sse_events(body: bytes) -> list:
+    """Decode the JSON payload of every ``data:`` frame (minus ``[DONE]``)."""
+    events = []
+    for line in body.decode().splitlines():
+        if line.startswith("data: ") and line != "data: [DONE]":
+            events.append(json.loads(line[len("data: "):]))
+    return events
+
+
+def sse_token_ids(body: bytes) -> list[int]:
+    tokens = []
+    for event in sse_events(body):
+        token = event["choices"][0]["token_id"]
+        if token is not None:
+            tokens.append(token)
+    return tokens
+
+
+def sse_finish_reason(body: bytes):
+    reasons = [
+        event["choices"][0]["finish_reason"]
+        for event in sse_events(body)
+        if event["choices"][0]["finish_reason"] is not None
+    ]
+    return reasons[-1] if reasons else None
+
+
+@pytest.fixture(scope="session")
+def gw():
+    """Namespace of client helpers (importable-from-anywhere without sys.path games)."""
+    return SimpleNamespace(
+        raw_request=raw_request,
+        sse_events=sse_events,
+        sse_token_ids=sse_token_ids,
+        sse_finish_reason=sse_finish_reason,
+    )
+
+
+# -- Long-context model for the 1k-prefix routing test -----------------------
+
+
+@pytest.fixture(scope="session")
+def long_config() -> ModelConfig:
+    """Tiny model that can hold a 1k-token shared prefix plus suffixes."""
+    return ModelConfig(
+        name="test-gateway-long",
+        vocab_size=128,
+        d_model=64,
+        n_layers=2,
+        n_heads=2,
+        max_seq_len=1152,
+        positional="rope",
+        norm="rmsnorm",
+        activation="silu",
+    )
+
+
+@pytest.fixture(scope="session")
+def long_model(long_config):
+    return build_model(long_config, seed=7)
+
+
+@pytest.fixture(scope="session")
+def long_million_config(long_config) -> MillionConfig:
+    return MillionConfig.for_equivalent_bits(
+        long_config.head_dim, bits=4, kmeans_iters=4, calibration_samples=768
+    )
+
+
+@pytest.fixture(scope="session")
+def long_factory(long_model, calibration_tokens, long_million_config):
+    return calibrate_million(long_model, calibration_tokens, long_million_config)
+
+
+@pytest.fixture(scope="session")
+def long_prefix(long_config) -> np.ndarray:
+    """1024-token shared prompt prefix (the acceptance-criteria workload)."""
+    from repro.data import load_corpus
+
+    return load_corpus("wikitext2-syn", "test", 1024, seed=21) % long_config.vocab_size

@@ -1,0 +1,110 @@
+"""Router tests with stub replicas (no event loop, no model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gateway.router import ReplicaRouter
+from repro.serving.memory import chain_hashes
+from repro.serving.scheduler import QueueFullError
+
+BLOCK = 8
+
+
+class StubRunner:
+    """Just the probe surface the router touches."""
+
+    def __init__(self, load=0, queue_full=False, published_tokens=None):
+        self.load = load
+        self.queue_full = queue_full
+        # Chain hashes this "replica's pool" pretends to have published.
+        self._published = set()
+        if published_tokens is not None:
+            self._published.update(chain_hashes(published_tokens, BLOCK))
+
+    def longest_prefix(self, hashes, block_tokens):
+        if block_tokens != BLOCK:
+            return 0
+        hits = 0
+        for chain_hash in hashes:
+            if chain_hash not in self._published:
+                break
+            hits += 1
+        return hits
+
+
+def _prompt(seed, n=4 * BLOCK):
+    return np.random.default_rng(seed).integers(0, 100, size=n)
+
+
+class TestReplicaRouter:
+    def test_prefix_affinity_beats_load(self):
+        prompt = _prompt(0)
+        holder = StubRunner(load=10, published_tokens=prompt)
+        idle = StubRunner(load=0)
+        router = ReplicaRouter([idle, holder], block_tokens=BLOCK)
+        decision = router.route(prompt)
+        assert decision.replica_index == 1 and decision.reason == "prefix"
+        assert decision.affinity_blocks == 3  # aligned prefix of a 32-token prompt
+
+    def test_deeper_prefix_wins(self):
+        prompt = _prompt(1)
+        shallow = StubRunner(published_tokens=prompt[:BLOCK])
+        deep = StubRunner(load=5, published_tokens=prompt)
+        router = ReplicaRouter([shallow, deep], block_tokens=BLOCK)
+        assert router.route(prompt).replica_index == 1
+
+    def test_sticky_covers_prepublication_window(self):
+        """Back-to-back shared-prefix requests co-locate before any block publishes."""
+        prompt_a = np.concatenate([_prompt(2), [1]])
+        prompt_b = np.concatenate([_prompt(2), [2]])  # same aligned prefix
+        replicas = [StubRunner(load=1), StubRunner(load=0)]
+        router = ReplicaRouter(replicas, block_tokens=BLOCK)
+        first = router.route(prompt_a)
+        assert first.reason == "least_loaded" and first.replica_index == 1
+        replicas[1].load = 50  # far busier now — affinity must still win
+        second = router.route(prompt_b)
+        assert second.replica_index == 1 and second.reason == "sticky"
+
+    def test_least_loaded_fallback_and_tie_break(self):
+        router = ReplicaRouter(
+            [StubRunner(load=3), StubRunner(load=1), StubRunner(load=1)],
+            block_tokens=BLOCK,
+        )
+        decision = router.route(_prompt(3))
+        assert decision.replica_index == 1  # lowest load, lowest index on tie
+        assert decision.reason == "least_loaded"
+
+    def test_saturated_replica_never_chosen(self):
+        prompt = _prompt(4)
+        holder = StubRunner(published_tokens=prompt, queue_full=True)
+        spare = StubRunner(load=7)
+        router = ReplicaRouter([holder, spare], block_tokens=BLOCK)
+        assert router.route(prompt).replica_index == 1
+
+    def test_all_saturated_raises_backpressure(self):
+        router = ReplicaRouter(
+            [StubRunner(queue_full=True), StubRunner(queue_full=True)],
+            block_tokens=BLOCK,
+        )
+        with pytest.raises(QueueFullError):
+            router.route(_prompt(5))
+        assert router.stats()["rejected"] == 1
+
+    def test_sticky_table_is_lru_bounded(self):
+        router = ReplicaRouter(
+            [StubRunner(), StubRunner()], block_tokens=BLOCK, max_sticky_entries=4
+        )
+        for seed in range(10):
+            router.route(_prompt(seed))
+        assert router.stats()["sticky_entries"] <= 4
+
+    def test_decision_counters(self):
+        prompt = _prompt(6)
+        holder = StubRunner(published_tokens=prompt)
+        router = ReplicaRouter([holder, StubRunner()], block_tokens=BLOCK)
+        router.route(prompt)           # prefix
+        router.route(_prompt(7))       # least_loaded
+        stats = router.stats()
+        assert stats["prefix_routed"] == 1 and stats["load_routed"] == 1

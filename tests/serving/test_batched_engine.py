@@ -152,14 +152,42 @@ class TestBatchedMillionEngine:
         assert len(results[request_id]) == first_occurrence + 1
         tiny_model.reset_cache(FullPrecisionCacheFactory())
 
-    def test_zero_new_tokens_finishes_at_prefill(
+    def test_invalid_requests_rejected_at_submission(
         self, tiny_model, million_factory, calibration_tokens
     ):
+        """Malformed requests fail with clear ValueErrors, not deep in prefill."""
         engine = BatchedMillionEngine(tiny_model, million_factory)
-        request_id = engine.add_request(calibration_tokens[:8], max_new_tokens=0)
+        with pytest.raises(ValueError, match="max_new_tokens"):
+            engine.add_request(calibration_tokens[:8], max_new_tokens=0)
+        with pytest.raises(ValueError, match="empty prompt"):
+            engine.add_request(np.asarray([], dtype=np.int64), max_new_tokens=4)
+        with pytest.raises(ValueError, match="request_id"):
+            engine.add_request(calibration_tokens[:8], max_new_tokens=4, request_id="")
+        kept = engine.add_request(
+            calibration_tokens[:8], max_new_tokens=2, request_id="dup"
+        )
+        with pytest.raises(ValueError, match="duplicate request id"):
+            engine.add_request(calibration_tokens[:8], max_new_tokens=2, request_id="dup")
+        # Rejections leave no trace: the one valid request still completes.
         results = engine.run()
-        assert results[request_id].size == 0
-        assert engine.state_of(request_id).finish_reason is FinishReason.LENGTH
+        assert set(results) == {kept} and results[kept].shape == (2,)
+        tiny_model.reset_cache(FullPrecisionCacheFactory())
+
+    def test_queue_backpressure(self, tiny_model, million_factory, calibration_tokens):
+        from repro.serving import QueueFullError
+
+        engine = BatchedMillionEngine(
+            tiny_model, million_factory, max_batch_size=1, max_queue_size=2
+        )
+        first = engine.add_request(calibration_tokens[:8], max_new_tokens=2)
+        second = engine.add_request(calibration_tokens[8:16], max_new_tokens=2)
+        with pytest.raises(QueueFullError):
+            engine.add_request(calibration_tokens[16:24], max_new_tokens=2)
+        # The refused request left no state behind; its id was never taken.
+        with pytest.raises(Exception):
+            engine.state_of("req-0002")
+        results = engine.run()
+        assert set(results) == {first, second}
         tiny_model.reset_cache(FullPrecisionCacheFactory())
 
     def test_context_full_finish(self, tiny_model, million_factory, calibration_tokens):
