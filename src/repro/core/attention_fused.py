@@ -1,0 +1,307 @@
+"""Fused cross-sequence MILLION attention for batched decode.
+
+One engine step over ``B`` running sequences used to cost ``B`` full Python
+model traversals; the serving engine now runs **one** stacked forward
+(:meth:`repro.models.transformer.TransformerLM.fused_decode_step`) and
+delegates attention to :class:`FusedMillionAttention`, which per layer:
+
+1. pops the flush-due rows of every sequence and quantizes them in one
+   row-invariant :meth:`~repro.core.million_cache.MillionKVCacheLayer.encode_rows`
+   call (the per-sequence flush schedule is untouched — only who calls the
+   encoder changes);
+2. builds the score lookup tables of all ``B * n_heads`` query heads in one
+   :meth:`~repro.core.pq.ProductQuantizer.build_score_luts` call;
+3. runs one flat segment-ADC gather over a packed per-step code buffer, each
+   sequence scored only against its own key codes (ragged segments indexed
+   through precomputed per-step element maps, heads sharing a KV head
+   sharing the same code gather);
+4. merges with the full-precision recent window and softmaxes per sequence
+   (sequence-local row lengths differ, and the merge is exactly the
+   sequential cache's ``attend``);
+5. aggregates all sequences' value probabilities per centroid in one flat
+   scatter-add and decodes against the centroid tables.
+
+Every kernel accumulates in an order independent of how many sequences share
+the call, so each sequence's context — and therefore its next-token logits —
+is bit-identical to the sequential reference path (tests sweep both).
+Scratch buffers (element maps, packed codes/probabilities, gather and
+aggregation temporaries) live in a :class:`~repro.utils.scratch.ScratchArena`
+reused across steps, so steady-state decoding performs no per-step
+allocation growth.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.attention_pq import adc_scores_flat, weighted_decode_flat
+from repro.core.million_cache import MillionKVCacheLayer
+from repro.models.attention import AttentionBlock
+from repro.models.attention_math import attention_scores, repeat_kv_heads
+from repro.models.positional import alibi_bias
+from repro.models.tensor_ops import softmax
+from repro.utils.bitpack import code_dtype
+from repro.utils.scratch import ScratchArena
+from repro.utils.validation import require
+
+
+class FusedMillionAttention:
+    """Batched-decode attention strategy over per-sequence MILLION caches.
+
+    One instance is owned by a serving engine and passed to
+    ``fused_decode_step`` as its ``batch_attend``; it is stateful only
+    through its scratch arena and the memoized per-step element maps.
+    Sequences may have arbitrary, different context lengths; sparse outlier
+    corrections are not supported (the engine falls back to the sequential
+    path when they are configured).
+    """
+
+    def __init__(self) -> None:
+        self.arena = ScratchArena()
+        # Element maps depend only on (H, kv_heads, segment lengths); they
+        # are identical for every layer of a step (all layers see the same
+        # token stream), so they are rebuilt once per step and reused.
+        self._map_key: tuple | None = None
+        self._element_count = 0
+        self._probs_offsets: list[int] = []
+        # Per-layer signature of the last packed code buffers: a tuple of
+        # (cache_serial, code_version) pairs.  Serials are never reused and
+        # versions bump on every stored-code mutation (flush, adoption,
+        # reset), so an equal signature proves the packed bytes are current
+        # and the per-step repack can be skipped — on pooled or windowed
+        # configs most decode steps flush nothing.
+        self._pack_signatures: dict[int, tuple] = {}
+
+    # Per-step element maps ------------------------------------------------
+
+    def _build_maps(
+        self,
+        n_heads: int,
+        kv_heads: int,
+        segments: Sequence[int],
+        m_subspaces: int,
+        n_centroids: int,
+    ) -> None:
+        key = (n_heads, kv_heads, m_subspaces, n_centroids, tuple(segments))
+        if key == self._map_key:
+            return
+        group = n_heads // kv_heads
+        total_elements = n_heads * sum(segments)
+        token_kv = self.arena.get("map.token_kv", (total_elements,), np.int64)
+        row_index = self.arena.get("map.row", (total_elements,), np.int64)
+        kv_of_head = np.arange(n_heads, dtype=np.int64) // group
+        offsets = [0]
+        elem = 0
+        seg_start = 0
+        for b, seg_len in enumerate(segments):
+            if seg_len:
+                block = token_kv[elem : elem + n_heads * seg_len].reshape(
+                    n_heads, seg_len
+                )
+                np.add(
+                    (np.arange(seg_len, dtype=np.int64) + seg_start)[None, :]
+                    * kv_heads,
+                    kv_of_head[:, None],
+                    out=block,
+                )
+                rows = row_index[elem : elem + n_heads * seg_len].reshape(
+                    n_heads, seg_len
+                )
+                rows[:] = (
+                    b * n_heads + np.arange(n_heads, dtype=np.int64)
+                )[:, None]
+                elem += n_heads * seg_len
+            seg_start += seg_len
+            offsets.append(elem)
+        # Scatter-bin bases for the value kernel, (row * M + m) * K: fixed
+        # while the segment layout is, so layers within a step reuse them.
+        bins_base = self.arena.get(
+            "map.bins_base", (total_elements, m_subspaces), np.int64
+        )
+        np.multiply(
+            row_index[:, None], m_subspaces * n_centroids, out=bins_base
+        )
+        bins_base += np.arange(m_subspaces, dtype=np.int64) * n_centroids
+        self._map_key = key
+        self._element_count = total_elements
+        self._probs_offsets = offsets
+
+    # Flush + append -------------------------------------------------------
+
+    def _flush_and_append(
+        self,
+        caches: Sequence[MillionKVCacheLayer],
+        k: np.ndarray,
+        v: np.ndarray,
+    ) -> None:
+        """Quantize every sequence's flush-due rows in one encode, then stage
+        the new tokens — per sequence, this is exactly ``cache.append``."""
+        flush_counts = [cache.flushable_rows() for cache in caches]
+        if any(flush_counts):
+            flushing = [b for b, count in enumerate(flush_counts) if count]
+            popped = [caches[b].pop_flushable() for b in flushing]
+            encoder = caches[flushing[0]]
+            keys_block = np.concatenate([keys for keys, _ in popped], axis=0)
+            values_block = np.concatenate([values for _, values in popped], axis=0)
+            key_codes, value_codes = encoder.encode_rows(keys_block, values_block)
+            start = 0
+            for b, (keys, _) in zip(flushing, popped):
+                count = keys.shape[0]
+                caches[b].store_code_block(
+                    key_codes[start : start + count],
+                    value_codes[start : start + count],
+                )
+                start += count
+        for b, cache in enumerate(caches):
+            cache.append_pending(k[b : b + 1], v[b : b + 1])
+
+    # Attention ------------------------------------------------------------
+
+    def __call__(
+        self,
+        block: AttentionBlock,
+        caches: Sequence[MillionKVCacheLayer],
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        positions: np.ndarray,
+        layer_index: int = 0,
+    ) -> np.ndarray:
+        n_seqs, n_heads, head_dim = q.shape
+        kv_heads = k.shape[1]
+        scale = block.scale
+        slopes = block.alibi_head_slopes
+        first = caches[0]
+        key_pq, value_pq = first.key_pq, first.value_pq
+        for cache in caches:
+            require(
+                cache.key_pq is key_pq and cache.value_pq is value_pq,
+                "fused attention requires caches sharing one quantizer pair",
+            )
+
+        self._flush_and_append(caches, k, v)
+        segments = [cache.stored_tokens for cache in caches]
+        self._build_maps(
+            n_heads, kv_heads, segments, value_pq.m_subspaces, value_pq.n_centroids
+        )
+        n_elements = self._element_count
+        offsets = self._probs_offsets
+        token_kv = self.arena.get("map.token_kv", (n_elements,), np.int64)
+        row_index = self.arena.get("map.row", (n_elements,), np.int64)
+
+        scores_flat = None
+        key_rows = value_rows = None
+        if n_elements:
+            total_stored = sum(segments)
+            m_key = key_pq.m_subspaces
+            m_value = value_pq.m_subspaces
+            key_rows = self.arena.get(
+                f"pack.keys.{layer_index}",
+                (total_stored * kv_heads, m_key),
+                code_dtype(key_pq.nbits),
+            )
+            value_rows = self.arena.get(
+                f"pack.values.{layer_index}",
+                (total_stored * kv_heads, m_value),
+                code_dtype(value_pq.nbits),
+            )
+            signature = tuple(
+                (cache.cache_serial, cache.code_version) for cache in caches
+            )
+            if self._pack_signatures.get(layer_index) != signature:
+                seg_start = 0
+                for cache, seg_len in zip(caches, segments):
+                    if seg_len == 0:
+                        continue
+                    key_view, value_view = cache.stored_code_views()
+                    lo, hi = seg_start * kv_heads, (seg_start + seg_len) * kv_heads
+                    np.copyto(
+                        key_rows[lo:hi], key_view.reshape(seg_len * kv_heads, m_key)
+                    )
+                    np.copyto(
+                        value_rows[lo:hi],
+                        value_view.reshape(seg_len * kv_heads, m_value),
+                    )
+                    seg_start += seg_len
+                self._pack_signatures[layer_index] = signature
+            flat_q = q.reshape(n_seqs * n_heads, head_dim)
+            luts = key_pq.build_score_luts(flat_q, subspace_major=True)
+            scores_flat = adc_scores_flat(
+                luts, key_rows, token_kv, row_index, self.arena, "fused.adc"
+            )
+            np.multiply(scores_flat, np.float32(scale), out=scores_flat)
+
+        # Sequence-local merge with the full-precision recent window: exactly
+        # the sequential cache's attend(), with the stored scores precomputed.
+        context = np.empty((n_seqs, n_heads, head_dim), dtype=np.float32)
+        probs_packed = self.arena.get("pack.probs", (n_elements,), np.float32)
+        pending_contexts: list[np.ndarray] = []
+        for b, cache in enumerate(caches):
+            seg_len = segments[b]
+            score_blocks = []
+            if seg_len:
+                stored_scores = scores_flat[
+                    offsets[b] : offsets[b + 1]
+                ].reshape(n_heads, 1, seg_len)
+                if slopes is not None:
+                    stored_scores = stored_scores + alibi_bias(
+                        slopes, positions[b : b + 1], np.arange(seg_len)
+                    )
+                score_blocks.append(stored_scores)
+            pending_keys, pending_values = cache.pending_views()
+            pending_positions = np.arange(seg_len, seg_len + pending_keys.shape[0])
+            if pending_keys.shape[0] > 0:
+                score_blocks.append(
+                    attention_scores(
+                        q[b : b + 1],
+                        pending_keys,
+                        positions[b : b + 1],
+                        pending_positions,
+                        scale,
+                        alibi_head_slopes=slopes,
+                        causal=True,
+                    )
+                )
+            scores = np.concatenate(score_blocks, axis=-1)
+            probs = softmax(scores, axis=-1)
+            if seg_len:
+                np.copyto(
+                    probs_packed[offsets[b] : offsets[b + 1]],
+                    probs[..., :seg_len].reshape(-1),
+                )
+            if pending_keys.shape[0] > 0:
+                expanded_values = repeat_kv_heads(pending_values, n_heads)
+                pending_contexts.append(
+                    np.einsum(
+                        "hqk,khd->qhd", probs[..., seg_len:], expanded_values
+                    ).astype(np.float32)
+                )
+            else:
+                pending_contexts.append(None)
+
+        if n_elements:
+            stored_context = weighted_decode_flat(
+                probs_packed,
+                value_rows,
+                token_kv,
+                row_index,
+                n_seqs * n_heads,
+                value_pq,
+                self.arena,
+                "fused.wv",
+                bins_base=self.arena.get(
+                    "map.bins_base", (n_elements, value_pq.m_subspaces), np.int64
+                ),
+            ).reshape(n_seqs, n_heads, head_dim)
+        context[:] = 0.0
+        for b in range(n_seqs):
+            if segments[b]:
+                context[b] += stored_context[b]
+            if pending_contexts[b] is not None:
+                context[b] += pending_contexts[b][0]
+        return context
+
+
+__all__ = ["FusedMillionAttention"]

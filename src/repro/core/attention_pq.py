@@ -4,6 +4,15 @@ These functions bridge the per-vector :class:`ProductQuantizer` API and the
 multi-head layout used by the KV cache: queries arrive as
 ``(n_queries, n_heads, head_dim)`` and codes as ``(n_keys, kv_heads, M)``
 (grouped-query attention maps several query heads onto one KV head).
+
+The kernels are *flat and grouped*: instead of looping query heads in Python,
+every (head, query, key) element is addressed through precomputed gather
+indices, so one ``np.take`` per subspace serves the whole head group and one
+flat ``np.add.at`` aggregates all probability mass per centroid.  Every
+operation accumulates in a fixed element order that is independent of how
+many rows share the call — the property the fused batched decode path relies
+on to process many sequences per step while staying bit-identical to the
+sequential reference (see :mod:`repro.core.attention_fused`).
 """
 
 from __future__ import annotations
@@ -11,12 +20,139 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.pq import ProductQuantizer
+from repro.utils.scratch import ScratchArena
 from repro.utils.validation import require
 
 
-def _gqa_kv_head(query_head: int, n_query_heads: int, n_kv_heads: int) -> int:
-    group = n_query_heads // n_kv_heads
-    return query_head // group
+def gqa_token_kv_index(
+    n_heads: int,
+    n_queries: int,
+    n_keys: int,
+    kv_heads: int,
+    arena: ScratchArena,
+    name: str = "token_kv",
+) -> np.ndarray:
+    """Row index into flattened ``(n_keys * kv_heads, M)`` codes per element.
+
+    Element space is ``(head, query, key)`` in C order — matching the
+    ``(n_heads, n_queries, n_keys)`` score layout — and heads sharing a KV
+    head map to the same code rows, which is what collapses the per-head
+    Python loop into one gather per subspace.
+    """
+    rows = n_heads * n_queries
+    out = arena.get(name, (rows, n_keys), np.int64)
+    memo_key = (n_heads, n_queries, n_keys, kv_heads)
+    if arena.memo.get(name) == memo_key:
+        return out  # map unchanged since last build (e.g. score then value
+        # kernels of one attend, or successive steps between flushes)
+    group = n_heads // kv_heads
+    kv_of_row = np.repeat(np.arange(n_heads, dtype=np.int64) // group, n_queries)
+    np.add(
+        np.arange(n_keys, dtype=np.int64)[None, :] * kv_heads,
+        kv_of_row[:, None],
+        out=out,
+    )
+    arena.memo[name] = memo_key
+    return out
+
+
+def adc_scores_flat(
+    luts_subspace_major: np.ndarray,
+    codes_rows: np.ndarray,
+    token_kv_index: np.ndarray,
+    row_index: np.ndarray,
+    arena: ScratchArena,
+    name_prefix: str = "adc",
+) -> np.ndarray:
+    """ADC logits for arbitrary (LUT row, code row) element pairs.
+
+    ``luts_subspace_major`` is ``(M, n_rows, K)``; ``codes_rows`` is
+    ``(n_code_rows, M)``; ``token_kv_index`` and ``row_index`` give, for every
+    output element, the code row and the LUT row (``row_index`` may broadcast
+    against ``token_kv_index``).  Returns float32 scores of the elements'
+    shape: ``sum_m luts[m, row, codes[token_kv, m]]`` accumulated subspace by
+    subspace in order, exactly like :meth:`ProductQuantizer.adc_scores`.
+    """
+    m_subspaces, n_rows, n_centroids = luts_subspace_major.shape
+    shape = token_kv_index.shape
+    scores = arena.zeros(f"{name_prefix}.scores", shape, np.float32)
+    if token_kv_index.size == 0:
+        return scores
+    gathered = arena.get(f"{name_prefix}.gathered", shape, np.float32)
+    code_tmp = arena.get(f"{name_prefix}.code", shape, codes_rows.dtype)
+    index_tmp = arena.get(f"{name_prefix}.index", shape, np.int64)
+    row_base = arena.get(f"{name_prefix}.row_base", shape, np.int64)
+    np.multiply(row_index, n_centroids, out=row_base)
+    for m in range(m_subspaces):
+        np.take(codes_rows[:, m], token_kv_index, out=code_tmp)
+        np.add(row_base, code_tmp, out=index_tmp)
+        np.take(luts_subspace_major[m].reshape(-1), index_tmp, out=gathered)
+        scores += gathered
+    return scores
+
+
+def weighted_decode_flat(
+    probs: np.ndarray,
+    codes_rows: np.ndarray,
+    token_kv_index: np.ndarray,
+    row_index: np.ndarray,
+    n_rows: int,
+    quantizer: ProductQuantizer,
+    arena: ScratchArena,
+    name_prefix: str = "wv",
+    bins_base: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-centroid probability aggregation and decode for flat elements.
+
+    ``probs`` matches the element shape of ``token_kv_index``; the result is
+    ``(n_rows, dim)`` float32 context rows.  Probability mass is scattered to
+    ``(row, subspace, centroid)`` bins in element order (keys in sequence
+    order, subspaces innermost), then multiplied by the centroid tables —
+    MILLION's ``O(n + K * d)`` value trick, with the per-head Python loop
+    replaced by one flat scatter-add.
+    """
+    m_subspaces = quantizer.m_subspaces
+    n_centroids = quantizer.n_centroids
+    if token_kv_index.size == 0:
+        return np.zeros((n_rows, quantizer.dim), dtype=np.float32)
+    elem_shape = token_kv_index.shape
+    codes_elem = arena.get(
+        f"{name_prefix}.codes", elem_shape + (m_subspaces,), codes_rows.dtype
+    )
+    np.take(codes_rows, token_kv_index, axis=0, out=codes_elem)
+    bins = arena.get(f"{name_prefix}.bins", elem_shape + (m_subspaces,), np.int64)
+    if bins_base is None:
+        # (row * M + m) * K, built from scratch; steady-state callers (the
+        # fused decoder) pass it in precomputed since it only changes when
+        # the segment layout changes.
+        row_base = arena.get(f"{name_prefix}.row_base", elem_shape, np.int64)
+        np.multiply(row_index, m_subspaces * n_centroids, out=row_base)
+        np.add(
+            row_base[..., None],
+            np.arange(m_subspaces, dtype=np.int64) * n_centroids,
+            out=bins,
+        )
+        bins += codes_elem
+    else:
+        np.add(bins_base, codes_elem, out=bins)
+    aggregated = arena.zeros(
+        f"{name_prefix}.agg", (n_rows * m_subspaces * n_centroids,), np.float32
+    )
+    # One flat scatter-add for every (row, subspace, centroid) bin.  The
+    # element order (keys in sequence order, subspaces innermost) fixes the
+    # accumulation order per bin regardless of how many rows share the call.
+    # Weights are materialized so the ufunc takes its fast unbuffered path.
+    weights = arena.get(f"{name_prefix}.weights", elem_shape + (m_subspaces,), np.float32)
+    np.copyto(weights, probs[..., None])
+    np.add.at(aggregated, bins.reshape(-1), weights.reshape(-1))
+    aggregated = aggregated.reshape(n_rows, m_subspaces, n_centroids)
+    # Contract against the (M, dsub, K) centroid layout so the reduction axis
+    # is contiguous in both operands; the contraction is per-element
+    # independent, hence row-invariant.
+    context = np.einsum(
+        "rmk,mdk->rmd", aggregated, quantizer.centroids_transposed(np.float32)
+    )
+    return context.reshape(n_rows, quantizer.dim).astype(np.float32, copy=False)
 
 
 def pq_attention_scores(
@@ -24,6 +160,7 @@ def pq_attention_scores(
     key_codes: np.ndarray,
     key_pq: ProductQuantizer,
     scale: float = 1.0,
+    arena: ScratchArena | None = None,
 ) -> np.ndarray:
     """Attention logits of queries against PQ-encoded keys.
 
@@ -46,16 +183,23 @@ def pq_attention_scores(
     require(head_dim == key_pq.dim, "query head_dim must match the key quantizer dim")
     require(m_subspaces == key_pq.m_subspaces, "codes M must match the key quantizer")
     require(n_heads % kv_heads == 0, "n_heads must be a multiple of kv_heads")
+    arena = arena or ScratchArena()
 
     # One LUT per (query token, query head); flattening keeps the head axis
     # fastest so the reshape below is contiguous.
     flat_queries = queries.transpose(1, 0, 2).reshape(n_heads * n_queries, head_dim)
-    luts = key_pq.build_score_luts(flat_queries)
-    luts = luts.reshape(n_heads, n_queries, key_pq.m_subspaces, key_pq.n_centroids)
-    scores = np.empty((n_heads, n_queries, n_keys), dtype=np.float32)
-    for head in range(n_heads):
-        kv_head = _gqa_kv_head(head, n_heads, kv_heads)
-        scores[head] = key_pq.adc_scores(luts[head], key_codes[:, kv_head, :])
+    luts = key_pq.build_score_luts(flat_queries, subspace_major=True)
+    rows = n_heads * n_queries
+    token_kv = gqa_token_kv_index(n_heads, n_queries, n_keys, kv_heads, arena)
+    row_index = np.arange(rows, dtype=np.int64)[:, None]
+    scores = adc_scores_flat(
+        luts,
+        key_codes.reshape(n_keys * kv_heads, m_subspaces),
+        token_kv,
+        row_index,
+        arena,
+    )
+    scores = scores.reshape(n_heads, n_queries, n_keys)
     return scores * np.float32(scale)
 
 
@@ -63,6 +207,7 @@ def pq_weighted_values(
     probs: np.ndarray,
     value_codes: np.ndarray,
     value_pq: ProductQuantizer,
+    arena: ScratchArena | None = None,
 ) -> np.ndarray:
     """Probability-weighted sum over PQ-encoded values.
 
@@ -85,14 +230,23 @@ def pq_weighted_values(
     require(n_keys == keys_in_codes, "probs and value_codes disagree on n_keys")
     require(m_subspaces == value_pq.m_subspaces, "codes M must match the value quantizer")
     require(n_heads % kv_heads == 0, "n_heads must be a multiple of kv_heads")
+    arena = arena or ScratchArena()
 
-    context = np.empty((n_queries, n_heads, value_pq.dim), dtype=np.float32)
-    for head in range(n_heads):
-        kv_head = _gqa_kv_head(head, n_heads, kv_heads)
-        context[:, head, :] = value_pq.weighted_decode(
-            probs[head], value_codes[:, kv_head, :]
-        )
-    return context
+    rows = n_heads * n_queries
+    token_kv = gqa_token_kv_index(n_heads, n_queries, n_keys, kv_heads, arena)
+    row_index = np.arange(rows, dtype=np.int64)[:, None]
+    context = weighted_decode_flat(
+        probs.reshape(rows, n_keys),
+        value_codes.reshape(n_keys * kv_heads, m_subspaces),
+        token_kv,
+        row_index,
+        rows,
+        value_pq,
+        arena,
+    )
+    return np.ascontiguousarray(
+        context.reshape(n_heads, n_queries, value_pq.dim).transpose(1, 0, 2)
+    )
 
 
 def pq_sparse_attention(

@@ -10,6 +10,8 @@ that it is not needed.
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from repro.core.attention_pq import pq_attention_scores, pq_weighted_values
@@ -17,6 +19,7 @@ from repro.core.config import MillionConfig
 from repro.core.pq import ProductQuantizer
 from repro.core.storage import CodeStore
 from repro.utils.bitpack import code_dtype
+from repro.utils.scratch import ScratchArena
 from repro.models.config import ModelConfig
 from repro.models.kv_cache import KVCacheLayer
 from repro.quant.cache_adapters import StreamingQuantizedKVCache
@@ -76,6 +79,10 @@ class _SparseCorrections:
 class MillionKVCacheLayer(StreamingQuantizedKVCache):
     """Per-layer MILLION cache (paper Fig. 4b/4c and Fig. 5)."""
 
+    #: Process-wide id source for :attr:`cache_serial` (never reused, unlike
+    #: ``id()``, so content-change tracking across cache churn stays sound).
+    _serial_counter = itertools.count()
+
     def __init__(
         self,
         config: ModelConfig,
@@ -101,6 +108,15 @@ class MillionKVCacheLayer(StreamingQuantizedKVCache):
         self.key_pq = key_pq
         self.value_pq = value_pq
         self.million_config = million_config
+        # Per-layer scratch buffers for the flat ADC kernels, reused across
+        # decode steps so attention performs no per-step allocations.
+        self.arena = ScratchArena()
+        # Content-change tracking for packed-gather consumers (the fused
+        # decoder): (cache_serial, code_version) changes iff the stored code
+        # sequence may have changed, so steps without a flush can reuse the
+        # previous step's packed copy of this cache's codes.
+        self.cache_serial = next(self._serial_counter)
+        self.code_version = 0
         # Contiguous, amortized-doubling code storage: appends copy one block,
         # attention reads a zero-copy view — no per-step re-concatenation.
         self._key_codes = CodeStore(
@@ -122,12 +138,47 @@ class MillionKVCacheLayer(StreamingQuantizedKVCache):
             values_dense, _ = split_outliers(values, self.million_config.outlier_fraction)
             self._key_corrections.add_block(token_offset, keys - keys_dense)
             self._value_corrections.add_block(token_offset, values - values_dense)
+        self._store_code_rows(*self._encode_dense(keys_dense, values_dense))
+
+    def _encode_dense(
+        self, keys: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         t, kv_heads, head_dim = keys.shape
-        key_codes = self.key_pq.encode(keys_dense.reshape(t * kv_heads, head_dim))
-        value_codes = self.value_pq.encode(values_dense.reshape(t * kv_heads, head_dim))
-        self._store_code_rows(
-            key_codes.reshape(t, kv_heads, -1), value_codes.reshape(t, kv_heads, -1)
+        key_codes = self.key_pq.encode(keys.reshape(t * kv_heads, head_dim))
+        value_codes = self.value_pq.encode(values.reshape(t * kv_heads, head_dim))
+        return (
+            key_codes.reshape(t, kv_heads, -1),
+            value_codes.reshape(t, kv_heads, -1),
         )
+
+    def encode_rows(
+        self, keys: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Encode ``(t, kv_heads, d)`` rows to ``(t, kv_heads, M)`` codes.
+
+        The pure compression half of the flush, exposed so the fused decode
+        path can encode the popped rows of many sequences in one call
+        (:meth:`ProductQuantizer.encode` is row-invariant, so the batched
+        codes are bit-identical to per-sequence encoding).  Sparse outlier
+        corrections are per-sequence COO state that cannot be split out of a
+        batched encode, so this path requires ``outlier_fraction == 0``.
+        """
+        require(
+            self.million_config.outlier_fraction == 0.0,
+            "encode_rows does not support sparse outlier corrections",
+        )
+        return self._encode_dense(keys, values)
+
+    def store_code_block(
+        self, key_codes: np.ndarray, value_codes: np.ndarray
+    ) -> None:
+        """Install pre-encoded code rows popped via :meth:`pop_flushable`."""
+        require(
+            key_codes.shape[0] == value_codes.shape[0],
+            "key and value code blocks must cover the same tokens",
+        )
+        self._store_code_rows(key_codes, value_codes)
+        self.account_flushed(key_codes.shape[0])
 
     def _store_code_rows(self, key_codes: np.ndarray, value_codes: np.ndarray) -> None:
         """Record a flushed block's ``(t, kv_heads, M)`` code rows.
@@ -139,6 +190,7 @@ class MillionKVCacheLayer(StreamingQuantizedKVCache):
         """
         self._key_codes.append(key_codes)
         self._value_codes.append(value_codes)
+        self.code_version += 1
 
     def _stored_key_codes(self) -> np.ndarray:
         return self._key_codes.view()
@@ -146,16 +198,29 @@ class MillionKVCacheLayer(StreamingQuantizedKVCache):
     def _stored_value_codes(self) -> np.ndarray:
         return self._value_codes.view()
 
+    def stored_code_views(self) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``(key_codes, value_codes)`` views, ``(stored, kv_heads, M)``.
+
+        The fused decode path reads these directly (and packs them into its
+        step-wide gather buffers) instead of materializing per-request
+        copies.
+        """
+        return self._key_codes.view(), self._value_codes.view()
+
     # Attention hooks -----------------------------------------------------------
 
     def _quantized_scores(self, queries: np.ndarray, scale: float) -> np.ndarray:
-        scores = pq_attention_scores(queries, self._stored_key_codes(), self.key_pq, scale=scale)
+        scores = pq_attention_scores(
+            queries, self._stored_key_codes(), self.key_pq, scale=scale, arena=self.arena
+        )
         if self._key_corrections.count:
             scores = scores + self._key_score_corrections(queries) * np.float32(scale)
         return scores
 
     def _quantized_weighted_values(self, probs: np.ndarray) -> np.ndarray:
-        context = pq_weighted_values(probs, self._stored_value_codes(), self.value_pq)
+        context = pq_weighted_values(
+            probs, self._stored_value_codes(), self.value_pq, arena=self.arena
+        )
         if self._value_corrections.count:
             context = context + self._value_context_corrections(probs)
         return context
@@ -228,6 +293,7 @@ class MillionKVCacheLayer(StreamingQuantizedKVCache):
         self._value_codes.clear()
         self._key_corrections.clear()
         self._value_corrections.clear()
+        self.code_version += 1
 
 
 class MillionCacheFactory:

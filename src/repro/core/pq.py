@@ -18,7 +18,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.codebook import SubspaceCodebooks, train_codebooks
-from repro.quant.kmeans import assign_to_centroids
 from repro.utils.bitpack import code_dtype, packed_nbytes
 from repro.utils.rng import SeedLike
 from repro.utils.validation import require
@@ -27,8 +26,64 @@ from repro.utils.validation import require
 class ProductQuantizer:
     """Encode/decode vectors against a fixed set of subspace codebooks."""
 
+    #: Largest subspace dimension for which the batched-GEMM contraction is
+    #: used.  With a contraction this short there is a single k-block and a
+    #: fixed two-or-three-term accumulation chain, so GEMM row results are
+    #: invariant to the row count (for >= 2 rows; a unit test pins this);
+    #: longer contractions fall back to the explicitly row-invariant d-loop.
+    _SMALL_SUBSPACE_DIM = 8
+
     def __init__(self, codebooks: SubspaceCodebooks) -> None:
         self.codebooks = codebooks
+        # Cached ||c||^2 and transposed centroid tables for the encode / LUT
+        # kernels (keyed by dtype for the transposed tables).
+        self._centroid_sq_norms: np.ndarray | None = None
+        self._half_sq_norms_f32: np.ndarray | None = None
+        self._centroids_t: dict[str, np.ndarray] = {}
+
+    def centroid_sq_norms(self) -> np.ndarray:
+        """``(M, K)`` squared centroid norms in float64 (cached)."""
+        if self._centroid_sq_norms is None:
+            centroids = self.codebooks.centroids.astype(np.float64)
+            self._centroid_sq_norms = np.einsum("mkd,mkd->mk", centroids, centroids)
+        return self._centroid_sq_norms
+
+    def centroids_transposed(self, dtype=np.float32) -> np.ndarray:
+        """``(M, subspace_dim, K)`` contiguous centroid tables (cached).
+
+        The subspace-batched GEMMs (encode distances, LUT build) and the
+        contiguous-stride decode einsum all contract against this layout.
+        """
+        key = np.dtype(dtype).str
+        cached = self._centroids_t.get(key)
+        if cached is None:
+            cached = np.ascontiguousarray(
+                self.codebooks.centroids.transpose(0, 2, 1).astype(dtype)
+            )
+            self._centroids_t[key] = cached
+        return cached
+
+    def _subspace_cross(self, sub_t: np.ndarray, dtype) -> np.ndarray:
+        """Row-invariant ``(M, n, K)`` product of per-subspace rows with centroids.
+
+        ``sub_t`` is ``(M, n, subspace_dim)``.  Small subspace dims use one
+        batched GEMM per subspace (row-invariant for >= 2 rows at these
+        contraction lengths; single rows are duplicated and sliced like
+        :func:`~repro.models.tensor_ops.paired_rows_matmul`); larger dims use
+        an explicit loop over the subspace dimension whose accumulation
+        order is fixed by construction.
+        """
+        centroids_t = self.centroids_transposed(dtype)
+        m_subspaces, n, dsub = sub_t.shape
+        if dsub <= self._SMALL_SUBSPACE_DIM:
+            if n == 1:
+                doubled = np.concatenate([sub_t, sub_t], axis=1)
+                return np.matmul(doubled, centroids_t)[:, :1, :]
+            return np.matmul(sub_t, centroids_t)
+        cross = np.zeros((m_subspaces, n, self.n_centroids), dtype=dtype)
+        for d in range(dsub):
+            cross += sub_t[:, :, d, None] * centroids_t[:, None, d, :]
+        return cross
 
     # Construction ----------------------------------------------------------
 
@@ -82,15 +137,28 @@ class ProductQuantizer:
     # Encode / decode ---------------------------------------------------------
 
     def encode(self, vectors: np.ndarray) -> np.ndarray:
-        """Quantize ``(n, dim)`` vectors to ``(n, M)`` centroid indices (Eq. 4)."""
+        """Quantize ``(n, dim)`` vectors to ``(n, M)`` centroid indices (Eq. 4).
+
+        All subspaces are assigned in one einsum-based distance computation.
+        Every operation (einsum contraction, broadcasting, per-row argmin) is
+        element-independent, so a row's codes do not depend on how many rows
+        share the call — the fused decode path relies on this to batch the
+        flush-time encodes of many sequences into one call while staying
+        bit-identical to the sequential path's per-sequence encodes.
+        """
         subvectors = self.codebooks.split_vectors(vectors)
-        n = subvectors.shape[0]
-        codes = np.empty((n, self.m_subspaces), dtype=code_dtype(self.nbits))
-        for m in range(self.m_subspaces):
-            codes[:, m] = assign_to_centroids(
-                subvectors[:, m, :], self.codebooks.centroids[m]
-            )
-        return codes
+        sub_t = np.ascontiguousarray(subvectors.transpose(1, 0, 2), dtype=np.float32)
+        # argmin_k ||x - c_k||^2 == argmax_k (x.c_k - ||c_k||^2 / 2): the
+        # ||x||^2 term is constant per row and dropped, halving the passes
+        # over the (M, n, K) score tensor.
+        scores = self._subspace_cross(sub_t, np.float32)
+        if self._half_sq_norms_f32 is None:
+            self._half_sq_norms_f32 = (
+                0.5 * self.centroid_sq_norms()
+            ).astype(np.float32)[:, None, :]
+        scores -= self._half_sq_norms_f32
+        codes = np.argmax(scores, axis=2).astype(code_dtype(self.nbits))
+        return np.ascontiguousarray(codes.T)
 
     def decode(self, codes: np.ndarray) -> np.ndarray:
         """Reconstruct ``(n, dim)`` vectors from centroid indices (Eq. 5)."""
@@ -117,17 +185,30 @@ class ProductQuantizer:
 
     # Asymmetric distance computation -----------------------------------------
 
-    def build_score_luts(self, queries: np.ndarray) -> np.ndarray:
-        """Dot-product lookup tables ``(n_queries, M, K)`` for ``(n_queries, dim)`` queries."""
+    def build_score_luts(
+        self, queries: np.ndarray, subspace_major: bool = False
+    ) -> np.ndarray:
+        """Dot-product lookup tables for ``(n_queries, dim)`` queries.
+
+        Returns ``(n_queries, M, K)`` by default, or ``(M, n_queries, K)``
+        with ``subspace_major=True`` — the layout the flat ADC gather kernel
+        wants (each subspace's tables contiguous).  The contraction kernel is
+        row-invariant (see :meth:`_subspace_cross`), so entries are
+        bit-identical across layouts and across how many queries share the
+        call.
+        """
         queries = np.asarray(queries, dtype=np.float32)
         single = queries.ndim == 1
         if single:
             queries = queries[None, :]
         subqueries = self.codebooks.split_vectors(queries)  # (nq, M, dsub)
-        # (nq, M, dsub) x (M, K, dsub) -> (nq, M, K)
-        luts = np.einsum("qmd,mkd->qmk", subqueries, self.codebooks.centroids)
-        luts = luts.astype(np.float32)
-        return luts[0] if single else luts
+        sub_t = np.ascontiguousarray(subqueries.transpose(1, 0, 2))  # (M, nq, dsub)
+        luts = self._subspace_cross(sub_t, np.float32)  # (M, nq, K)
+        if not subspace_major:
+            luts = np.ascontiguousarray(luts.transpose(1, 0, 2))
+        if single:
+            return luts[:, 0, :] if subspace_major else luts[0]
+        return luts
 
     def adc_scores(self, luts: np.ndarray, codes: np.ndarray) -> np.ndarray:
         """Sum LUT entries selected by ``codes``: exact ``q · decode(codes)ᵀ``.

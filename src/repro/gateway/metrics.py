@@ -163,6 +163,36 @@ def render_prometheus(
             "gauge",
             labels,
         )
+        timing = stats.get("step_timing")
+        if timing is not None:
+            out.add(
+                "repro_engine_fused_decode_steps_total",
+                timing["fused_decode_steps"],
+                "Engine steps decoded through the fused batched forward.",
+                "counter",
+                labels,
+            )
+            out.add(
+                "repro_engine_last_fused_batch_size",
+                timing["last_fused_batch_size"],
+                "Sequences in the last fused decode batch (0 = sequential).",
+                "gauge",
+                labels,
+            )
+            out.add(
+                "repro_engine_prefill_seconds_total",
+                float(timing["prefill_seconds_total"]),
+                "Wall seconds spent in admission + prefill across steps.",
+                "counter",
+                labels,
+            )
+            out.add(
+                "repro_engine_decode_seconds_total",
+                float(timing["decode_seconds_total"]),
+                "Wall seconds spent decoding across steps.",
+                "counter",
+                labels,
+            )
         pool = stats.get("pool")
         if pool is None:
             continue

@@ -14,6 +14,13 @@ from repro.models.positional import RotaryEmbedding
 
 KVObserver = Callable[[np.ndarray, np.ndarray], None]
 
+# Fused multi-sequence attention strategy: called with (attention_block,
+# caches, q, k, v, positions, layer_index=...) where q is (B, n_heads,
+# head_dim) and k/v are (B, kv_heads, head_dim) — one token per sequence —
+# and must return context of shape (B, n_heads, head_dim).  It owns
+# appending k/v to each cache; layer_index keys any per-layer scratch state.
+BatchAttend = Callable[..., np.ndarray]
+
 
 class AttentionBlock:
     """Self-attention with rotary/ALiBi support and cache-owned attention.
@@ -48,14 +55,19 @@ class AttentionBlock:
         self.scale = base_scale
 
     def project_qkv(
-        self, x: np.ndarray, positions: np.ndarray
+        self, x: np.ndarray, positions: np.ndarray, paired: bool = False
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Project hidden states to (q, k, v) with positional transform applied."""
+        """Project hidden states to (q, k, v) with positional transform applied.
+
+        ``paired`` selects the row-invariant projection kernel used on the
+        decode path (see :meth:`Linear.__call__`); the rotary transform is
+        per-row elementwise, so the full tuple is row-invariant with it.
+        """
         n_tokens = x.shape[0]
         cfg = self.config
-        q = self.wq(x).reshape(n_tokens, cfg.n_heads, cfg.head_dim)
-        k = self.wk(x).reshape(n_tokens, cfg.kv_heads, cfg.head_dim)
-        v = self.wv(x).reshape(n_tokens, cfg.kv_heads, cfg.head_dim)
+        q = self.wq(x, paired=paired).reshape(n_tokens, cfg.n_heads, cfg.head_dim)
+        k = self.wk(x, paired=paired).reshape(n_tokens, cfg.kv_heads, cfg.head_dim)
+        v = self.wv(x, paired=paired).reshape(n_tokens, cfg.kv_heads, cfg.head_dim)
         if self.rope is not None:
             q = self.rope.apply(q, positions)
             k = self.rope.apply(k, positions)
@@ -67,6 +79,7 @@ class AttentionBlock:
         cache: KVCacheLayer,
         positions: np.ndarray,
         kv_observer: Optional[KVObserver] = None,
+        paired: bool = False,
     ) -> np.ndarray:
         """Run attention for ``x`` of shape ``(tokens, d_model)``.
 
@@ -79,7 +92,7 @@ class AttentionBlock:
             raise ValueError(
                 f"expected x of shape (tokens, {self.config.d_model}), got {x.shape}"
             )
-        q, k, v = self.project_qkv(x, positions)
+        q, k, v = self.project_qkv(x, positions, paired=paired)
         if kv_observer is not None:
             kv_observer(k, v)
         cache.append(k, v)
@@ -90,7 +103,46 @@ class AttentionBlock:
             alibi_head_slopes=self.alibi_head_slopes,
         )
         context = context.reshape(x.shape[0], self.config.n_heads * self.config.head_dim)
-        return self.wo(context)
+        return self.wo(context, paired=paired)
+
+    def fused_decode(
+        self,
+        x: np.ndarray,
+        caches: list[KVCacheLayer],
+        positions: np.ndarray,
+        batch_attend: Optional["BatchAttend"] = None,
+        layer_index: int = 0,
+    ) -> np.ndarray:
+        """One attention step for ``B`` independent sequences stacked row-wise.
+
+        ``x`` is ``(B, d_model)`` — one single-token hidden state per
+        sequence — and ``caches[b]`` / ``positions[b]`` belong to sequence
+        ``b``.  Projections run as stacked row-invariant GEMMs, so each row's
+        (q, k, v) is bit-identical to what the sequential path computes for
+        that sequence alone.  Attention is delegated to ``batch_attend``
+        (e.g. the fused MILLION ADC path) or falls back to one
+        ``append`` + ``attend`` per sequence — same calls, same bits, as the
+        sequential path.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        n_seqs = x.shape[0]
+        q, k, v = self.project_qkv(x, positions, paired=True)
+        if batch_attend is not None:
+            context = batch_attend(
+                self, caches, q, k, v, positions, layer_index=layer_index
+            )
+        else:
+            context = np.empty_like(q)
+            for b, cache in enumerate(caches):
+                cache.append(k[b : b + 1], v[b : b + 1])
+                context[b] = cache.attend(
+                    q[b : b + 1],
+                    positions[b : b + 1],
+                    self.scale,
+                    alibi_head_slopes=self.alibi_head_slopes,
+                )[0]
+        context = context.reshape(n_seqs, self.config.n_heads * self.config.head_dim)
+        return self.wo(context, paired=True)
 
     def num_parameters(self) -> int:
         return sum(layer.num_parameters() for layer in (self.wq, self.wk, self.wv, self.wo))

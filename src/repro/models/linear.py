@@ -6,6 +6,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.models.tensor_ops import paired_rows_matmul
+
 
 class Linear:
     """Dense projection ``y = x @ weight + bias``.
@@ -35,9 +37,17 @@ class Linear:
     def out_features(self) -> int:
         return self.weight.shape[1]
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
+    def __call__(self, x: np.ndarray, paired: bool = False) -> np.ndarray:
+        """Project ``x``; with ``paired=True`` use the row-invariant kernel.
+
+        Decode-path projections must produce the same bits whether a step
+        processes one sequence's row or a stacked batch of rows (the fused
+        engine runs both against each other), so they go through
+        :func:`paired_rows_matmul` which pins every BLAS call to a fixed
+        two-row shape.  Prefill keeps the plain full-size GEMM.
+        """
         x = np.asarray(x, dtype=np.float32)
-        out = x @ self.weight
+        out = paired_rows_matmul(x, self.weight) if paired else x @ self.weight
         if self.bias is not None:
             out = out + self.bias
         return out

@@ -15,6 +15,50 @@ import numpy as np
 
 NEG_INF = -1e30
 
+#: Row-chunk width of :func:`paired_rows_matmul`.  Every BLAS call it issues
+#: has exactly this many rows, which is what makes the kernel row-invariant.
+PAIRED_MATMUL_ROWS = 2
+
+
+def paired_rows_matmul(x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """``x @ weight`` computed in fixed two-row chunks; row results are
+    invariant to how rows are batched.
+
+    BLAS picks its kernel and blocking from the operand shapes: a single-row
+    product is forwarded to GEMV (SIMD partial sums along ``k``) while larger
+    shapes select size-dependent GEMM blockings, so row ``i`` of a stacked
+    ``(B, k) @ (k, n)`` product is *not* bit-identical to computing that row
+    alone.  Serving needs exactly that identity — the fused batched decode
+    path stacks the per-sequence rows that the sequential reference path
+    computes one at a time — so this kernel pins every BLAS call to the same
+    ``(2, k) @ (k, n)`` shape: rows are processed in pairs and a lone row is
+    duplicated and sliced.  GEMM never mixes one row's data into another
+    row's accumulators, so each output row depends only on its own input row
+    and the fixed schedule, making the result independent of batch size and
+    of which row shares the call.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    n_rows, n_cols = x.shape
+    if n_rows == PAIRED_MATMUL_ROWS:
+        return x @ weight
+    if n_rows == 1:
+        return (np.concatenate([x, x], axis=0) @ weight)[:1]
+    even = n_rows - (n_rows % PAIRED_MATMUL_ROWS)
+    # Stacked matmul runs the identical (2, k) @ (k, n) kernel per slice in
+    # one call (bit-equality with the slice-by-slice loop is pinned by a
+    # unit test), skipping the Python chunk loop.
+    stacked = np.matmul(
+        x[:even].reshape(even // PAIRED_MATMUL_ROWS, PAIRED_MATMUL_ROWS, n_cols),
+        weight,
+    )
+    if even == n_rows:
+        return np.ascontiguousarray(stacked.reshape(n_rows, weight.shape[1]))
+    out = np.empty((n_rows, weight.shape[1]), dtype=np.float32)
+    out[:even] = stacked.reshape(even, weight.shape[1])
+    tail = x[even:]
+    out[even:] = (np.concatenate([tail, tail], axis=0) @ weight)[:1]
+    return out
+
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable softmax along ``axis``."""

@@ -98,12 +98,14 @@ class FeedForward:
         self.w_out = w_out
         self.w_gate = w_gate
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
+    def __call__(self, x: np.ndarray, paired: bool = False) -> np.ndarray:
         if self.w_gate is not None:
-            hidden = self.activation(self.w_gate(x)) * self.w_in(x)
+            hidden = self.activation(self.w_gate(x, paired=paired)) * self.w_in(
+                x, paired=paired
+            )
         else:
-            hidden = self.activation(self.w_in(x))
-        return self.w_out(hidden)
+            hidden = self.activation(self.w_in(x, paired=paired))
+        return self.w_out(hidden, paired=paired)
 
     def num_parameters(self) -> int:
         total = self.w_in.num_parameters() + self.w_out.num_parameters()
@@ -133,12 +135,36 @@ class TransformerBlock:
         cache: KVCacheLayer,
         positions: np.ndarray,
         kv_observer=None,
+        paired: bool = False,
     ) -> np.ndarray:
         attn_out = self.attention.forward(
-            self.attention_norm(x), cache, positions, kv_observer=kv_observer
+            self.attention_norm(x), cache, positions, kv_observer=kv_observer,
+            paired=paired,
         )
         x = x + attn_out
-        x = x + self.feed_forward(self.ffn_norm(x))
+        x = x + self.feed_forward(self.ffn_norm(x), paired=paired)
+        return x
+
+    def fused_decode(
+        self,
+        x: np.ndarray,
+        caches: Sequence[KVCacheLayer],
+        positions: np.ndarray,
+        batch_attend=None,
+        layer_index: int = 0,
+    ) -> np.ndarray:
+        """One block step for stacked single-token rows of ``B`` sequences.
+
+        Norms, residual adds and activations are row-wise, and the linear
+        projections use the row-invariant paired kernel, so row ``b`` is
+        bit-identical to running :meth:`forward` on sequence ``b`` alone.
+        """
+        attn_out = self.attention.fused_decode(
+            self.attention_norm(x), list(caches), positions, batch_attend,
+            layer_index=layer_index,
+        )
+        x = x + attn_out
+        x = x + self.feed_forward(self.ffn_norm(x), paired=True)
         return x
 
     def num_parameters(self) -> int:
@@ -280,15 +306,68 @@ class TransformerLM:
                 f"context length {int(positions[-1]) + 1} exceeds max_seq_len "
                 f"{self.config.max_seq_len}"
             )
+        # Single-token (decode-style) forwards use the row-invariant paired
+        # projection kernel so their logits match the rows of a fused batched
+        # decode step bit for bit; multi-token prefill keeps full GEMMs.
+        paired = token_ids.size == 1
         x = self.token_embedding(token_ids)
         if self.position_embedding is not None:
             x = x + self.position_embedding(positions)
         for layer_index, block in enumerate(self.blocks):
             observer = self._make_layer_observer(layer_index)
-            x = block.forward(x, self.caches[layer_index], positions, kv_observer=observer)
+            x = block.forward(
+                x, self.caches[layer_index], positions, kv_observer=observer,
+                paired=paired,
+            )
         x = self.final_norm(x)
-        logits = self._project_logits(x)
+        logits = self._project_logits(x, paired=paired)
         self._next_position += token_ids.size
+        return logits
+
+    def fused_decode_step(
+        self,
+        tokens: np.ndarray,
+        contexts: Sequence[ModelContext],
+        batch_attend=None,
+    ) -> np.ndarray:
+        """Advance ``B`` independent sequences by one token in one pass.
+
+        ``tokens[b]`` is appended to ``contexts[b]`` (each context carries its
+        own per-layer caches and position); the return value is ``(B, vocab)``
+        logits.  Every layer runs one stacked traversal — norms, paired
+        projections, one (possibly fused) attention call — instead of ``B``
+        full model traversals, and each row is bit-identical to calling
+        :meth:`decode_step` on that context alone (the engine's sequential
+        path is the reference oracle; a test sweeps both).
+
+        ``batch_attend`` follows :data:`repro.models.attention.BatchAttend`;
+        ``None`` falls back to per-sequence ``append``/``attend`` against
+        each context's caches, which supports every cache scheme.
+        """
+        require(not self.kv_observers, "fused decode does not support kv observers")
+        tokens = np.asarray(tokens, dtype=np.int64).reshape(-1)
+        require(tokens.size == len(contexts), "one token per context required")
+        require(tokens.size > 0, "tokens must contain at least one token")
+        positions = np.asarray(
+            [context.next_position for context in contexts], dtype=np.int64
+        )
+        if int(positions.max()) >= self.config.max_seq_len:
+            raise ValueError(
+                f"context length {int(positions.max()) + 1} exceeds max_seq_len "
+                f"{self.config.max_seq_len}"
+            )
+        x = self.token_embedding(tokens)
+        if self.position_embedding is not None:
+            x = x + self.position_embedding(positions)
+        for layer_index, block in enumerate(self.blocks):
+            caches = [context.caches[layer_index] for context in contexts]
+            x = block.fused_decode(
+                x, caches, positions, batch_attend, layer_index=layer_index
+            )
+        x = self.final_norm(x)
+        logits = self._project_logits(x, paired=True)
+        for context in contexts:
+            context.next_position += 1
         return logits
 
     def prefill(self, token_ids: np.ndarray) -> np.ndarray:
@@ -343,9 +422,13 @@ class TransformerLM:
 
     # Internal helpers ---------------------------------------------------
 
-    def _project_logits(self, x: np.ndarray) -> np.ndarray:
+    def _project_logits(self, x: np.ndarray, paired: bool = False) -> np.ndarray:
         if self.lm_head is not None:
-            return self.lm_head(x)
+            return self.lm_head(x, paired=paired)
+        if paired:
+            from repro.models.tensor_ops import paired_rows_matmul
+
+            return paired_rows_matmul(x, self.token_embedding.weight.T)
         return x @ self.token_embedding.weight.T
 
     def _make_layer_observer(self, layer_index: int):

@@ -2,12 +2,18 @@
 
 One calibrated model serves many concurrent sequences: every request owns a
 private :class:`~repro.models.transformer.ModelContext` (its per-layer
-quantized caches + position) and the engine swaps contexts in and out of the
-shared :class:`~repro.models.transformer.TransformerLM` for each prefill or
-decode step.  Weights and trained PQ codebooks are shared; per-sequence state
-is isolated, so with greedy sampling the batched output is token-identical to
-looping :class:`~repro.core.engine.MillionEngine` over the same prompts (a
-test asserts this).
+quantized caches + position).  Prefills swap contexts in and out of the
+shared :class:`~repro.models.transformer.TransformerLM`; decode advances the
+whole running batch through **one** fused stacked forward per step
+(:meth:`TransformerLM.fused_decode_step` plus
+:class:`~repro.core.attention_fused.FusedMillionAttention` for MILLION
+caches), with ``fused_decode=False`` keeping the per-sequence loop as the
+bit-identical reference oracle.  Weights and trained PQ codebooks are
+shared; per-sequence state is isolated, so with greedy sampling the batched
+output is token-identical to looping
+:class:`~repro.core.engine.MillionEngine` over the same prompts (a test
+asserts this, and a fused-vs-sequential identity suite sweeps batch shapes,
+preemption, cancellation and prefix sharing).
 
 Scheduling is continuous batching (see
 :class:`~repro.serving.scheduler.ContinuousBatchingScheduler`): a sequence
@@ -42,12 +48,14 @@ memory manager on top of slot-count scheduling:
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
+from repro.core.attention_fused import FusedMillionAttention
 from repro.core.calibration import calibrate_million
 from repro.core.config import MillionConfig
 from repro.models.kv_cache import KVCacheFactory
@@ -111,10 +119,25 @@ class BatchedMillionEngine:
         max_batch_size: int = 8,
         max_unclaimed_results: int = 1024,
         max_queue_size: Optional[int] = None,
+        fused_decode: bool = True,
     ) -> None:
         require(max_unclaimed_results >= 1, "max_unclaimed_results must be >= 1")
         self.model = model
         self.factory = factory
+        # Fused cross-request decode: one stacked forward per step instead of
+        # one forward per running sequence.  Token streams are bit-identical
+        # either way (the kernels are row-invariant by construction and tests
+        # sweep both), so ``fused_decode=False`` keeps the slow per-sequence
+        # loop purely as the reference oracle.
+        self.fused_decode = fused_decode
+        self._fused_attention: Optional[FusedMillionAttention] = None
+        config = getattr(factory, "million_config", None)
+        if config is not None and config.outlier_fraction == 0.0:
+            # MILLION caches without sparse outlier corrections get the fused
+            # segment-ADC attention; anything else (full-precision, KIVI-like,
+            # outlier-corrected) uses the generic per-sequence attend inside
+            # the stacked forward, which supports every cache scheme.
+            self._fused_attention = FusedMillionAttention()
         self.scheduler = ContinuousBatchingScheduler(
             max_batch_size=max_batch_size, max_queue_size=max_queue_size
         )
@@ -139,6 +162,16 @@ class BatchedMillionEngine:
         self.prefill_tokens_reused = 0
         self.prefix_block_hits = 0
         self.prefix_block_misses = 0
+        # Per-step timing split (reported by stats() and /metrics): wall time
+        # spent admitting/prefilling vs decoding, and the size of the last
+        # fused decode batch (0 when the step used the sequential loop).
+        self.step_count = 0
+        self.fused_decode_steps = 0
+        self.prefill_seconds_total = 0.0
+        self.decode_seconds_total = 0.0
+        self.last_prefill_seconds = 0.0
+        self.last_decode_seconds = 0.0
+        self.last_fused_batch_size = 0
 
     # Construction -----------------------------------------------------------
 
@@ -516,16 +549,23 @@ class BatchedMillionEngine:
         state.prefill_plan = None  # the restore plan depends on generated tokens
         self.scheduler.preempt(state)
 
-    def _ensure_decode_capacity(self, state: RequestState) -> bool:
+    def _decode_block_demand(self, state: RequestState) -> int:
+        """Pool blocks ``state``'s next decode step will allocate on flush."""
+        caches = self._pooled_caches(state)
+        return caches[0].flushable_blocks() * self.pool.n_layers
+
+    def _ensure_decode_capacity(self, state: RequestState, reserved: int = 0) -> bool:
         """Make room for ``state``'s next decode step, preempting if needed.
 
+        ``reserved`` is block demand already promised to sequences decoding
+        in the same fused step — their flush allocations have not happened
+        yet, so the pool must cover the sum, not just this sequence's share.
         Returns ``False`` if ``state`` itself was preempted (it is the
         youngest running sequence and the pool still cannot cover its flush).
         """
         assert self.pool is not None and state.context is not None
-        caches = self._pooled_caches(state)
-        demand = caches[0].flushable_blocks() * self.pool.n_layers
-        while demand and not self.pool.can_allocate(demand):
+        demand = self._decode_block_demand(state)
+        while demand and not self.pool.can_allocate(reserved + demand):
             victim = self.scheduler.youngest_running
             assert victim is not None
             if victim is state:
@@ -578,8 +618,93 @@ class BatchedMillionEngine:
             StepOutput(state.request_id, token, state.is_finished, state.finish_reason)
         )
 
+    def _decode_fused(self) -> list[StepOutput]:
+        """Advance every running sequence with one stacked forward.
+
+        Mirrors the sequential loop state-for-state: the same capacity gate,
+        sampling, and finish checks run per sequence in admission order
+        (compare :meth:`_decode_one`), but the surviving sequences' forwards
+        are batched into one :meth:`TransformerLM.fused_decode_step`.
+        Outputs are emitted in the order the sequential loop emits them.
+        """
+        processed: list[RequestState] = []
+        results: dict[str, StepOutput] = {}
+        live: list[RequestState] = []
+        tokens: list[int] = []
+        reserved = 0
+        max_seq_len = self.model.config.max_seq_len
+        for state in self.scheduler.running:
+            if state.status is not RequestStatus.RUNNING:
+                continue  # preempted or cancelled earlier in this very step
+            if self.pool is not None and not self._ensure_decode_capacity(
+                state, reserved
+            ):
+                continue
+            processed.append(state)
+            request = state.request
+            assert state.context is not None and state.next_logits is not None
+            if state.context.next_position >= max_seq_len:
+                self._finish(state, FinishReason.CONTEXT_FULL)
+                results[state.request_id] = StepOutput(
+                    state.request_id, None, True, state.finish_reason
+                )
+                continue
+            sampler = request.sampler or GreedySampler()
+            token = sampler(state.next_logits, state.rng)
+            state.generated.append(token)
+            if request.stop_token is not None and token == request.stop_token:
+                self._finish(state, FinishReason.STOP_TOKEN)
+                results[state.request_id] = StepOutput(
+                    state.request_id, token, True, state.finish_reason
+                )
+                continue
+            if self.pool is not None:
+                reserved += self._decode_block_demand(state)
+            live.append(state)
+            tokens.append(token)
+        fused_batch = 0
+        if live:
+            if len(live) == 1:
+                # A batch of one gains nothing from stacking; the sequential
+                # forward is bit-identical (single-token forwards use the
+                # same row-invariant kernels) and skips the fused overhead.
+                # It does not count as a fused step in the metrics.
+                with self._bound(live[0]) as model:
+                    logits = model.decode_step(tokens[0])[None, :]
+            else:
+                self.fused_decode_steps += 1
+                fused_batch = len(live)
+                contexts = [state.context for state in live]
+                logits = self.model.fused_decode_step(
+                    np.asarray(tokens, dtype=np.int64),
+                    contexts,
+                    batch_attend=self._fused_attention,
+                )
+            for row, (state, token) in enumerate(zip(live, tokens)):
+                state.next_logits = logits[row]
+                if self.pool is not None:
+                    self._register_new_blocks(state)
+                if len(state.generated) >= state.request.max_new_tokens:
+                    self._finish(state, FinishReason.LENGTH)
+                results[state.request_id] = StepOutput(
+                    state.request_id, token, state.is_finished, state.finish_reason
+                )
+        self.last_fused_batch_size = fused_batch
+        return [
+            self._emit(results[state.request_id])
+            for state in processed
+            if state.request_id in results
+        ]
+
     def step(self) -> list[StepOutput]:
-        """One engine iteration: admit + prefill, then one decode per sequence."""
+        """One engine iteration: admit + prefill, then one decode per sequence.
+
+        With ``fused_decode`` enabled (the default) the decode half runs one
+        stacked forward for the whole running batch; the per-sequence loop is
+        kept as the bit-identical reference oracle.
+        """
+        step_start = time.perf_counter()
+        self.step_count += 1
         outputs: list[StepOutput] = []
         gate = self._admission_gate if self.pool is not None else None
         while True:
@@ -601,12 +726,22 @@ class BatchedMillionEngine:
             prefill_output = self._prefill(state)
             if prefill_output is not None:
                 outputs.append(prefill_output)
-        for state in self.scheduler.running:
-            if state.status is not RequestStatus.RUNNING:
-                continue  # preempted or cancelled earlier in this very step
-            if self.pool is not None and not self._ensure_decode_capacity(state):
-                continue
-            outputs.append(self._decode_one(state))
+        decode_start = time.perf_counter()
+        if self.fused_decode and not self.model.kv_observers:
+            outputs.extend(self._decode_fused())
+        else:
+            self.last_fused_batch_size = 0
+            for state in self.scheduler.running:
+                if state.status is not RequestStatus.RUNNING:
+                    continue  # preempted or cancelled earlier in this very step
+                if self.pool is not None and not self._ensure_decode_capacity(state):
+                    continue
+                outputs.append(self._decode_one(state))
+        decode_end = time.perf_counter()
+        self.last_prefill_seconds = decode_start - step_start
+        self.last_decode_seconds = decode_end - decode_start
+        self.prefill_seconds_total += self.last_prefill_seconds
+        self.decode_seconds_total += self.last_decode_seconds
         return outputs
 
     def run(self) -> dict[str, np.ndarray]:
@@ -727,6 +862,16 @@ class BatchedMillionEngine:
             "prefill_tokens_reused": self.prefill_tokens_reused,
             "prefix_block_hits": self.prefix_block_hits,
             "prefix_block_misses": self.prefix_block_misses,
+            "step_timing": {
+                "steps": self.step_count,
+                "fused_decode_enabled": self.fused_decode,
+                "fused_decode_steps": self.fused_decode_steps,
+                "last_fused_batch_size": self.last_fused_batch_size,
+                "last_prefill_seconds": self.last_prefill_seconds,
+                "last_decode_seconds": self.last_decode_seconds,
+                "prefill_seconds_total": self.prefill_seconds_total,
+                "decode_seconds_total": self.decode_seconds_total,
+            },
             "pool": self.pool.stats() if self.pool is not None else None,
         }
 

@@ -491,6 +491,7 @@ class PooledMillionKVCacheLayer(MillionKVCacheLayer):
             self._key_codes.append(self.pool.key_codes(block_id))
             self._value_codes.append(self.pool.value_codes(block_id))
             self._block_table.append(int(block_id))
+        self.code_version += 1
         self._absorb_stored_tokens(len(block_ids) * self.pool.block_tokens)
 
     def drain_new_blocks(self) -> list[int]:
