@@ -82,6 +82,21 @@ class KVSampleCollector:
         stacked = self._stacked(self._values[layer_index])
         return self._subsample(stacked.reshape(stacked.shape[0], -1))
 
+    def key_matrix(self, layer_index: int, max_tokens: int | None = None) -> np.ndarray:
+        """Keys ``(tokens, kv_heads, head_dim)`` with head structure intact.
+
+        Deterministic (first ``max_tokens`` tokens, no rng draw) so per-head
+        consumers — sensitivity scoring, per-group quantizer fits — see the
+        same samples no matter how often or in what order they are called.
+        """
+        stacked = self._stacked(self._keys[layer_index])
+        return stacked if max_tokens is None else stacked[:max_tokens]
+
+    def value_matrix(self, layer_index: int, max_tokens: int | None = None) -> np.ndarray:
+        """Values ``(tokens, kv_heads, head_dim)`` with head structure intact."""
+        stacked = self._stacked(self._values[layer_index])
+        return stacked if max_tokens is None else stacked[:max_tokens]
+
 
 def collect_kv_samples(
     model: TransformerLM,
@@ -209,3 +224,142 @@ def calibrate_kvquant(
         collector, nbits, outlier_fraction=outlier_fraction, seed=seed
     )
     return KVQuantCacheFactory(quantizers, residual_window=residual_window)
+
+
+# Mixed-precision policies ----------------------------------------------------
+#
+# The policy modules are imported lazily inside these functions: this module
+# is part of ``repro.core.__init__``, and ``repro.quant.policy_cache``
+# imports the core cache stack — a top-level import here would complete the
+# cycle during package init.
+
+
+def measure_sensitivity(
+    collector: KVSampleCollector,
+    max_tokens: int = 2048,
+    **kwargs,
+):
+    """Score per-(layer, head) quantization sensitivity from collected samples.
+
+    Thin bridge between :class:`KVSampleCollector` and
+    :func:`repro.quant.policy.measure_head_sensitivity`; ``kwargs`` pass
+    through (``probe_bits``, ``outlier_fraction``, ``kmeans_iters``, ...).
+    """
+    from repro.quant.policy import measure_head_sensitivity
+
+    keys = [collector.key_matrix(layer, max_tokens) for layer in range(collector.n_layers)]
+    values = [
+        collector.value_matrix(layer, max_tokens) for layer in range(collector.n_layers)
+    ]
+    return measure_head_sensitivity(keys, values, **kwargs)
+
+
+def build_policy_factory(
+    collector: KVSampleCollector,
+    policy,
+    model_config,
+    recent_window: int = 0,
+    max_tokens: int = 2048,
+    seed: SeedLike = 0,
+    **million_kwargs,
+):
+    """Train every quantizer a policy needs and return its cache factory.
+
+    One :class:`MillionCacheFactory` is calibrated per distinct MILLION bit
+    budget the policy uses (full per-layer codebooks, trained on the same
+    pooled vectors as the uniform path); KVQuant groups get per-(layer,
+    head-group) fits on their own channel slices.  ``million_kwargs`` pass
+    through to :func:`~repro.quant.policy.million_variant` (``kmeans_iters``,
+    ``calibration_samples``, ...).
+    """
+    from repro.quant.policy import million_variant
+    from repro.quant.policy_cache import PolicyCacheFactory
+
+    policy.validate_for_model(model_config)
+    million_factories = {}
+    kvquant_quantizers = {}
+    kvquant_bits: dict[tuple[int, tuple[int, ...]], int] = {}
+    for assignment in policy.distinct_assignments():
+        if assignment.scheme == "million" and assignment.bits not in million_factories:
+            variant = million_variant(
+                model_config.head_dim,
+                assignment.bits,
+                recent_window=recent_window,
+                seed=derive_seed(seed, "policy-million", assignment.bits),
+                **million_kwargs,
+            )
+            quantizers = train_million_quantizers(collector, variant)
+            million_factories[assignment.bits] = MillionCacheFactory(quantizers, variant)
+    for layer in range(policy.n_layers):
+        for assignment, heads in policy.head_groups(layer):
+            if assignment.scheme == "kvquant":
+                kvquant_bits[(layer, heads)] = assignment.bits
+    for (layer, heads), bits in kvquant_bits.items():
+        quantizer = KVQuantQuantizer(
+            nbits=bits,
+            outlier_fraction=0.0,
+            seed=derive_seed(seed, "policy-kvquant", layer, *heads),
+        )
+        head_idx = list(heads)
+        keys = collector.key_matrix(layer, max_tokens)[:, head_idx, :]
+        values = collector.value_matrix(layer, max_tokens)[:, head_idx, :]
+        quantizer.fit(
+            keys.reshape(keys.shape[0], -1), values.reshape(values.shape[0], -1)
+        )
+        kvquant_quantizers[(layer, heads)] = quantizer
+    return PolicyCacheFactory(
+        policy,
+        model_config,
+        million_factories=million_factories,
+        kvquant_quantizers=kvquant_quantizers,
+        kvquant_residual_window=recent_window,
+    )
+
+
+def calibrate_policy(
+    model: TransformerLM,
+    calibration_tokens: np.ndarray | Iterable[np.ndarray],
+    budget_bytes_per_token: float,
+    ladder=None,
+    schemes=None,
+    recent_window: int = 0,
+    chunk_size: int = 256,
+    max_samples_per_layer: int = 8192,
+    seed: SeedLike = 0,
+    **million_kwargs,
+):
+    """End-to-end mixed-precision calibration (Fig. 4a, per-head edition).
+
+    Samples KV at full precision, scores per-head sensitivity, derives the
+    budgeted :class:`~repro.quant.policy.QuantPolicy`, and trains every
+    quantizer it needs.  Returns ``(policy, factory)`` — the policy is the
+    committable artifact, the factory plugs into ``model.reset_cache``.
+    """
+    from repro.quant.policy import DEFAULT_LADDER, derive_policy
+
+    collector = collect_kv_samples(
+        model,
+        calibration_tokens,
+        chunk_size=chunk_size,
+        max_samples_per_layer=max_samples_per_layer,
+        seed=seed,
+    )
+    sensitivity = measure_sensitivity(
+        collector, seed=derive_seed(seed, "policy-probe")
+    )
+    policy = derive_policy(
+        model.config,
+        sensitivity,
+        budget_bytes_per_token,
+        ladder=DEFAULT_LADDER if ladder is None else ladder,
+        schemes=schemes,
+    )
+    factory = build_policy_factory(
+        collector,
+        policy,
+        model.config,
+        recent_window=recent_window,
+        seed=seed,
+        **million_kwargs,
+    )
+    return policy, factory

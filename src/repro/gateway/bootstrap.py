@@ -17,13 +17,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.calibration import calibrate_million
+from repro.core.calibration import (
+    calibrate_million,
+    collect_kv_samples,
+    measure_sensitivity,
+    train_million_quantizers,
+)
 from repro.core.config import MillionConfig
+from repro.core.million_cache import MillionCacheFactory
 from repro.data.corpus import load_corpus
 from repro.models.model_zoo import load_model
 from repro.models.tokenizer import ByteTokenizer
+from repro.quant.policy import QuantPolicy, derive_policy, million_variant
+from repro.quant.policy_cache import PolicyCacheFactory
 from repro.serving.engine import BatchedMillionEngine
-from repro.serving.memory import BlockPool, PooledMillionCacheFactory
+from repro.serving.memory import (
+    BlockPool,
+    PooledMillionCacheFactory,
+    PooledPolicyCacheFactory,
+)
 
 from repro.gateway.runner import AsyncEngineRunner
 from repro.gateway.router import ReplicaRouter
@@ -32,7 +44,16 @@ from repro.gateway.server import GatewayServer
 
 @dataclass(frozen=True)
 class GatewayConfig:
-    """Knobs for the self-contained demo gateway (all defaults are tiny)."""
+    """Knobs for the self-contained demo gateway (all defaults are tiny).
+
+    ``tiers=True`` additionally calibrates per-request quality tiers:
+    ``"quality"`` (mixed policy at 1.5x the default uniform byte budget),
+    ``"balanced"`` (alias of the default factory) and ``"compact"`` (mixed
+    policy below the default budget).  Clients pick one with the request's
+    ``tier`` field; tiered engines decode mixed batches through the generic
+    fused path (different tiers use different codebooks, so the shared-ADC
+    fast path does not apply), hence the default is off.
+    """
 
     model: str = "llama-2-7b-tiny"
     seed: int = 0
@@ -44,10 +65,25 @@ class GatewayConfig:
     block_tokens: int = 16
     calibration_tokens: int = 768
     bits: int = 4
+    tiers: bool = False
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
             raise ValueError("replicas must be >= 1")
+
+
+def _tier_policies(model_config, sensitivity) -> dict[str, QuantPolicy]:
+    """The two non-default tier policies (mixed, all-MILLION, poolable)."""
+    b2 = QuantPolicy.uniform(model_config, "million", 2).bytes_per_token()
+    b4 = QuantPolicy.uniform(model_config, "million", 4).bytes_per_token()
+    return {
+        "quality": derive_policy(
+            model_config, sensitivity, 1.5 * b4, schemes=("million",)
+        ),
+        "compact": derive_policy(
+            model_config, sensitivity, (b2 + b4) / 2.0, schemes=("million",)
+        ),
+    }
 
 
 def build_engines(config: GatewayConfig) -> list[BatchedMillionEngine]:
@@ -67,6 +103,29 @@ def build_engines(config: GatewayConfig) -> list[BatchedMillionEngine]:
         calibration_samples=1536,
     )
     base_factory = calibrate_million(models[0], calibration, million)
+    tier_policies: dict[str, QuantPolicy] = {}
+    factory_bank: dict[int, MillionCacheFactory] = {config.bits: base_factory}
+    if config.tiers:
+        collector = collect_kv_samples(
+            models[0], calibration, max_samples_per_layer=1536, seed=config.seed
+        )
+        sensitivity = measure_sensitivity(collector, kmeans_iters=4)
+        tier_policies = _tier_policies(models[0].config, sensitivity)
+        needed_bits = {
+            assignment.bits
+            for policy in tier_policies.values()
+            for assignment in policy.distinct_assignments()
+        }
+        for bits in sorted(needed_bits - set(factory_bank)):
+            variant = million_variant(
+                models[0].config.head_dim,
+                bits,
+                kmeans_iters=4,
+                calibration_samples=1536,
+            )
+            factory_bank[bits] = MillionCacheFactory(
+                train_million_quantizers(collector, variant), variant
+            )
     engines = []
     for model in models:
         if config.pool_blocks > 0:
@@ -79,12 +138,33 @@ def build_engines(config: GatewayConfig) -> list[BatchedMillionEngine]:
             factory = PooledMillionCacheFactory.from_factory(base_factory, pool)
         else:
             factory = base_factory
+        tier_factories = {}
+        if config.tiers:
+            # "balanced" aliases this replica's default factory, so balanced
+            # requests are token- and accounting-identical to untiered ones.
+            tier_factories["balanced"] = factory
+            for name, policy in tier_policies.items():
+                if config.pool_blocks > 0:
+                    tier_pool = BlockPool.for_policy(
+                        model.config,
+                        policy,
+                        num_blocks=config.pool_blocks,
+                        block_tokens=config.block_tokens,
+                    )
+                    tier_factories[name] = PooledPolicyCacheFactory(
+                        policy, model.config, factory_bank, tier_pool
+                    )
+                else:
+                    tier_factories[name] = PolicyCacheFactory(
+                        policy, model.config, million_factories=factory_bank
+                    )
         engines.append(
             BatchedMillionEngine(
                 model,
                 factory,
                 max_batch_size=config.max_batch_size,
                 max_queue_size=config.max_queue_size,
+                tier_factories=tier_factories or None,
             )
         )
     return engines

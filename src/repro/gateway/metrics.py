@@ -193,6 +193,40 @@ def render_prometheus(
                 "counter",
                 labels,
             )
+        tiers = stats.get("tiers")
+        if tiers is not None:
+            for tier_label, tier_stats in sorted(tiers.items()):
+                tier_labels = {**labels, "tier": tier_label}
+                out.add(
+                    "repro_engine_tier_running",
+                    tier_stats["running"],
+                    "Sequences currently decoding, by quality tier.",
+                    "gauge",
+                    tier_labels,
+                )
+                out.add(
+                    "repro_engine_tier_kv_bytes",
+                    float(tier_stats["kv_bytes"]),
+                    "Modelled KV bytes across running sequences, by quality tier.",
+                    "gauge",
+                    tier_labels,
+                )
+                out.add(
+                    "repro_engine_tier_requests_total",
+                    tier_stats["requests_total"],
+                    "Requests submitted, by quality tier.",
+                    "counter",
+                    tier_labels,
+                )
+                if tier_stats["policy_bytes_per_token"] is not None:
+                    out.add(
+                        "repro_engine_tier_policy_bytes_per_token",
+                        float(tier_stats["policy_bytes_per_token"]),
+                        "Configured KV bytes per token of the tier's "
+                        "quantization policy.",
+                        "gauge",
+                        tier_labels,
+                    )
         pool = stats.get("pool")
         if pool is None:
             continue

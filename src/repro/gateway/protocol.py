@@ -67,6 +67,7 @@ class CompletionRequest:
     stream: bool = False
     stop_token_id: Optional[int] = None
     seed: Optional[int] = None
+    tier: Optional[str] = None
     model: str = "repro-million"
     extra: dict = field(default_factory=dict)
 
@@ -111,22 +112,36 @@ class CompletionRequest:
         if seed is not None and (not isinstance(seed, int) or isinstance(seed, bool)):
             raise ProtocolError("'seed' must be an integer")
 
+        tier = payload.get("tier")
+        if tier is not None and (not isinstance(tier, str) or tier == ""):
+            raise ProtocolError(
+                "'tier' must be a non-empty string naming a quality tier "
+                '(e.g. "quality", "balanced", "compact")'
+            )
+
         return cls(
             prompt_ids=prompt_ids,
             max_tokens=max_tokens,
             stream=stream,
             stop_token_id=stop_token_id,
             seed=seed,
+            tier=tier,
             model=str(payload.get("model", "repro-million")),
         )
 
     def to_generation_request(self) -> GenerationRequest:
-        """Engine-side request (ids are always gateway-assigned)."""
+        """Engine-side request (ids are always gateway-assigned).
+
+        ``tier`` passes through verbatim; whether the tier exists is the
+        engine's call (it raises at submission, which the server maps to a
+        400), so the protocol layer stays configuration-agnostic.
+        """
         return GenerationRequest(
             prompt_ids=self.prompt_ids,
             max_new_tokens=self.max_tokens,
             stop_token=self.stop_token_id,
             seed=self.seed,
+            tier=self.tier,
         )
 
 

@@ -25,6 +25,22 @@ from repro.models.config import ModelConfig
 FP16_BYTES = 2.0
 
 
+def fp16_kv_bytes(
+    n_tokens: int,
+    kv_heads: int,
+    head_dim: int,
+    bytes_per_value: float = FP16_BYTES,
+) -> float:
+    """Full-precision footprint of ``n_tokens`` key+value rows.
+
+    The one shared accounting rule every cache adapter and the serving
+    layer's reports derive from — keeping the "what would fp16 cost"
+    baseline identical across schemes is what makes compression ratios and
+    the Pareto bench's KV-bytes axis comparable.
+    """
+    return float(2 * n_tokens * kv_heads * head_dim * bytes_per_value)
+
+
 class KVCacheLayer(ABC):
     """Per-layer key/value cache with scheme-specific attention."""
 
@@ -36,6 +52,19 @@ class KVCacheLayer(ABC):
     def seq_len(self) -> int:
         """Number of tokens whose KV pairs are currently cached."""
         return self._seq_len
+
+    def full_precision_bytes(self) -> float:
+        """What this cache's tokens would cost stored as fp16."""
+        return fp16_kv_bytes(
+            self.seq_len, self.config.kv_heads, self.config.head_dim
+        )
+
+    def compression_ratio(self) -> float:
+        """Full-precision footprint divided by the actual footprint."""
+        actual = self.memory_bytes()
+        if actual <= 0:
+            return 1.0
+        return float(self.full_precision_bytes() / actual)
 
     @abstractmethod
     def append(self, keys: np.ndarray, values: np.ndarray) -> None:
@@ -133,8 +162,12 @@ class FullPrecisionKVCacheLayer(KVCacheLayer):
         )
 
     def memory_bytes(self) -> float:
-        per_token = 2 * self.config.kv_heads * self.config.head_dim
-        return float(self._seq_len * per_token * self.bytes_per_value)
+        return fp16_kv_bytes(
+            self._seq_len,
+            self.config.kv_heads,
+            self.config.head_dim,
+            bytes_per_value=self.bytes_per_value,
+        )
 
     def reset(self) -> None:
         super().reset()

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.models.attention_math import attention_scores, repeat_kv_heads
 from repro.models.config import ModelConfig
-from repro.models.kv_cache import FP16_BYTES, KVCacheLayer
+from repro.models.kv_cache import KVCacheLayer, fp16_kv_bytes
 from repro.models.positional import alibi_bias
 from repro.models.tensor_ops import softmax
 from repro.quant.kivi import KiviConfig, KiviQuantizer
@@ -226,18 +226,10 @@ class StreamingQuantizedKVCache(KVCacheLayer):
     # Memory accounting -------------------------------------------------------
 
     def memory_bytes(self) -> float:
-        pending = self._pending_token_count()
-        per_token_fp = 2 * self.config.kv_heads * self.config.head_dim * FP16_BYTES
-        return float(pending * per_token_fp) + self.quantized_memory_bytes()
-
-    def compression_ratio(self) -> float:
-        """Full-precision footprint divided by the actual footprint."""
-        per_token_fp = 2 * self.config.kv_heads * self.config.head_dim * FP16_BYTES
-        full = self.seq_len * per_token_fp
-        actual = self.memory_bytes()
-        if actual <= 0:
-            return 1.0
-        return float(full / actual)
+        pending_fp = fp16_kv_bytes(
+            self._pending_token_count(), self.config.kv_heads, self.config.head_dim
+        )
+        return pending_fp + self.quantized_memory_bytes()
 
     # Hooks -------------------------------------------------------------------
 

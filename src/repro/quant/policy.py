@@ -1,0 +1,513 @@
+"""Mixed-precision KV quantization policies: per-(layer, head) assignments.
+
+The paper applies one PQ configuration to every layer and head, but the
+calibration pass already measures how differently heads behave — channel
+variance, outlier mass and ADC reconstruction error all vary by an order of
+magnitude across heads of the same tiny model.  A :class:`QuantPolicy` turns
+those measurements into an explicit, committable artifact: every (layer,
+KV head) gets a :class:`HeadAssignment` — a scheme (``million`` / ``kivi`` /
+``kvquant`` / ``fp16``) plus a bit budget — derived under a global KV-bytes
+budget by :func:`derive_policy`.
+
+The policy layer is deliberately model-agnostic NumPy + JSON: sensitivity
+scoring (:func:`measure_head_sensitivity`) consumes raw per-layer sample
+tensors, so it has no dependency on the calibration collector (which lives
+in :mod:`repro.core.calibration` and imports the cache stack).  Cache
+construction from a policy lives in :mod:`repro.quant.policy_cache`.
+
+Serialization is a small versioned JSON document carrying the model-shape
+fingerprint, so a calibrated policy can be committed next to benchmark
+baselines and refused loudly when applied to a different model.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import MillionConfig
+from repro.core.pq import ProductQuantizer
+from repro.models.config import ModelConfig
+from repro.models.kv_cache import FP16_BYTES
+from repro.quant.outliers import outlier_threshold
+from repro.utils.validation import require
+
+#: Cache schemes a head may be assigned.  ``fp16`` is the passthrough
+#: (no quantization); the other three map onto the existing adapters.
+SCHEMES = ("million", "kivi", "kvquant", "fp16")
+
+#: Serialization format marker + version.
+POLICY_FORMAT = "repro-quant-policy"
+POLICY_VERSION = 1
+
+
+@dataclass(frozen=True)
+class HeadAssignment:
+    """Scheme + bit budget for one KV head.
+
+    ``bits`` is the *effective* bits per cached scalar (the paper's
+    "4b"-style labels).  For ``million`` it selects an ``(M, nbits)`` preset
+    via :meth:`MillionConfig.for_equivalent_bits`; for ``kivi``/``kvquant``
+    it is the integer code width; for ``fp16`` it is fixed at 16.
+    """
+
+    scheme: str
+    bits: int
+
+    def __post_init__(self) -> None:
+        require(self.scheme in SCHEMES, f"unknown scheme {self.scheme!r}")
+        if self.scheme == "fp16":
+            require(self.bits == 16, "fp16 passthrough must declare bits=16")
+        else:
+            require(1 <= self.bits <= 8, f"bits must be in [1, 8], got {self.bits}")
+
+    def bytes_per_token(self, head_dim: int) -> float:
+        """Modelled key+value code bytes per token for one head.
+
+        Logical bits (``bits / 8`` bytes per scalar), excluding codebooks,
+        scale metadata and the full-precision residual window — the same
+        steady-state model every scheme is compared under, which is what
+        makes a budget comparable across schemes.
+        """
+        if self.scheme == "fp16":
+            return 2.0 * head_dim * FP16_BYTES
+        if self.scheme == "million":
+            variant = million_variant(head_dim, self.bits)
+            return 2.0 * variant.m_subspaces * variant.nbits / 8.0
+        return 2.0 * head_dim * self.bits / 8.0
+
+    def to_json(self) -> dict:
+        return {"scheme": self.scheme, "bits": self.bits}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "HeadAssignment":
+        require(isinstance(data, dict), "head assignment must be an object")
+        return cls(scheme=str(data["scheme"]), bits=int(data["bits"]))
+
+
+def million_variant(
+    head_dim: int, bits: int, recent_window: int = 0, **kwargs
+) -> MillionConfig:
+    """The MILLION configuration a policy's ``million``/``bits`` rung uses.
+
+    One function so the byte model, the cache factories and the block-pool
+    layouts all agree on which ``(M, nbits)`` preset a bit budget means.
+    """
+    return MillionConfig.for_equivalent_bits(
+        head_dim, bits, recent_window=recent_window, **kwargs
+    )
+
+
+#: Default upgrade ladder for :func:`derive_policy`, cheapest first.
+DEFAULT_LADDER = (
+    HeadAssignment("million", 2),
+    HeadAssignment("million", 4),
+    HeadAssignment("million", 8),
+    HeadAssignment("fp16", 16),
+)
+
+
+class QuantPolicy:
+    """Immutable per-(layer, head) scheme assignment for one model shape."""
+
+    def __init__(
+        self,
+        n_layers: int,
+        kv_heads: int,
+        head_dim: int,
+        assignments: Sequence[Sequence[HeadAssignment]],
+        model_name: str = "",
+    ) -> None:
+        require(n_layers >= 1, "n_layers must be >= 1")
+        require(kv_heads >= 1, "kv_heads must be >= 1")
+        require(head_dim >= 1, "head_dim must be >= 1")
+        require(
+            len(assignments) == n_layers,
+            f"expected {n_layers} layer rows, got {len(assignments)}",
+        )
+        rows = []
+        for layer, row in enumerate(assignments):
+            require(
+                len(row) == kv_heads,
+                f"layer {layer}: expected {kv_heads} head assignments, got {len(row)}",
+            )
+            for assignment in row:
+                require(
+                    isinstance(assignment, HeadAssignment),
+                    "assignments must be HeadAssignment instances",
+                )
+                if assignment.scheme == "million":
+                    # Fail at construction, not deep inside the cache factory.
+                    million_variant(head_dim, assignment.bits)
+            rows.append(tuple(row))
+        self.n_layers = int(n_layers)
+        self.kv_heads = int(kv_heads)
+        self.head_dim = int(head_dim)
+        self.model_name = str(model_name)
+        self.assignments: tuple[tuple[HeadAssignment, ...], ...] = tuple(rows)
+
+    # Construction --------------------------------------------------------
+
+    @classmethod
+    def uniform(
+        cls,
+        model_config: ModelConfig,
+        scheme: str,
+        bits: int,
+    ) -> "QuantPolicy":
+        """Every head of every layer gets the same assignment."""
+        assignment = HeadAssignment(scheme, bits)
+        row = tuple(assignment for _ in range(model_config.kv_heads))
+        return cls(
+            n_layers=model_config.n_layers,
+            kv_heads=model_config.kv_heads,
+            head_dim=model_config.head_dim,
+            assignments=tuple(row for _ in range(model_config.n_layers)),
+            model_name=model_config.name,
+        )
+
+    # Queries -------------------------------------------------------------
+
+    def assignment(self, layer: int, head: int) -> HeadAssignment:
+        return self.assignments[layer][head]
+
+    def head_groups(self, layer: int) -> list[tuple[HeadAssignment, tuple[int, ...]]]:
+        """Contiguity-free grouping of a layer's heads by identical assignment.
+
+        Groups are ordered by their first member head, so the mapping from
+        (layer, group position) to storage units is deterministic across
+        processes — which the pooled serving path relies on.
+        """
+        groups: dict[HeadAssignment, list[int]] = {}
+        order: list[HeadAssignment] = []
+        for head, assignment in enumerate(self.assignments[layer]):
+            if assignment not in groups:
+                groups[assignment] = []
+                order.append(assignment)
+            groups[assignment].append(head)
+        return [(assignment, tuple(groups[assignment])) for assignment in order]
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every head of every layer shares one assignment."""
+        first = self.assignments[0][0]
+        return all(
+            assignment == first for row in self.assignments for assignment in row
+        )
+
+    def distinct_assignments(self) -> list[HeadAssignment]:
+        """Every assignment used anywhere, in first-appearance order."""
+        seen: list[HeadAssignment] = []
+        for row in self.assignments:
+            for assignment in row:
+                if assignment not in seen:
+                    seen.append(assignment)
+        return seen
+
+    def schemes_used(self) -> set[str]:
+        return {a.scheme for a in self.distinct_assignments()}
+
+    def bytes_per_token(self) -> float:
+        """Modelled steady-state KV bytes per token across all layers/heads."""
+        return float(
+            sum(
+                assignment.bytes_per_token(self.head_dim)
+                for row in self.assignments
+                for assignment in row
+            )
+        )
+
+    def validate_for_model(self, model_config: ModelConfig) -> None:
+        """Raise unless this policy matches the model's KV shape."""
+        require(
+            (self.n_layers, self.kv_heads, self.head_dim)
+            == (model_config.n_layers, model_config.kv_heads, model_config.head_dim),
+            f"policy is for (layers={self.n_layers}, kv_heads={self.kv_heads}, "
+            f"head_dim={self.head_dim}) but model {model_config.name!r} has "
+            f"(layers={model_config.n_layers}, kv_heads={model_config.kv_heads}, "
+            f"head_dim={model_config.head_dim})",
+        )
+
+    # Equality / repr ------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantPolicy):
+            return NotImplemented
+        return (
+            self.n_layers == other.n_layers
+            and self.kv_heads == other.kv_heads
+            and self.head_dim == other.head_dim
+            and self.assignments == other.assignments
+        )
+
+    def __repr__(self) -> str:
+        label = "uniform" if self.is_uniform else "mixed"
+        return (
+            f"QuantPolicy({label}, layers={self.n_layers}, "
+            f"kv_heads={self.kv_heads}, head_dim={self.head_dim}, "
+            f"bytes/token={self.bytes_per_token():.1f})"
+        )
+
+    # Serialization --------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "format": POLICY_FORMAT,
+            "version": POLICY_VERSION,
+            "model": {
+                "name": self.model_name,
+                "n_layers": self.n_layers,
+                "kv_heads": self.kv_heads,
+                "head_dim": self.head_dim,
+            },
+            "assignments": [
+                [assignment.to_json() for assignment in row]
+                for row in self.assignments
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "QuantPolicy":
+        require(isinstance(data, dict), "policy document must be a JSON object")
+        require(
+            data.get("format") == POLICY_FORMAT,
+            f"not a quant policy document (format={data.get('format')!r})",
+        )
+        require(
+            data.get("version") == POLICY_VERSION,
+            f"unsupported policy version {data.get('version')!r} "
+            f"(expected {POLICY_VERSION})",
+        )
+        model = data["model"]
+        assignments = [
+            [HeadAssignment.from_json(entry) for entry in row]
+            for row in data["assignments"]
+        ]
+        return cls(
+            n_layers=int(model["n_layers"]),
+            kv_heads=int(model["kv_heads"]),
+            head_dim=int(model["head_dim"]),
+            assignments=assignments,
+            model_name=str(model.get("name", "")),
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_json(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "QuantPolicy":
+        return cls.from_json(json.loads(Path(path).read_text()))
+
+
+# Sensitivity ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HeadSensitivity:
+    """Per-(layer, head) sensitivity scores plus their raw components.
+
+    ``scores`` is ``(n_layers, kv_heads)`` in [0, 1]; higher means the head
+    degrades more under aggressive quantization and should be upgraded
+    first.  ``components`` keeps the unnormalized per-signal arrays for
+    reporting.
+    """
+
+    scores: np.ndarray
+    components: dict[str, np.ndarray]
+
+
+def _minmax(x: np.ndarray) -> np.ndarray:
+    lo, hi = float(x.min()), float(x.max())
+    if hi - lo <= 0.0:
+        return np.zeros_like(x)
+    return (x - lo) / (hi - lo)
+
+
+def measure_head_sensitivity(
+    keys_per_layer: Sequence[np.ndarray],
+    values_per_layer: Sequence[np.ndarray],
+    probe_bits: int = 4,
+    outlier_fraction: float = 0.01,
+    kmeans_iters: int = 4,
+    max_probe_samples: int = 2048,
+    seed: int = 0,
+) -> HeadSensitivity:
+    """Score every (layer, head) by how much quantization would hurt it.
+
+    ``keys_per_layer[i]`` / ``values_per_layer[i]`` are calibration sample
+    tensors of shape ``(tokens, kv_heads, head_dim)``.  Three signals are
+    combined (each min-max normalized over all (layer, head) cells, then
+    averaged):
+
+    * **channel variance** — mean per-channel variance of the head's keys and
+      values (heads carrying more signal energy lose more to coarse codes);
+    * **outlier mass** — fraction of the head's entries above the layer-wide
+      magnitude threshold at ``outlier_fraction`` (PQ codebooks are trained
+      on the bulk, so outlier-heavy heads reconstruct poorly);
+    * **ADC reconstruction error** — relative MSE of a probe product
+      quantizer (``probe_bits`` budget, trained on the layer's pooled
+      vectors) evaluated per head — the direct analogue of the error MILLION
+      attention actually incurs.
+    """
+    require(
+        len(keys_per_layer) == len(values_per_layer) and len(keys_per_layer) > 0,
+        "keys_per_layer and values_per_layer must be equal-length and non-empty",
+    )
+    n_layers = len(keys_per_layer)
+    kv_heads = keys_per_layer[0].shape[1]
+    head_dim = keys_per_layer[0].shape[2]
+    variance = np.zeros((n_layers, kv_heads))
+    outlier_mass = np.zeros((n_layers, kv_heads))
+    adc_error = np.zeros((n_layers, kv_heads))
+    probe_config = million_variant(head_dim, probe_bits)
+    for layer in range(n_layers):
+        keys = np.asarray(keys_per_layer[layer], dtype=np.float32)
+        values = np.asarray(values_per_layer[layer], dtype=np.float32)
+        require(
+            keys.shape[1:] == (kv_heads, head_dim)
+            and values.shape == keys.shape,
+            f"layer {layer}: sample tensors must be (tokens, {kv_heads}, {head_dim})",
+        )
+        key_threshold = outlier_threshold(keys, outlier_fraction)
+        value_threshold = outlier_threshold(values, outlier_fraction)
+        pooled = np.concatenate(
+            [keys.reshape(-1, head_dim), values.reshape(-1, head_dim)], axis=0
+        )
+        probe = ProductQuantizer.fit(
+            pooled,
+            probe_config.m_subspaces,
+            probe_config.nbits,
+            kmeans_iters=kmeans_iters,
+            seed=seed,
+            max_samples=max_probe_samples,
+        )
+        for head in range(kv_heads):
+            head_keys = keys[:, head, :]
+            head_values = values[:, head, :]
+            variance[layer, head] = float(
+                head_keys.var(axis=0).mean() + head_values.var(axis=0).mean()
+            )
+            outlier_mass[layer, head] = float(
+                (np.abs(head_keys) > key_threshold).mean()
+                + (np.abs(head_values) > value_threshold).mean()
+            )
+            stacked = np.concatenate([head_keys, head_values], axis=0)
+            if stacked.shape[0] > max_probe_samples:
+                stacked = stacked[:max_probe_samples]
+            energy = float(np.mean(stacked**2))
+            adc_error[layer, head] = (
+                probe.reconstruction_mse(stacked) / energy if energy > 0 else 0.0
+            )
+    combined = (
+        _minmax(variance) + _minmax(outlier_mass) + _minmax(adc_error)
+    ) / 3.0
+    return HeadSensitivity(
+        scores=combined,
+        components={
+            "channel_variance": variance,
+            "outlier_mass": outlier_mass,
+            "adc_relative_mse": adc_error,
+        },
+    )
+
+
+# Budgeted derivation --------------------------------------------------------
+
+
+def derive_policy(
+    model_config: ModelConfig,
+    sensitivity: HeadSensitivity | np.ndarray,
+    budget_bytes_per_token: float,
+    ladder: Sequence[HeadAssignment] = DEFAULT_LADDER,
+    schemes: Optional[Sequence[str]] = None,
+) -> QuantPolicy:
+    """Assign each head the richest ladder rung the byte budget affords.
+
+    Water-filling greedy: every head starts at the cheapest rung; passes over
+    the heads in descending sensitivity (ties broken by (layer, head) for
+    determinism) upgrade each by one rung while the upgrade fits the global
+    ``budget_bytes_per_token``.  One rung per head per pass spreads the
+    budget across the most sensitive heads instead of maxing out a single
+    head — matching the mixed-precision sweeps of KVTuner-style tuners.
+
+    ``schemes`` optionally restricts the ladder (e.g. ``("million",)`` for a
+    pooled-serving policy, where only MILLION heads can live in shared
+    blocks).
+    """
+    scores = (
+        sensitivity.scores
+        if isinstance(sensitivity, HeadSensitivity)
+        else np.asarray(sensitivity, dtype=np.float64)
+    )
+    require(
+        scores.shape == (model_config.n_layers, model_config.kv_heads),
+        f"sensitivity must be (n_layers={model_config.n_layers}, "
+        f"kv_heads={model_config.kv_heads}), got {scores.shape}",
+    )
+    if schemes is not None:
+        ladder = [rung for rung in ladder if rung.scheme in set(schemes)]
+    require(len(ladder) >= 1, "ladder must contain at least one assignment")
+    head_dim = model_config.head_dim
+    costs = [rung.bytes_per_token(head_dim) for rung in ladder]
+    require(
+        all(b > a for a, b in zip(costs, costs[1:])),
+        "ladder costs must be strictly increasing (cheapest rung first)",
+    )
+    n_heads_total = model_config.n_layers * model_config.kv_heads
+    base_cost = n_heads_total * costs[0]
+    require(
+        budget_bytes_per_token >= base_cost,
+        f"budget {budget_bytes_per_token:.1f} B/token cannot cover the "
+        f"cheapest ladder rung ({base_cost:.1f} B/token)",
+    )
+    rung = np.zeros((model_config.n_layers, model_config.kv_heads), dtype=np.int64)
+    spent = base_cost
+    order = sorted(
+        (
+            (layer, head)
+            for layer in range(model_config.n_layers)
+            for head in range(model_config.kv_heads)
+        ),
+        key=lambda lh: (-scores[lh], lh),
+    )
+    progressed = True
+    while progressed:
+        progressed = False
+        for layer, head in order:
+            current = rung[layer, head]
+            if current + 1 >= len(ladder):
+                continue
+            delta = costs[current + 1] - costs[current]
+            if spent + delta <= budget_bytes_per_token:
+                rung[layer, head] = current + 1
+                spent += delta
+                progressed = True
+    assignments = [
+        [ladder[rung[layer, head]] for head in range(model_config.kv_heads)]
+        for layer in range(model_config.n_layers)
+    ]
+    return QuantPolicy(
+        n_layers=model_config.n_layers,
+        kv_heads=model_config.kv_heads,
+        head_dim=model_config.head_dim,
+        assignments=assignments,
+        model_name=model_config.name,
+    )
+
+
+__all__ = [
+    "DEFAULT_LADDER",
+    "HeadAssignment",
+    "HeadSensitivity",
+    "POLICY_FORMAT",
+    "POLICY_VERSION",
+    "QuantPolicy",
+    "SCHEMES",
+    "derive_policy",
+    "measure_head_sensitivity",
+    "million_variant",
+]

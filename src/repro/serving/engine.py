@@ -61,6 +61,7 @@ from repro.core.config import MillionConfig
 from repro.models.kv_cache import KVCacheFactory
 from repro.models.sampling import GreedySampler
 from repro.models.transformer import TransformerLM
+from repro.quant.policy_cache import HeadGroupKVCache
 from repro.serving.memory import (
     BlockPool,
     PoolExhaustedError,
@@ -120,23 +121,49 @@ class BatchedMillionEngine:
         max_unclaimed_results: int = 1024,
         max_queue_size: Optional[int] = None,
         fused_decode: bool = True,
+        fused_min_batch: int = 2,
+        tier_factories: Optional[dict[str, KVCacheFactory]] = None,
     ) -> None:
         require(max_unclaimed_results >= 1, "max_unclaimed_results must be >= 1")
+        require(fused_min_batch >= 1, "fused_min_batch must be >= 1")
         self.model = model
         self.factory = factory
+        # Per-request quality tiers: a request carrying ``tier="quality"``
+        # builds its caches from ``tier_factories["quality"]`` instead of the
+        # default factory.  Each tier is typically a different quantization
+        # policy (see repro.quant.policy) — same model weights, different
+        # KV fidelity/footprint trade-off.
+        self.tier_factories: dict[str, KVCacheFactory] = dict(tier_factories or {})
+        for name in self.tier_factories:
+            require(
+                isinstance(name, str) and name != "",
+                "tier names must be non-empty strings",
+            )
         # Fused cross-request decode: one stacked forward per step instead of
         # one forward per running sequence.  Token streams are bit-identical
         # either way (the kernels are row-invariant by construction and tests
         # sweep both), so ``fused_decode=False`` keeps the slow per-sequence
-        # loop purely as the reference oracle.
+        # loop purely as the reference oracle.  ``fused_min_batch`` is the
+        # auto-selection cutoff: batches below it decode through the
+        # per-sequence forwards (stacking gains nothing at B=1 — 0.96x in
+        # BENCH_serving — and 3.1x at B=16), so each step picks the faster
+        # path for its live batch size.
         self.fused_decode = fused_decode
+        self.fused_min_batch = fused_min_batch
         self._fused_attention: Optional[FusedMillionAttention] = None
         config = getattr(factory, "million_config", None)
-        if config is not None and config.outlier_fraction == 0.0:
+        foreign_tier_factories = any(
+            tier_factory is not factory
+            for tier_factory in self.tier_factories.values()
+        )
+        if config is not None and config.outlier_fraction == 0.0 and not foreign_tier_factories:
             # MILLION caches without sparse outlier corrections get the fused
             # segment-ADC attention; anything else (full-precision, KIVI-like,
             # outlier-corrected) uses the generic per-sequence attend inside
-            # the stacked forward, which supports every cache scheme.
+            # the stacked forward, which supports every cache scheme.  Tier
+            # engines mix caches built from different quantizers in one fused
+            # batch, which the segment-ADC path cannot serve (it requires one
+            # shared codebook set per layer) — they use the generic attend.
             self._fused_attention = FusedMillionAttention()
         self.scheduler = ContinuousBatchingScheduler(
             max_batch_size=max_batch_size, max_queue_size=max_queue_size
@@ -152,10 +179,14 @@ class BatchedMillionEngine:
         self._next_request_number = 0
         # Block-pool mode is enabled by pooled factories (PooledMillionCacheFactory).
         self.pool: Optional[BlockPool] = getattr(factory, "pool", None)
-        million_config = getattr(factory, "million_config", None)
-        self._residual_window = (
-            million_config.recent_window if million_config is not None else 0
+        self._has_pool = self.pool is not None or any(
+            getattr(tier_factory, "pool", None) is not None
+            for tier_factory in self.tier_factories.values()
         )
+        # Per-tier lifetime counters ("default" = requests without a tier).
+        self._tier_requests_total: dict[str, int] = {
+            label: 0 for label in ("default", *self.tier_factories)
+        }
         # Lifetime counters (reported by stats()).
         self.preemption_count = 0
         self.prefill_tokens_computed = 0
@@ -216,11 +247,19 @@ class BatchedMillionEngine:
             f"prompt of {request.prompt_ids.size} tokens exceeds max_seq_len "
             f"{self.model.config.max_seq_len}",
         )
+        # Unknown tiers fail here, in the caller's stack frame — the gateway
+        # maps this ValueError to a 400 before the request ever queues.
+        require(
+            request.tier is None or request.tier in self.tier_factories,
+            f"unknown tier {request.tier!r}; available tiers: "
+            f"{sorted(self.tier_factories)}",
+        )
         state = RequestState(request=request, rng=get_rng(request.seed))
         # Scheduler first: a QueueFullError (backpressure) must leave no
         # trace in the engine's state table.
         self.scheduler.submit(state)
         self._states[request.request_id] = state
+        self._tier_requests_total[request.tier or "default"] += 1
         return request.request_id
 
     def add_request(
@@ -231,6 +270,7 @@ class BatchedMillionEngine:
         stop_token: Optional[int] = None,
         sampler=None,
         seed: Optional[int] = None,
+        tier: Optional[str] = None,
     ) -> str:
         """Convenience wrapper building and submitting a :class:`GenerationRequest`."""
         return self.submit(
@@ -241,6 +281,7 @@ class BatchedMillionEngine:
                 stop_token=stop_token,
                 sampler=sampler,
                 seed=seed,
+                tier=tier,
             )
         )
 
@@ -303,13 +344,44 @@ class BatchedMillionEngine:
             state.context = self.model.save_context()
             self.model.restore_context(saved)
 
+    def _factory_for(self, state: RequestState) -> KVCacheFactory:
+        """The cache factory serving this request's quality tier."""
+        if state.request.tier is None:
+            return self.factory
+        return self.tier_factories[state.request.tier]
+
+    def _pool_for(self, state: RequestState) -> Optional[BlockPool]:
+        """The block pool (if any) this request's caches allocate from."""
+        return getattr(self._factory_for(state), "pool", None)
+
+    def _residual_window_for(self, state: RequestState) -> int:
+        """Full-precision residual window of this request's cache scheme."""
+        factory = self._factory_for(state)
+        million_config = getattr(factory, "million_config", None)
+        if million_config is not None:
+            return million_config.recent_window
+        return getattr(factory, "recent_window", 0)
+
     def _pooled_caches(self, state: RequestState) -> list[PooledMillionKVCacheLayer]:
+        """Pool-backed caches in *unit order* (layer-major, head-groups ascending).
+
+        Head-group composite layers contribute their pooled sub-caches in
+        group order, matching the unit indexing of
+        :meth:`BlockPool.for_policy` — so position ``u`` in this list always
+        owns pool unit ``u``, which block adoption and publication rely on.
+        """
         assert state.context is not None
-        return [
-            cache
-            for cache in state.context.caches
-            if isinstance(cache, PooledMillionKVCacheLayer)
-        ]
+        caches: list[PooledMillionKVCacheLayer] = []
+        for cache in state.context.caches:
+            if isinstance(cache, PooledMillionKVCacheLayer):
+                caches.append(cache)
+            elif isinstance(cache, HeadGroupKVCache):
+                caches.extend(
+                    sub
+                    for sub in cache.sub_caches
+                    if isinstance(sub, PooledMillionKVCacheLayer)
+                )
+        return caches
 
     def _release_context(self, state: RequestState) -> None:
         """Return the sequence's pool blocks (if pooled) and drop its caches."""
@@ -379,11 +451,12 @@ class BatchedMillionEngine:
         request waits in the queue — the admission gate runs every step and
         must not rehash a long prefix each time.
         """
-        assert self.pool is not None
+        pool = self._pool_for(state)
+        assert pool is not None
         if state.prefill_plan is not None:
             return state.prefill_plan
-        block = self.pool.block_tokens
-        window = self._residual_window
+        block = pool.block_tokens
+        window = self._residual_window_for(state)
         prompt = state.request.prompt_ids
         aligned = block * ((prompt.size - 1) // block)
         if state.generated:
@@ -413,11 +486,12 @@ class BatchedMillionEngine:
         residual window — the original run computed those tokens against a
         partially full-precision cache, so they must be recomputed.
         """
-        block = self.pool.block_tokens
+        pool = self._pool_for(state)
+        block = pool.block_tokens
         prompt_tokens = state.request.prompt_ids.size
         if (
             plan.is_restore
-            and self._residual_window == 0
+            and self._residual_window_for(state) == 0
             and hits * block >= prompt_tokens
         ):
             return hits
@@ -425,33 +499,37 @@ class BatchedMillionEngine:
 
     def _admission_gate(self, state: RequestState) -> bool:
         """Can the pool cover this request's prefill (plus decode headroom)?"""
-        assert self.pool is not None
+        pool = self._pool_for(state)
+        if pool is None:
+            # Tiers without a pool are bounded by slot count only.
+            return True
         plan = self._prefill_plan(state)
-        hits = self.pool.longest_prefix(plan.hashes)
+        hits = pool.longest_prefix(plan.hashes)
         usable = self._usable_hits(state, plan, hits)
-        block = self.pool.block_tokens
+        block = pool.block_tokens
         needed_groups = plan.stored_final // block - usable
         # Cached groups this prefill will adopt leave the evictable set the
         # moment they are adopted, so they must not double as reclaimable
         # capacity for the new allocations.
         adopted_from_cache = sum(
-            1 for h in plan.hashes[:usable] if self.pool.group_is_evictable(h)
+            1 for h in plan.hashes[:usable] if pool.group_is_evictable(h)
         )
-        needed = (needed_groups + 1 + adopted_from_cache) * self.pool.n_layers
-        return self.pool.can_allocate(needed)
+        needed = (needed_groups + 1 + adopted_from_cache) * pool.n_layers
+        return pool.can_allocate(needed)
 
     def _register_new_blocks(self, state: RequestState) -> None:
         """Publish blocks sealed by the last forward under their chain hashes."""
-        assert self.pool is not None
+        pool = self._pool_for(state)
+        assert pool is not None
         caches = self._pooled_caches(state)
-        per_layer = [cache.drain_new_blocks() for cache in caches]
-        n_new = len(per_layer[0])
-        assert all(len(blocks) == n_new for blocks in per_layer), (
-            "layers sealed different block counts for one sequence"
+        per_unit = [cache.drain_new_blocks() for cache in caches]
+        n_new = len(per_unit[0])
+        assert all(len(blocks) == n_new for blocks in per_unit), (
+            "units sealed different block counts for one sequence"
         )
         if n_new == 0:
             return
-        block = self.pool.block_tokens
+        block = pool.block_tokens
         prev_hash = state.block_hashes[-1] if state.block_hashes else ROOT_HASH
         start = len(state.block_hashes)
         for j in range(n_new):
@@ -460,8 +538,8 @@ class BatchedMillionEngine:
                 prev_hash, self._history_slice(state, lo, lo + block)
             )
             state.block_hashes.append(prev_hash)
-            self.pool.publish(
-                prev_hash, tuple(blocks[j] for blocks in per_layer)
+            pool.publish(
+                prev_hash, tuple(blocks[j] for blocks in per_unit)
             )
 
     def _pooled_prefill(self, state: RequestState) -> None:
@@ -478,24 +556,25 @@ class BatchedMillionEngine:
         the replay wherever :meth:`_usable_hits` proves the jump state
         occurred in the original run.
         """
-        assert self.pool is not None
+        pool = self._pool_for(state)
+        assert pool is not None
         plan = self._prefill_plan(state)
         state.prefill_plan = None  # consumed; stale once decoding resumes
-        block = self.pool.block_tokens
+        block = pool.block_tokens
         history = state.token_history
         prompt_tokens = state.request.prompt_ids.size
-        state.context = self.model.fresh_context(self.factory)
+        state.context = self.model.fresh_context(self._factory_for(state))
         state.block_hashes = []
         with self._bound(state) as model:
             caches = self._pooled_caches(state)
-            hits = self.pool.longest_prefix(plan.hashes)
+            hits = pool.longest_prefix(plan.hashes)
             usable = self._usable_hits(state, plan, hits)
             self.prefix_block_hits += usable
             self.prefix_block_misses += len(plan.hashes) - usable
             if usable:
-                groups = [self.pool.adopt(h) for h in plan.hashes[:usable]]
-                for layer_index, cache in enumerate(caches):
-                    cache.adopt_shared_blocks([g[layer_index] for g in groups])
+                groups = [pool.adopt(h) for h in plan.hashes[:usable]]
+                for unit, cache in enumerate(caches):
+                    cache.adopt_shared_blocks([g[unit] for g in groups])
                 model.advance_position(usable * block)
                 state.block_hashes.extend(plan.hashes[:usable])
                 self.prefill_tokens_reused += usable * block
@@ -521,10 +600,10 @@ class BatchedMillionEngine:
 
     def _prefill(self, state: RequestState) -> Optional[StepOutput]:
         """Prefill a newly admitted request; may finish it immediately."""
-        if self.pool is not None:
+        if self._pool_for(state) is not None:
             self._pooled_prefill(state)
         else:
-            state.context = self.model.fresh_context(self.factory)
+            state.context = self.model.fresh_context(self._factory_for(state))
             with self._bound(state) as model:
                 logits = model.forward(state.request.prompt_ids)
             state.next_logits = logits[-1]
@@ -551,27 +630,49 @@ class BatchedMillionEngine:
 
     def _decode_block_demand(self, state: RequestState) -> int:
         """Pool blocks ``state``'s next decode step will allocate on flush."""
+        pool = self._pool_for(state)
         caches = self._pooled_caches(state)
-        return caches[0].flushable_blocks() * self.pool.n_layers
+        return caches[0].flushable_blocks() * pool.n_layers
 
     def _ensure_decode_capacity(self, state: RequestState, reserved: int = 0) -> bool:
         """Make room for ``state``'s next decode step, preempting if needed.
 
         ``reserved`` is block demand already promised to sequences decoding
-        in the same fused step — their flush allocations have not happened
-        yet, so the pool must cover the sum, not just this sequence's share.
-        Returns ``False`` if ``state`` itself was preempted (it is the
-        youngest running sequence and the pool still cannot cover its flush).
+        in the same fused step *against the same pool* — their flush
+        allocations have not happened yet, so the pool must cover the sum,
+        not just this sequence's share.  Returns ``False`` if ``state``
+        itself was preempted (it is the youngest running sequence and the
+        pool still cannot cover its flush).
         """
-        assert self.pool is not None and state.context is not None
+        pool = self._pool_for(state)
+        assert pool is not None and state.context is not None
         demand = self._decode_block_demand(state)
-        while demand and not self.pool.can_allocate(reserved + demand):
+        while demand and not pool.can_allocate(reserved + demand):
             victim = self.scheduler.youngest_running
             assert victim is not None
+            if victim is not state and self._pool_for(victim) is not pool:
+                # The youngest sequence decodes against a different pool;
+                # preempting it frees nothing here.  Fall through to the
+                # youngest sharing this pool.
+                victim = next(
+                    (
+                        candidate
+                        for candidate in reversed(list(self.scheduler.running))
+                        if candidate.status is RequestStatus.RUNNING
+                        and self._pool_for(candidate) is pool
+                    ),
+                    state,
+                )
             if victim is state:
-                if self.scheduler.running_count == 1:
+                same_pool_running = sum(
+                    1
+                    for candidate in self.scheduler.running
+                    if candidate.status is RequestStatus.RUNNING
+                    and self._pool_for(candidate) is pool
+                )
+                if same_pool_running <= 1:
                     raise PoolExhaustedError(
-                        f"block pool ({self.pool.num_blocks} blocks) cannot "
+                        f"block pool ({pool.num_blocks} blocks) cannot "
                         f"hold a single sequence of "
                         f"{state.context.next_position} tokens; enlarge the "
                         "pool or shorten the request"
@@ -607,7 +708,7 @@ class BatchedMillionEngine:
         else:
             with self._bound(state) as model:
                 state.next_logits = model.decode_step(token)
-            if self.pool is not None:
+            if self._pool_for(state) is not None:
                 # Publish before any finish below: blocks sealed by a
                 # sequence's *final* decode step must survive as cached
                 # groups too, not be freed unpublished.
@@ -631,13 +732,17 @@ class BatchedMillionEngine:
         results: dict[str, StepOutput] = {}
         live: list[RequestState] = []
         tokens: list[int] = []
-        reserved = 0
+        # Reserved block demand is tracked per pool: tier engines may decode
+        # sequences against different pools in one fused step, and a pool
+        # only has to cover the flushes of its own sequences.
+        reserved: dict[int, int] = {}
         max_seq_len = self.model.config.max_seq_len
         for state in self.scheduler.running:
             if state.status is not RequestStatus.RUNNING:
                 continue  # preempted or cancelled earlier in this very step
-            if self.pool is not None and not self._ensure_decode_capacity(
-                state, reserved
+            pool = self._pool_for(state)
+            if pool is not None and not self._ensure_decode_capacity(
+                state, reserved.get(id(pool), 0)
             ):
                 continue
             processed.append(state)
@@ -658,19 +763,25 @@ class BatchedMillionEngine:
                     state.request_id, token, True, state.finish_reason
                 )
                 continue
-            if self.pool is not None:
-                reserved += self._decode_block_demand(state)
+            if pool is not None:
+                reserved[id(pool)] = reserved.get(id(pool), 0) + (
+                    self._decode_block_demand(state)
+                )
             live.append(state)
             tokens.append(token)
         fused_batch = 0
         if live:
-            if len(live) == 1:
-                # A batch of one gains nothing from stacking; the sequential
-                # forward is bit-identical (single-token forwards use the
-                # same row-invariant kernels) and skips the fused overhead.
-                # It does not count as a fused step in the metrics.
-                with self._bound(live[0]) as model:
-                    logits = model.decode_step(tokens[0])[None, :]
+            if len(live) < self.fused_min_batch:
+                # Small batches gain nothing from stacking (0.96x at B=1 in
+                # BENCH_serving); the sequential forwards are bit-identical
+                # (single-token forwards use the same row-invariant kernels)
+                # and skip the fused overhead.  These do not count as fused
+                # steps in the metrics.
+                rows = []
+                for state, token in zip(live, tokens):
+                    with self._bound(state) as model:
+                        rows.append(model.decode_step(token))
+                logits = np.stack(rows, axis=0)
             else:
                 self.fused_decode_steps += 1
                 fused_batch = len(live)
@@ -682,7 +793,7 @@ class BatchedMillionEngine:
                 )
             for row, (state, token) in enumerate(zip(live, tokens)):
                 state.next_logits = logits[row]
-                if self.pool is not None:
+                if self._pool_for(state) is not None:
                     self._register_new_blocks(state)
                 if len(state.generated) >= state.request.max_new_tokens:
                     self._finish(state, FinishReason.LENGTH)
@@ -706,12 +817,12 @@ class BatchedMillionEngine:
         step_start = time.perf_counter()
         self.step_count += 1
         outputs: list[StepOutput] = []
-        gate = self._admission_gate if self.pool is not None else None
+        gate = self._admission_gate if self._has_pool else None
         while True:
             state = self.scheduler.admit_next(gate)
             if (
                 state is None
-                and self.pool is not None
+                and self._has_pool
                 and self.scheduler.running_count == 0
                 and self.scheduler.queued_count > 0
             ):
@@ -734,7 +845,9 @@ class BatchedMillionEngine:
             for state in self.scheduler.running:
                 if state.status is not RequestStatus.RUNNING:
                     continue  # preempted or cancelled earlier in this very step
-                if self.pool is not None and not self._ensure_decode_capacity(state):
+                if self._pool_for(state) is not None and not (
+                    self._ensure_decode_capacity(state)
+                ):
                     continue
                 outputs.append(self._decode_one(state))
         decode_end = time.perf_counter()
@@ -849,6 +962,34 @@ class BatchedMillionEngine:
                 total += sum(cache.memory_bytes() for cache in state.context.caches)
         return total
 
+    def tier_stats(self) -> dict:
+        """Per-tier serving statistics (``"default"`` = untiered requests).
+
+        ``kv_bytes`` is the live KV footprint of the tier's running
+        sequences (pool-backed caches report fair shares of shared blocks);
+        ``policy_bytes_per_token`` is the tier factory's modelled steady-state
+        cost when it exposes one (policy factories do), else ``None``.
+        """
+        tiers: dict[str, dict] = {}
+        for label, factory in (("default", self.factory), *self.tier_factories.items()):
+            bytes_per_token = getattr(factory, "bytes_per_token", None)
+            tiers[label] = {
+                "running": 0,
+                "kv_bytes": 0.0,
+                "requests_total": self._tier_requests_total.get(label, 0),
+                "policy_bytes_per_token": (
+                    float(bytes_per_token()) if callable(bytes_per_token) else None
+                ),
+            }
+        for state in self.scheduler.running:
+            label = state.request.tier or "default"
+            tiers[label]["running"] += 1
+            if state.context is not None:
+                tiers[label]["kv_bytes"] += float(
+                    sum(cache.memory_bytes() for cache in state.context.caches)
+                )
+        return tiers
+
     def stats(self) -> dict:
         """Aggregate serving statistics: queues, memory, pool utilization."""
         return {
@@ -873,6 +1014,7 @@ class BatchedMillionEngine:
                 "decode_seconds_total": self.decode_seconds_total,
             },
             "pool": self.pool.stats() if self.pool is not None else None,
+            "tiers": self.tier_stats(),
         }
 
 

@@ -32,12 +32,13 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict, deque
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import MillionConfig
-from repro.core.million_cache import MillionKVCacheLayer
+from repro.core.million_cache import MillionCacheFactory, MillionKVCacheLayer
 from repro.core.pq import ProductQuantizer
 from repro.core.storage import BlockArena
 from repro.models.config import ModelConfig
@@ -48,6 +49,41 @@ from repro.utils.validation import require
 
 class PoolExhaustedError(RuntimeError):
     """Raised when an allocation cannot be satisfied even after eviction."""
+
+
+@dataclass(frozen=True)
+class UnitLayout:
+    """Code-row layout of one pool unit (a (layer, head-group) slot).
+
+    Uniform pools have one implicit layout for every unit; policy pools list
+    one per unit so heads quantized at different bit-widths can store their
+    differently-shaped code rows in the same pool.
+    """
+
+    kv_heads: int
+    key_subspaces: int
+    value_subspaces: int
+    key_dtype: np.dtype | type = np.uint8
+    value_dtype: np.dtype | type = np.uint8
+
+    @property
+    def key_row_nbytes(self) -> int:
+        return self.kv_heads * self.key_subspaces * np.dtype(self.key_dtype).itemsize
+
+    @property
+    def value_row_nbytes(self) -> int:
+        return self.kv_heads * self.value_subspaces * np.dtype(self.value_dtype).itemsize
+
+    @property
+    def signature(self) -> tuple:
+        """Comparable identity (dtypes normalized)."""
+        return (
+            self.kv_heads,
+            self.key_subspaces,
+            self.value_subspaces,
+            np.dtype(self.key_dtype),
+            np.dtype(self.value_dtype),
+        )
 
 
 #: Seed of every content-hash chain (the hash "before" the first block).
@@ -108,23 +144,65 @@ class BlockPool:
         num_blocks: int,
         block_tokens: int,
         n_layers: int,
-        kv_heads: int,
-        key_subspaces: int,
-        value_subspaces: int,
+        kv_heads: int = 0,
+        key_subspaces: int = 0,
+        value_subspaces: int = 0,
         key_dtype: np.dtype | type = np.uint8,
         value_dtype: np.dtype | type = np.uint8,
+        *,
+        unit_layouts: Optional[Sequence[UnitLayout]] = None,
     ) -> None:
         require(num_blocks >= 1, "num_blocks must be >= 1")
         require(block_tokens >= 1, "block_tokens must be >= 1")
         require(n_layers >= 1, "n_layers must be >= 1")
+        require(
+            unit_layouts is not None
+            or (kv_heads >= 1 and key_subspaces >= 1 and value_subspaces >= 1),
+            "kv_heads/key_subspaces/value_subspaces are required when no "
+            "unit_layouts are given",
+        )
         self.block_tokens = int(block_tokens)
+        # Units per group.  Historically one block per transformer layer; a
+        # policy pool has one unit per (layer, head-group), and every group
+        # still seals one block per unit over the same token span.
         self.n_layers = int(n_layers)
-        self._keys = BlockArena(
-            num_blocks, block_tokens, (kv_heads, key_subspaces), key_dtype
-        )
-        self._values = BlockArena(
-            num_blocks, block_tokens, (kv_heads, value_subspaces), value_dtype
-        )
+        if unit_layouts is not None:
+            layouts = tuple(unit_layouts)
+            require(
+                len(layouts) == self.n_layers,
+                f"expected {self.n_layers} unit layouts, got {len(layouts)}",
+            )
+            self._unit_layouts: Optional[tuple[UnitLayout, ...]] = layouts
+            self._heterogeneous = len({l.signature for l in layouts}) > 1
+        else:
+            self._unit_layouts = None
+            self._heterogeneous = False
+        if self._heterogeneous:
+            # Byte-backed arenas sized for the widest unit; each row is the
+            # unit's packed code bytes, zero-padded to the arena width.  The
+            # unit a block was written for is recorded at write time so reads
+            # can reinterpret the bytes with the right dtype and head count.
+            key_width = max(l.key_row_nbytes for l in layouts)
+            value_width = max(l.value_row_nbytes for l in layouts)
+            self._keys = BlockArena(num_blocks, block_tokens, (key_width,), np.uint8)
+            self._values = BlockArena(
+                num_blocks, block_tokens, (value_width,), np.uint8
+            )
+        else:
+            if self._unit_layouts is not None:
+                only = self._unit_layouts[0]
+                kv_heads = only.kv_heads
+                key_subspaces = only.key_subspaces
+                value_subspaces = only.value_subspaces
+                key_dtype = only.key_dtype
+                value_dtype = only.value_dtype
+            self._keys = BlockArena(
+                num_blocks, block_tokens, (kv_heads, key_subspaces), key_dtype
+            )
+            self._values = BlockArena(
+                num_blocks, block_tokens, (kv_heads, value_subspaces), value_dtype
+            )
+        self._unit_of: Dict[int, int] = {}
         self._free: deque[int] = deque(range(num_blocks))
         self._refcounts = [0] * num_blocks
         self._allocated = [False] * num_blocks
@@ -159,6 +237,56 @@ class BlockPool:
             value_dtype=dtype,
         )
 
+    @classmethod
+    def for_policy(
+        cls,
+        model_config: ModelConfig,
+        policy,
+        num_blocks: int,
+        block_tokens: int,
+    ) -> "BlockPool":
+        """Size a pool for a mixed-precision all-MILLION policy.
+
+        One unit per (layer, head-group), in layer-major order with groups
+        ordered as :meth:`QuantPolicy.head_groups` yields them — the same
+        deterministic order :class:`PooledPolicyCacheFactory` assigns unit
+        indices in.  A uniform policy yields layouts identical across units,
+        which routes through the typed-arena path and makes the pool
+        byte-identical to :meth:`for_model`.
+        """
+        from repro.quant.policy import million_variant
+
+        policy.validate_for_model(model_config)
+        layouts: list[UnitLayout] = []
+        for layer in range(policy.n_layers):
+            for assignment, heads in policy.head_groups(layer):
+                require(
+                    assignment.scheme == "million",
+                    "pooled serving only supports all-MILLION policies "
+                    f"(layer {layer} assigns {assignment.scheme!r}); other "
+                    "schemes lack a block-sized shared-code representation",
+                )
+                variant = million_variant(model_config.head_dim, assignment.bits)
+                dtype = code_dtype(variant.nbits)
+                layouts.append(
+                    UnitLayout(
+                        kv_heads=len(heads),
+                        key_subspaces=variant.m_subspaces,
+                        value_subspaces=variant.m_subspaces,
+                        key_dtype=dtype,
+                        value_dtype=dtype,
+                    )
+                )
+        return cls(
+            num_blocks=num_blocks,
+            block_tokens=block_tokens,
+            n_layers=len(layouts),
+            kv_heads=layouts[0].kv_heads,
+            key_subspaces=layouts[0].key_subspaces,
+            value_subspaces=layouts[0].value_subspaces,
+            unit_layouts=layouts,
+        )
+
     # Allocation ----------------------------------------------------------
 
     def allocate_block(self) -> int:
@@ -186,6 +314,7 @@ class BlockPool:
     def _reclaim(self, block_id: int) -> None:
         assert self._refcounts[block_id] == 0
         self._allocated[block_id] = False
+        self._unit_of.pop(block_id, None)
         self._free.append(block_id)
 
     def incref(self, block_id: int) -> None:
@@ -220,25 +349,111 @@ class BlockPool:
     # Content -------------------------------------------------------------
 
     def write_block(
-        self, block_id: int, key_codes: np.ndarray, value_codes: np.ndarray
+        self,
+        block_id: int,
+        key_codes: np.ndarray,
+        value_codes: np.ndarray,
+        unit: Optional[int] = None,
     ) -> None:
-        """Fill an allocated block with one full span of key/value code rows."""
+        """Fill an allocated block with one full span of key/value code rows.
+
+        ``unit`` is the writer's pool unit; heterogeneous pools need it to
+        record which layout the block's bytes follow.  Uniform pools accept
+        and ignore it.
+        """
         self._check_live(block_id)
         require(
             block_id not in self._group_of,
             f"block {block_id} is published (shared blocks are immutable)",
         )
-        self._keys.write(block_id, key_codes)
-        self._values.write(block_id, value_codes)
+        if not self._heterogeneous:
+            self._keys.write(block_id, key_codes)
+            self._values.write(block_id, value_codes)
+            return
+        require(
+            unit is not None and 0 <= unit < self.n_layers,
+            "heterogeneous pools require the writer's unit index",
+        )
+        layout = self._unit_layouts[unit]
+        self._keys.write(
+            block_id,
+            self._pack_rows(key_codes, layout.key_dtype,
+                            (layout.kv_heads, layout.key_subspaces),
+                            self._keys.row_shape[0]),
+        )
+        self._values.write(
+            block_id,
+            self._pack_rows(value_codes, layout.value_dtype,
+                            (layout.kv_heads, layout.value_subspaces),
+                            self._values.row_shape[0]),
+        )
+        self._unit_of[block_id] = int(unit)
+
+    def _pack_rows(
+        self,
+        codes: np.ndarray,
+        dtype: np.dtype | type,
+        row_shape: tuple[int, int],
+        width: int,
+    ) -> np.ndarray:
+        codes = np.ascontiguousarray(codes, dtype=dtype)
+        require(
+            codes.shape == (self.block_tokens, *row_shape),
+            f"code rows must be ({self.block_tokens}, {row_shape[0]}, "
+            f"{row_shape[1]}), got {codes.shape}",
+        )
+        raw = codes.view(np.uint8).reshape(self.block_tokens, -1)
+        if raw.shape[1] == width:
+            return raw
+        padded = np.zeros((self.block_tokens, width), dtype=np.uint8)
+        padded[:, : raw.shape[1]] = raw
+        return padded
+
+    def _unpack_rows(
+        self,
+        raw: np.ndarray,
+        dtype: np.dtype | type,
+        row_shape: tuple[int, int],
+    ) -> np.ndarray:
+        nbytes = row_shape[0] * row_shape[1] * np.dtype(dtype).itemsize
+        return (
+            np.ascontiguousarray(raw[:, :nbytes])
+            .view(dtype)
+            .reshape(self.block_tokens, *row_shape)
+        )
+
+    def block_unit(self, block_id: int) -> Optional[int]:
+        """Unit a block was written for (``None`` on uniform pools)."""
+        self._check_live(block_id)
+        return self._unit_of.get(block_id)
 
     def key_codes(self, block_id: int) -> np.ndarray:
-        """Zero-copy ``(block_tokens, kv_heads, M)`` view of a block's key codes."""
+        """``(block_tokens, kv_heads, M)`` view of a block's key codes.
+
+        Zero-copy on uniform pools; heterogeneous pools reinterpret the
+        stored bytes under the writing unit's layout (one small copy — the
+        caller installs the rows into its contiguous shadow anyway).
+        """
         self._check_live(block_id)
-        return self._keys.read(block_id)
+        if not self._heterogeneous:
+            return self._keys.read(block_id)
+        layout = self._unit_layouts[self._unit_of[block_id]]
+        return self._unpack_rows(
+            self._keys.read(block_id),
+            layout.key_dtype,
+            (layout.kv_heads, layout.key_subspaces),
+        )
 
     def value_codes(self, block_id: int) -> np.ndarray:
         self._check_live(block_id)
-        return self._values.read(block_id)
+        if not self._heterogeneous:
+            return self._values.read(block_id)
+        layout = self._unit_layouts[self._unit_of[block_id]]
+        return self._unpack_rows(
+            self._values.read(block_id),
+            layout.value_dtype,
+            (layout.kv_heads, layout.value_subspaces),
+        )
 
     # Prefix sharing ------------------------------------------------------
 
@@ -332,13 +547,58 @@ class BlockPool:
         return self._keys.num_blocks
 
     @property
+    def n_units(self) -> int:
+        """Blocks per sealed group — alias of ``n_layers`` (see ``__init__``)."""
+        return self.n_layers
+
+    @property
+    def heterogeneous(self) -> bool:
+        """True when units carry different code-row layouts."""
+        return self._heterogeneous
+
+    @property
     def key_row_shape(self) -> tuple[int, ...]:
         """Per-token key-code row shape ``(kv_heads, M)``."""
+        require(
+            not self._heterogeneous,
+            "heterogeneous pools have no single row shape; use unit_key_shape(unit)",
+        )
         return self._keys.row_shape
 
     @property
     def value_row_shape(self) -> tuple[int, ...]:
+        require(
+            not self._heterogeneous,
+            "heterogeneous pools have no single row shape; use unit_value_shape(unit)",
+        )
         return self._values.row_shape
+
+    def unit_key_shape(self, unit: int) -> tuple[int, int]:
+        """Per-token key-code row shape ``(kv_heads, M)`` of one unit."""
+        if self._unit_layouts is None:
+            return self._keys.row_shape
+        layout = self._unit_layouts[unit]
+        return (layout.kv_heads, layout.key_subspaces)
+
+    def unit_value_shape(self, unit: int) -> tuple[int, int]:
+        if self._unit_layouts is None:
+            return self._values.row_shape
+        layout = self._unit_layouts[unit]
+        return (layout.kv_heads, layout.value_subspaces)
+
+    def unit_bytes_per_block(self, unit: int) -> float:
+        """Logical bytes of one of ``unit``'s blocks (no pad).
+
+        On uniform pools this equals :attr:`bytes_per_block`; heterogeneous
+        pools pad narrow units up to the arena width physically, but memory
+        reports stay honest by charging each unit its own code bytes.
+        """
+        if self._unit_layouts is None:
+            return float(self.bytes_per_block)
+        layout = self._unit_layouts[unit]
+        return float(
+            self.block_tokens * (layout.key_row_nbytes + layout.value_row_nbytes)
+        )
 
     @property
     def free_block_count(self) -> int:
@@ -433,17 +693,19 @@ class PooledMillionKVCacheLayer(MillionKVCacheLayer):
             "pooled MILLION caches do not support sparse outlier corrections "
             "(they are per-sequence state that cannot be shared by prefix)",
         )
-        require(
-            pool.key_row_shape == (config.kv_heads, key_pq.m_subspaces),
-            f"pool key block shape {pool.key_row_shape} does not match "
-            f"(kv_heads={config.kv_heads}, M={key_pq.m_subspaces})",
-        )
-        require(
-            pool.value_row_shape == (config.kv_heads, value_pq.m_subspaces),
-            f"pool value block shape {pool.value_row_shape} does not match "
-            f"(kv_heads={config.kv_heads}, M={value_pq.m_subspaces})",
-        )
         require(0 <= layer_index < pool.n_layers, "layer_index out of pool range")
+        require(
+            pool.unit_key_shape(layer_index)
+            == (config.kv_heads, key_pq.m_subspaces),
+            f"pool unit {layer_index} key shape {pool.unit_key_shape(layer_index)} "
+            f"does not match (kv_heads={config.kv_heads}, M={key_pq.m_subspaces})",
+        )
+        require(
+            pool.unit_value_shape(layer_index)
+            == (config.kv_heads, value_pq.m_subspaces),
+            f"pool unit {layer_index} value shape {pool.unit_value_shape(layer_index)} "
+            f"does not match (kv_heads={config.kv_heads}, M={value_pq.m_subspaces})",
+        )
         super().__init__(
             config,
             key_pq,
@@ -470,6 +732,7 @@ class PooledMillionKVCacheLayer(MillionKVCacheLayer):
                 block_id,
                 key_codes[start : start + block],
                 value_codes[start : start + block],
+                unit=self.layer_index,
             )
             self._block_table.append(block_id)
             self._new_blocks.append(block_id)
@@ -534,7 +797,7 @@ class PooledMillionKVCacheLayer(MillionKVCacheLayer):
         ``MillionKVCacheLayer`` includes them because there the cache *is*
         the only consumer of its quantizers).
         """
-        bytes_per_block = self.pool.bytes_per_block
+        bytes_per_block = self.pool.unit_bytes_per_block(self.layer_index)
         total = 0.0
         for block_id in self._block_table:
             total += bytes_per_block / self.pool.refcount(block_id)
@@ -592,12 +855,158 @@ class PooledMillionCacheFactory:
         )
 
 
+class PooledPolicyCacheFactory:
+    """Pool-backed caches for a mixed-precision all-MILLION policy.
+
+    The policy analogue of :class:`PooledMillionCacheFactory`: every head
+    group of every layer becomes one pool *unit* (indexed layer-major, groups
+    in :meth:`QuantPolicy.head_groups` order — the exact order
+    :meth:`BlockPool.for_policy` laid the units out in).  Single-group layers
+    get a plain :class:`PooledMillionKVCacheLayer` over the full layer config;
+    multi-group layers compose per-group pooled caches under a
+    :class:`~repro.quant.policy_cache.HeadGroupKVCache`, so heads at
+    different bit-widths share one ref-counted pool and one prefix-hash
+    table.  A uniform policy collapses to exactly today's pooled path.
+
+    Only MILLION heads can be pooled: prefix sharing requires the quantized
+    representation to be a deterministic, block-sized function of the token
+    prefix, which fp16/KIVI/KVQuant heads (per-sequence scales or no
+    block-aligned codes) do not offer.  Mixed schemes stay available through
+    the unpooled :class:`~repro.quant.policy_cache.PolicyCacheFactory`.
+    """
+
+    def __init__(
+        self,
+        policy,
+        model_config: ModelConfig,
+        million_factories: dict,
+        pool: BlockPool,
+    ) -> None:
+        from repro.quant.policy import million_variant
+
+        policy.validate_for_model(model_config)
+        require(
+            policy.schemes_used() == {"million"},
+            "pooled serving only supports all-MILLION policies; got "
+            f"{sorted(policy.schemes_used())}",
+        )
+        self.policy = policy
+        self.model_config = model_config
+        self.million_factories = dict(million_factories)
+        self.pool = pool
+        windows = set()
+        for assignment in policy.distinct_assignments():
+            require(
+                assignment.bits in self.million_factories,
+                f"policy uses million-{assignment.bits} but no calibrated "
+                "factory was provided for that bit budget",
+            )
+            factory = self.million_factories[assignment.bits]
+            require(
+                factory.million_config.outlier_fraction == 0.0,
+                "pooled serving requires outlier_fraction == 0.0",
+            )
+            expected = million_variant(model_config.head_dim, assignment.bits)
+            require(
+                (factory.million_config.m_subspaces, factory.million_config.nbits)
+                == (expected.m_subspaces, expected.nbits),
+                f"factory for million-{assignment.bits} has (M={factory.million_config.m_subspaces}, "
+                f"nbits={factory.million_config.nbits}) but the policy's byte model and the "
+                f"pool layout assume (M={expected.m_subspaces}, nbits={expected.nbits})",
+            )
+            windows.add(factory.million_config.recent_window)
+        require(
+            len(windows) == 1,
+            "all tier factories of one pooled policy must share one "
+            f"recent_window; got {sorted(windows)}",
+        )
+        self._recent_window = windows.pop()
+        # Unit index of each layer's first group, layer-major.
+        self._unit_base = []
+        base = 0
+        for layer in range(policy.n_layers):
+            self._unit_base.append(base)
+            base += len(policy.head_groups(layer))
+        require(
+            base == pool.n_units,
+            f"policy needs {base} pool units but the pool has {pool.n_units} "
+            "(build the pool with BlockPool.for_policy over the same policy)",
+        )
+
+    @classmethod
+    def from_factory(
+        cls, factory: PooledMillionCacheFactory, policy, model_config: ModelConfig
+    ) -> "PooledPolicyCacheFactory":
+        """Wrap an existing uniform pooled factory (uniform policies only)."""
+        require(
+            policy.is_uniform and policy.assignment(0, 0).scheme == "million",
+            "from_factory requires a uniform all-MILLION policy",
+        )
+        bits = policy.assignment(0, 0).bits
+        unpooled = MillionCacheFactory(factory.quantizers, factory.million_config)
+        return cls(policy, model_config, {bits: unpooled}, factory.pool)
+
+    def _pooled_cache(
+        self, layer_index: int, unit_index: int, bits: int, config: ModelConfig
+    ) -> PooledMillionKVCacheLayer:
+        factory = self.million_factories[bits]
+        key_pq, value_pq = factory.quantizers[layer_index]
+        return PooledMillionKVCacheLayer(
+            config,
+            key_pq,
+            value_pq,
+            factory.million_config,
+            self.pool,
+            unit_index,
+        )
+
+    def create(self, layer_index: int, config: ModelConfig):
+        from repro.quant.policy_cache import HeadGroupKVCache, head_subset_config
+
+        groups = self.policy.head_groups(layer_index)
+        base = self._unit_base[layer_index]
+        if len(groups) == 1:
+            assignment, _ = groups[0]
+            return self._pooled_cache(layer_index, base, assignment.bits, config)
+        sub_caches = []
+        for offset, (assignment, heads) in enumerate(groups):
+            sub_config = head_subset_config(config, len(heads))
+            sub_caches.append(
+                (
+                    heads,
+                    self._pooled_cache(
+                        layer_index, base + offset, assignment.bits, sub_config
+                    ),
+                )
+            )
+        return HeadGroupKVCache(config, sub_caches)
+
+    @property
+    def million_config(self) -> Optional[MillionConfig]:
+        """The single MILLION config when the policy is uniform (else None)."""
+        if not self.policy.is_uniform:
+            return None
+        bits = self.policy.assignment(0, 0).bits
+        return self.million_factories[bits].million_config
+
+    @property
+    def recent_window(self) -> int:
+        """Residual window shared by every tier of this policy."""
+        return self._recent_window
+
+    def bytes_per_token(self) -> float:
+        """Modelled steady-state KV bytes per token under this policy."""
+        return self.policy.bytes_per_token()
+
+
 __all__ = [
     "ROOT_HASH",
     "BlockPool",
     "PoolExhaustedError",
     "PooledMillionCacheFactory",
     "PooledMillionKVCacheLayer",
+    "PooledPolicyCacheFactory",
+    "UnitLayout",
     "chain_hashes",
     "hash_token_block",
 ]

@@ -50,6 +50,11 @@ class GenerationRequest:
     ``sampler`` follows the :mod:`repro.models.sampling` protocol (callable
     ``(logits, rng) -> token``); ``None`` means greedy, which is what makes
     batched output token-identical to sequential generation.
+
+    ``tier`` selects a quality tier — a named cache factory registered with
+    the engine (e.g. ``"quality"`` / ``"balanced"`` / ``"compact"``, each
+    backed by a different quantization policy).  ``None`` uses the engine's
+    default factory; unknown tiers are rejected at submission.
     """
 
     prompt_ids: np.ndarray
@@ -58,6 +63,7 @@ class GenerationRequest:
     stop_token: Optional[int] = None
     sampler: Optional[object] = None
     seed: Optional[int] = None
+    tier: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Validate at construction, not deep inside prefill: a malformed
@@ -75,6 +81,10 @@ class GenerationRequest:
         require(
             self.request_id is None or self.request_id != "",
             "request_id must be None (auto-assign) or a non-empty string",
+        )
+        require(
+            self.tier is None or (isinstance(self.tier, str) and self.tier != ""),
+            "tier must be None (default) or a non-empty string",
         )
 
 

@@ -1,0 +1,226 @@
+"""Tests for policy-driven serving: quality tiers, heterogeneous pools and
+the batch-size-dependent fused/sequential decode switch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import train_million_quantizers
+from repro.core.million_cache import MillionCacheFactory
+from repro.quant.policy import QuantPolicy, derive_policy, million_variant
+from repro.quant.policy_cache import PolicyCacheFactory
+from repro.serving import BatchedMillionEngine, GenerationRequest
+from repro.serving.memory import (
+    BlockPool,
+    PooledMillionCacheFactory,
+    PooledPolicyCacheFactory,
+    UnitLayout,
+)
+
+
+@pytest.fixture(scope="module")
+def factory_bank(tiny_config, kv_samples):
+    """Unpooled MILLION factories at 2/4/8 equivalent bits, shared quantizers."""
+    bank = {}
+    for bits in (2, 4, 8):
+        variant = million_variant(
+            tiny_config.head_dim, bits, kmeans_iters=3, calibration_samples=768
+        )
+        bank[bits] = MillionCacheFactory(
+            train_million_quantizers(kv_samples, variant), variant
+        )
+    return bank
+
+
+@pytest.fixture(scope="module")
+def mixed_policy(tiny_config, kv_samples):
+    from repro.core.calibration import measure_sensitivity
+
+    sensitivity = measure_sensitivity(kv_samples, kmeans_iters=2, max_tokens=512)
+    budget = 1.5 * QuantPolicy.uniform(tiny_config, "million", 4).bytes_per_token()
+    return derive_policy(tiny_config, sensitivity, budget, schemes=("million",))
+
+
+def _drain(engine, request_ids):
+    tokens = {rid: [] for rid in request_ids}
+    finished = set()
+    while finished != set(request_ids):
+        for out in engine.step():
+            if out.request_id in tokens and out.token is not None:
+                tokens[out.request_id].append(out.token)
+            if out.finished:
+                finished.add(out.request_id)
+    return tokens
+
+
+class TestUnitLayoutPool:
+    def test_uniform_layouts_match_legacy_pool(self, tiny_config, million_config):
+        legacy = BlockPool.for_model(
+            tiny_config, million_config, num_blocks=8, block_tokens=4
+        )
+        assert not legacy.heterogeneous
+        assert legacy.unit_bytes_per_block(0) == legacy.bytes_per_block
+
+    def test_heterogeneous_pack_unpack_round_trip(self):
+        layouts = [
+            UnitLayout(kv_heads=2, key_subspaces=8, value_subspaces=8),
+            UnitLayout(kv_heads=2, key_subspaces=16, value_subspaces=16),
+        ]
+        pool = BlockPool(
+            num_blocks=4, block_tokens=4, n_layers=2, unit_layouts=layouts
+        )
+        assert pool.heterogeneous
+        rng = np.random.default_rng(0)
+        written = {}
+        for unit, layout in enumerate(layouts):
+            block = pool.allocate_block()
+            codes_k = rng.integers(
+                0, 255, size=(4, layout.kv_heads, layout.key_subspaces), dtype=np.uint8
+            )
+            codes_v = rng.integers(
+                0, 255, size=(4, layout.kv_heads, layout.value_subspaces), dtype=np.uint8
+            )
+            pool.write_block(block, codes_k, codes_v, unit=unit)
+            written[block] = (unit, codes_k, codes_v)
+        for block, (unit, codes_k, codes_v) in written.items():
+            assert pool.block_unit(block) == unit
+            np.testing.assert_array_equal(pool.key_codes(block), codes_k)
+            np.testing.assert_array_equal(pool.value_codes(block), codes_v)
+
+    def test_heterogeneous_write_requires_unit(self):
+        layouts = [
+            UnitLayout(kv_heads=1, key_subspaces=4, value_subspaces=4),
+            UnitLayout(kv_heads=1, key_subspaces=8, value_subspaces=8),
+        ]
+        pool = BlockPool(
+            num_blocks=2, block_tokens=2, n_layers=2, unit_layouts=layouts
+        )
+        block = pool.allocate_block()
+        codes = np.zeros((2, 1, 4), dtype=np.uint8)
+        with pytest.raises(Exception):
+            pool.write_block(block, codes, codes)
+
+    def test_for_policy_unit_accounting(self, tiny_config, mixed_policy):
+        pool = BlockPool.for_policy(
+            tiny_config, mixed_policy, num_blocks=8, block_tokens=4
+        )
+        units = sum(
+            len(mixed_policy.head_groups(layer))
+            for layer in range(tiny_config.n_layers)
+        )
+        assert pool.n_units == units
+        total = sum(pool.unit_bytes_per_block(u) for u in range(units))
+        assert total == pytest.approx(4 * mixed_policy.bytes_per_token())
+
+
+class TestQualityTiers:
+    def _engine(self, tiny_model, tiny_config, factory_bank, mixed_policy, pooled):
+        default_factory = factory_bank[4]
+        if pooled:
+            pool = BlockPool.for_model(
+                tiny_config, default_factory.million_config, num_blocks=64, block_tokens=4
+            )
+            default = PooledMillionCacheFactory.from_factory(default_factory, pool)
+            tier_pool = BlockPool.for_policy(
+                tiny_config, mixed_policy, num_blocks=64, block_tokens=4
+            )
+            quality = PooledPolicyCacheFactory(
+                mixed_policy, tiny_config, factory_bank, tier_pool
+            )
+        else:
+            default = default_factory
+            quality = PolicyCacheFactory(
+                mixed_policy, tiny_config, million_factories=factory_bank
+            )
+        return BatchedMillionEngine(
+            tiny_model,
+            default,
+            max_batch_size=4,
+            tier_factories={"quality": quality, "balanced": default},
+        )
+
+    @pytest.mark.parametrize("pooled", [False, True])
+    def test_tier_routing_and_stats(
+        self, tiny_model, tiny_config, factory_bank, mixed_policy, pooled
+    ):
+        engine = self._engine(
+            tiny_model, tiny_config, factory_bank, mixed_policy, pooled
+        )
+        prompt = np.arange(1, 17, dtype=np.int64) % tiny_config.vocab_size
+        rids = [
+            engine.add_request(prompt, max_new_tokens=6, tier=tier)
+            for tier in (None, "quality", "balanced")
+        ]
+        tokens = _drain(engine, rids)
+        assert all(len(t) == 6 for t in tokens.values())
+        tiers = engine.stats()["tiers"]
+        assert tiers["default"]["requests_total"] == 1
+        assert tiers["quality"]["requests_total"] == 1
+        assert tiers["balanced"]["requests_total"] == 1
+        assert tiers["quality"]["policy_bytes_per_token"] == pytest.approx(
+            mixed_policy.bytes_per_token()
+        )
+
+    def test_balanced_tier_token_identical_to_default(
+        self, tiny_model, tiny_config, factory_bank, mixed_policy
+    ):
+        engine = self._engine(
+            tiny_model, tiny_config, factory_bank, mixed_policy, pooled=True
+        )
+        prompt = np.arange(3, 27, dtype=np.int64) % tiny_config.vocab_size
+        rid_default = engine.add_request(prompt, max_new_tokens=8)
+        tokens_default = _drain(engine, [rid_default])[rid_default]
+        rid_balanced = engine.add_request(prompt, max_new_tokens=8, tier="balanced")
+        tokens_balanced = _drain(engine, [rid_balanced])[rid_balanced]
+        assert tokens_default == tokens_balanced
+
+    def test_unknown_tier_rejected_at_submission(
+        self, tiny_model, tiny_config, factory_bank, mixed_policy
+    ):
+        engine = self._engine(
+            tiny_model, tiny_config, factory_bank, mixed_policy, pooled=False
+        )
+        with pytest.raises(ValueError, match="unknown tier"):
+            engine.add_request(np.asarray([1, 2, 3]), max_new_tokens=2, tier="turbo")
+
+    def test_tier_without_registry_rejected(self, tiny_model, factory_bank):
+        engine = BatchedMillionEngine(tiny_model, factory_bank[4], max_batch_size=2)
+        with pytest.raises(ValueError, match="unknown tier"):
+            engine.add_request(np.asarray([1, 2, 3]), max_new_tokens=2, tier="quality")
+
+
+class TestFusedMinBatch:
+    @pytest.mark.parametrize("fused_min_batch", [1, 2, 4])
+    def test_tokens_identical_across_switch_points(
+        self, tiny_model, tiny_config, million_factory, fused_min_batch
+    ):
+        prompts = [
+            (np.arange(1, 13 + 3 * i, dtype=np.int64) % tiny_config.vocab_size)
+            for i in range(3)
+        ]
+        def run(threshold):
+            engine = BatchedMillionEngine(
+                tiny_model,
+                million_factory,
+                max_batch_size=4,
+                fused_min_batch=threshold,
+            )
+            rids = [
+                engine.add_request(p, max_new_tokens=8) for p in prompts
+            ]
+            return _drain(engine, rids)
+
+        baseline = run(10_000)  # always sequential
+        assert run(fused_min_batch) == baseline
+
+    def test_single_sequence_uses_sequential_path(
+        self, tiny_model, million_factory
+    ):
+        engine = BatchedMillionEngine(
+            tiny_model, million_factory, max_batch_size=4, fused_min_batch=2
+        )
+        rid = engine.add_request(np.asarray([1, 2, 3, 4]), max_new_tokens=4)
+        _drain(engine, [rid])
+        timing = engine.stats()["step_timing"]
+        assert timing["last_fused_batch_size"] <= 1
