@@ -9,8 +9,13 @@ then from this process:
    **identical** to a direct :meth:`BatchedMillionEngine.run` on an engine
    built from the same :class:`GatewayConfig` — everything the demo gateway
    serves is synthesized from seeds, so both processes hold the same model;
-3. exercises ``/metrics`` and checks the gateway/engine/pool counters moved;
-4. checks a malformed request is rejected with 400.
+3. exercises ``/metrics``: validates the whole scrape as Prometheus text
+   exposition (:func:`repro.obs.promtext.parse_exposition`), checks the
+   gateway/engine/pool counters moved, and that the TTFT/ITL histogram
+   families exist with ``_count`` matching the requests served;
+4. pulls ``/debug/trace`` and asserts it is a schema-valid Chrome trace
+   containing at least one complete request span;
+5. checks a malformed request is rejected with 400.
 
 Run from the repository root::
 
@@ -35,6 +40,18 @@ import numpy as np  # noqa: E402
 
 from repro.data import load_corpus  # noqa: E402
 from repro.gateway import GatewayConfig, build_engines  # noqa: E402
+from repro.obs.export import validate_chrome_trace  # noqa: E402
+from repro.obs.promtext import ExpositionError, parse_exposition  # noqa: E402
+
+#: Histogram families the serving gate relies on; a scrape without them is
+#: a failure even if the rest of the exposition parses.
+GATED_FAMILIES = (
+    "repro_gateway_ttft_seconds",
+    "repro_gateway_itl_seconds",
+    "repro_engine_queue_wait_seconds",
+    "repro_engine_step_seconds",
+    "repro_engine_fused_batch_size",
+)
 
 CONFIG = GatewayConfig(
     max_seq_len=512,
@@ -134,7 +151,43 @@ def main() -> None:
             "repro_router_decisions_total",
         ):
             assert needle in metrics, f"missing from /metrics: {needle}\n{metrics}"
-        print("metrics ok")
+        try:
+            families = parse_exposition(metrics)
+        except ExpositionError as error:
+            raise SystemExit(
+                "/metrics is not valid Prometheus text exposition:\n"
+                + "\n".join(error.errors)
+            )
+        for family in GATED_FAMILIES:
+            assert family in families, f"gated family missing from /metrics: {family}"
+            assert families[family].type == "histogram", family
+        ttft = families["repro_gateway_ttft_seconds"]
+        assert ttft.value(tier="default", le="+Inf") == 1.0, (
+            "TTFT _count should match the 1 request served"
+        )
+        itl = families["repro_gateway_itl_seconds"]
+        assert itl.value(tier="default", le="+Inf") == float(len(expected) - 1), (
+            "ITL _count should be tokens served minus the first"
+        )
+        print(f"metrics ok ({len(families)} families, exposition valid)")
+
+        status, body = request(port, "GET", "/debug/trace")
+        assert status == 200, (status, body)
+        trace = json.loads(body)
+        validate_chrome_trace(trace)
+        request_spans = [
+            e for e in trace["traceEvents"]
+            if e.get("ph") == "X" and e.get("name") == "request"
+        ]
+        assert request_spans, "no complete request span in /debug/trace"
+        engine_names = {e.get("name") for e in trace["traceEvents"]}
+        assert {"queue_wait", "prefill", "first_token"} <= engine_names, (
+            f"lifecycle spans missing from trace: {sorted(engine_names)}"
+        )
+        print(
+            f"trace ok ({trace['otherData']['events']} events, "
+            f"{len(request_spans)} request span(s))"
+        )
 
         status, body = request(port, "POST", "/v1/completions", {"max_tokens": 4})
         assert status == 400, (status, body)

@@ -16,6 +16,7 @@ executor threads, so no mutable state may be shared between replicas).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.calibration import (
     calibrate_million,
@@ -28,6 +29,7 @@ from repro.core.million_cache import MillionCacheFactory
 from repro.data.corpus import load_corpus
 from repro.models.model_zoo import load_model
 from repro.models.tokenizer import ByteTokenizer
+from repro.obs.trace import TraceRecorder
 from repro.quant.policy import QuantPolicy, derive_policy, million_variant
 from repro.quant.policy_cache import PolicyCacheFactory
 from repro.serving.engine import BatchedMillionEngine
@@ -66,6 +68,9 @@ class GatewayConfig:
     calibration_tokens: int = 768
     bits: int = 4
     tiers: bool = False
+    # Ring-buffer capacity (events) of the shared request-lifecycle trace
+    # recorder; 0 disables tracing (hooks cost one attribute check).
+    trace_capacity: int = 65536
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -86,8 +91,17 @@ def _tier_policies(model_config, sensitivity) -> dict[str, QuantPolicy]:
     }
 
 
-def build_engines(config: GatewayConfig) -> list[BatchedMillionEngine]:
-    """One engine per replica; weights and codebooks identical across calls."""
+def build_engines(
+    config: GatewayConfig, trace: Optional[TraceRecorder] = None
+) -> list[BatchedMillionEngine]:
+    """One engine per replica; weights and codebooks identical across calls.
+
+    ``trace`` is the shared recorder every replica records into (each on its
+    own ``replica-<i>`` track); ``None`` builds one from
+    ``config.trace_capacity`` (0 = tracing disabled).
+    """
+    if trace is None and config.trace_capacity > 0:
+        trace = TraceRecorder(capacity=config.trace_capacity)
     models = [
         load_model(config.model, seed=config.seed, max_seq_len=config.max_seq_len)
         for _ in range(config.replicas)
@@ -127,7 +141,7 @@ def build_engines(config: GatewayConfig) -> list[BatchedMillionEngine]:
                 train_million_quantizers(collector, variant), variant
             )
     engines = []
-    for model in models:
+    for replica_index, model in enumerate(models):
         if config.pool_blocks > 0:
             pool = BlockPool.for_model(
                 model.config,
@@ -165,6 +179,8 @@ def build_engines(config: GatewayConfig) -> list[BatchedMillionEngine]:
                 max_batch_size=config.max_batch_size,
                 max_queue_size=config.max_queue_size,
                 tier_factories=tier_factories or None,
+                trace=trace,
+                trace_track=f"replica-{replica_index}",
             )
         )
     return engines

@@ -16,8 +16,11 @@ counters, nothing is sampled or aggregated in between.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from typing import Optional, Sequence
+
+from repro.obs.hist import Histogram, LATENCY_BUCKETS_S
 
 _GATEWAY_PREFIX = "repro_gateway"
 
@@ -26,18 +29,58 @@ def _escape_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _render_value(value) -> str:
+    """Prometheus-valid sample value: canonical +Inf/-Inf/NaN, never Python's.
+
+    ``repr(float("inf"))`` is ``'inf'``, which Prometheus rejects — a single
+    non-finite counter would invalidate the whole scrape.
+    """
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+        return repr(value)
+    return str(int(value))
+
+
 class GatewayMetrics:
-    """Mutable counters the HTTP server increments as it serves."""
+    """Mutable counters + latency histograms the HTTP server updates as it serves.
+
+    TTFT (time to first token) and ITL (inter-token latency) are per quality
+    tier (``"default"`` for untiered requests).  Families are pre-seeded so
+    the very first ``/metrics`` scrape already exposes every gateway family
+    with a 0 sample — a collector that starts alongside the gateway must see
+    the family exist, not a gap until the first request happens to arrive.
+    """
 
     def __init__(self) -> None:
         self.http_requests: Counter = Counter()  # (path, status) -> count
+        self.http_requests[("/v1/completions", "200")] = 0
         self.tokens_streamed = 0
         self.streams_started = 0
         self.streams_cancelled = 0
         self.in_flight = 0
+        self.ttft_seconds: dict[str, Histogram] = {"default": Histogram()}
+        self.itl_seconds: dict[str, Histogram] = {"default": Histogram()}
 
     def observe_request(self, path: str, status: int) -> None:
         self.http_requests[(path, str(status))] += 1
+
+    @staticmethod
+    def _tier_hist(store: dict[str, Histogram], tier: Optional[str]) -> Histogram:
+        hist = store.get(tier or "default")
+        if hist is None:
+            hist = store[tier or "default"] = Histogram(LATENCY_BUCKETS_S)
+        return hist
+
+    def observe_ttft(self, seconds: float, tier: Optional[str] = None) -> None:
+        """Record one request's time from HTTP accept to its first token."""
+        self._tier_hist(self.ttft_seconds, tier).observe(seconds)
+
+    def observe_itl(self, seconds: float, tier: Optional[str] = None) -> None:
+        """Record one inter-token gap (first token excluded; see TTFT)."""
+        self._tier_hist(self.itl_seconds, tier).observe(seconds)
 
 
 class _Lines:
@@ -47,6 +90,21 @@ class _Lines:
         self._lines: list[str] = []
         self._declared: set[str] = set()
 
+    def _declare(self, name: str, help_text: str, metric_type: str) -> None:
+        if name not in self._declared:
+            self._lines.append(f"# HELP {name} {help_text}")
+            self._lines.append(f"# TYPE {name} {metric_type}")
+            self._declared.add(name)
+
+    def _sample(self, name: str, labels: Optional[dict], value) -> None:
+        label_str = ""
+        if labels:
+            inner = ",".join(
+                f'{key}="{_escape_label(str(val))}"' for key, val in labels.items()
+            )
+            label_str = "{" + inner + "}"
+        self._lines.append(f"{name}{label_str} {_render_value(value)}")
+
     def add(
         self,
         name: str,
@@ -55,21 +113,30 @@ class _Lines:
         metric_type: str = "gauge",
         labels: Optional[dict] = None,
     ) -> None:
-        if name not in self._declared:
-            self._lines.append(f"# HELP {name} {help_text}")
-            self._lines.append(f"# TYPE {name} {metric_type}")
-            self._declared.add(name)
-        label_str = ""
-        if labels:
-            inner = ",".join(
-                f'{key}="{_escape_label(str(val))}"' for key, val in labels.items()
+        self._declare(name, help_text, metric_type)
+        self._sample(name, labels, value)
+
+    def add_histogram(
+        self,
+        name: str,
+        snapshot: dict,
+        help_text: str,
+        labels: Optional[dict] = None,
+    ) -> None:
+        """Render a :meth:`repro.obs.hist.Histogram.snapshot` as a proper
+        Prometheus histogram family: cumulative ``_bucket`` samples with an
+        explicit ``+Inf``, then ``_sum`` and ``_count``."""
+        self._declare(name, help_text, "histogram")
+        labels = labels or {}
+        cumulative = 0
+        for bound, count in zip(snapshot["buckets"], snapshot["counts"]):
+            cumulative += count
+            self._sample(
+                f"{name}_bucket", {**labels, "le": repr(float(bound))}, cumulative
             )
-            label_str = "{" + inner + "}"
-        if isinstance(value, float):
-            rendered = repr(value)
-        else:
-            rendered = str(int(value))
-        self._lines.append(f"{name}{label_str} {rendered}")
+        self._sample(f"{name}_bucket", {**labels, "le": "+Inf"}, snapshot["count"])
+        self._sample(f"{name}_sum", labels, float(snapshot["sum"]))
+        self._sample(f"{name}_count", labels, snapshot["count"])
 
     @property
     def text(self) -> str:
@@ -116,6 +183,20 @@ def render_prometheus(
         "Completion requests currently being served.",
         "gauge",
     )
+    for tier in sorted(metrics.ttft_seconds):
+        out.add_histogram(
+            f"{_GATEWAY_PREFIX}_ttft_seconds",
+            metrics.ttft_seconds[tier].snapshot(),
+            "Time from HTTP accept to first completion token, by tier.",
+            {"tier": tier},
+        )
+    for tier in sorted(metrics.itl_seconds):
+        out.add_histogram(
+            f"{_GATEWAY_PREFIX}_itl_seconds",
+            metrics.itl_seconds[tier].snapshot(),
+            "Gap between consecutive completion tokens, by tier.",
+            {"tier": tier},
+        )
 
     if router_stats is not None:
         for reason in ("prefix", "sticky", "load"):
@@ -191,6 +272,32 @@ def render_prometheus(
                 float(timing["decode_seconds_total"]),
                 "Wall seconds spent decoding across steps.",
                 "counter",
+                labels,
+            )
+        histograms = stats.get("histograms")
+        if histograms is not None:
+            out.add_histogram(
+                "repro_engine_queue_wait_seconds",
+                histograms["queue_wait_seconds"],
+                "Queue wait from submission to first admission.",
+                labels,
+            )
+            out.add_histogram(
+                "repro_engine_step_seconds",
+                histograms["prefill_step_seconds"],
+                "Wall seconds of one engine step's phase, by kind.",
+                {**labels, "kind": "prefill"},
+            )
+            out.add_histogram(
+                "repro_engine_step_seconds",
+                histograms["decode_step_seconds"],
+                "Wall seconds of one engine step's phase, by kind.",
+                {**labels, "kind": "decode"},
+            )
+            out.add_histogram(
+                "repro_engine_fused_batch_size",
+                histograms["fused_batch_size"],
+                "Sequences per fused decode step.",
                 labels,
             )
         tiers = stats.get("tiers")

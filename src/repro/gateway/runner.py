@@ -115,6 +115,13 @@ class AsyncEngineRunner:
             # the queue exists.
             queue: asyncio.Queue[StepOutput] = asyncio.Queue()
             self._queues[request_id] = queue
+        if self.engine.trace.enabled:
+            self.engine.trace.instant(
+                "submit",
+                track="gateway",
+                request_id=request_id,
+                args={"replica": self.name},
+            )
         assert self._wake is not None
         self._wake.set()
         return request_id, queue

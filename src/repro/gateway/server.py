@@ -8,7 +8,12 @@ three endpoints:
   responds with server-sent events, one ``data:`` chunk per decoded token
   as the engine produces it, else a single JSON body.
 * ``GET /healthz`` — liveness + replica summary.
-* ``GET /metrics`` — Prometheus text format (see :mod:`repro.gateway.metrics`).
+* ``GET /metrics`` — Prometheus text format (see :mod:`repro.gateway.metrics`),
+  including per-tier TTFT/ITL histograms observed by the completion handlers.
+* ``GET /debug/trace`` — Chrome trace-event JSON of the shared
+  :class:`~repro.obs.trace.TraceRecorder` (load it in Perfetto); supports
+  ``?since=<seconds>`` on the recorder's clock.
+* ``GET /v1/requests/<id>/trace`` — one request's slice of the same trace.
 
 Design points:
 
@@ -28,8 +33,11 @@ from __future__ import annotations
 import asyncio
 import json
 from typing import Optional, Sequence
+from urllib.parse import parse_qsl
 
 from repro.gateway.metrics import GatewayMetrics, render_prometheus
+from repro.obs.context import bind_request_id, reset_request_id
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.gateway.protocol import (
     SSE_DONE,
     CompletionRequest,
@@ -69,11 +77,19 @@ class _HttpError(Exception):
 class _Request:
     """One parsed HTTP request."""
 
-    def __init__(self, method: str, path: str, headers: dict, body: bytes) -> None:
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        headers: dict,
+        body: bytes,
+        query: Optional[dict] = None,
+    ) -> None:
         self.method = method
         self.path = path
         self.headers = headers
         self.body = body
+        self.query = query or {}
 
 
 async def _read_request(reader: asyncio.StreamReader) -> Optional[_Request]:
@@ -118,9 +134,9 @@ async def _read_request(reader: asyncio.StreamReader) -> Optional[_Request]:
         if n > _MAX_BODY_BYTES:
             raise _HttpError(413, f"body larger than {_MAX_BODY_BYTES} bytes")
         body = await reader.readexactly(n)
-    # Path only; the gateway defines no query parameters.
-    path = target.split("?", 1)[0]
-    return _Request(method, path, headers, body)
+    path, _, query_string = target.partition("?")
+    query = dict(parse_qsl(query_string)) if query_string else {}
+    return _Request(method, path, headers, body, query)
 
 
 def _response_bytes(
@@ -159,11 +175,26 @@ class GatewayServer:
         router: ReplicaRouter,
         tokenizer=None,
         model_name: str = "repro-million",
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
         self.router = router
         self.tokenizer = tokenizer
         self.model_name = model_name
         self.metrics = GatewayMetrics()
+        # The process-wide recorder.  Bootstrap hands every replica engine
+        # the same instance, so defaulting to the first engine's recorder
+        # picks up the shared one; without tracing this is NULL_RECORDER and
+        # the trace endpoints serve an empty (disabled) trace.
+        if trace is None:
+            trace = next(
+                (
+                    runner.engine.trace
+                    for runner in router.runners
+                    if runner.engine.trace.enabled
+                ),
+                NULL_RECORDER,
+            )
+        self.trace = trace
         # String prompts fold into the smallest replica vocabulary (they are
         # homogeneous in practice; min() is the safe choice if not).
         self.vocab_size = min(
@@ -253,6 +284,19 @@ class GatewayServer:
                 await self._simple(writer, request.path, 405, "use POST")
                 return
             await self._completions(request, reader, writer)
+        elif request.path == "/debug/trace":
+            if request.method != "GET":
+                await self._simple(writer, request.path, 405, "use GET")
+                return
+            await self._debug_trace(request, writer)
+        elif request.path.startswith("/v1/requests/") and request.path.endswith(
+            "/trace"
+        ):
+            if request.method != "GET":
+                await self._simple(writer, request.path, 405, "use GET")
+                return
+            request_id = request.path[len("/v1/requests/") : -len("/trace")]
+            await self._request_trace(request, writer, request_id)
         else:
             await self._simple(writer, request.path, 404, f"no route for {request.path}")
 
@@ -287,6 +331,47 @@ class GatewayServer:
         await self._send(writer, 200, body)
         self.metrics.observe_request(request.path, 200)
 
+    async def _debug_trace(
+        self, request: _Request, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            since = float(request.query.get("since", 0.0))
+        except ValueError:
+            await self._simple(
+                writer, request.path, 400, "since must be a number (seconds)"
+            )
+            return
+        body = _json_body(
+            self.trace.to_chrome_trace(
+                since=since, request_id=request.query.get("request_id")
+            )
+        )
+        await self._send(writer, 200, body)
+        self.metrics.observe_request(request.path, 200)
+
+    async def _request_trace(
+        self, request: _Request, writer: asyncio.StreamWriter, request_id: str
+    ) -> None:
+        if not request_id:
+            await self._simple(writer, request.path, 404, "missing request id")
+            return
+        trace = self.trace.to_chrome_trace(request_id=request_id)
+        if trace["otherData"]["events"] == 0:
+            # Unknown id, or its events already fell off the ring buffer —
+            # either way there is nothing to show, which a client must be
+            # able to tell apart from an empty-but-real trace.
+            await self._simple(
+                writer,
+                request.path,
+                404,
+                f"no trace events for request {request_id!r}",
+            )
+            return
+        await self._send(writer, 200, _json_body(trace))
+        # One normalized path label; per-request-id labels would explode
+        # the http_requests family's cardinality.
+        self.metrics.observe_request("/v1/requests/<id>/trace", 200)
+
     async def _metrics(self, request: _Request, writer: asyncio.StreamWriter) -> None:
         replica_stats = [await runner.stats() for runner in self.router.runners]
         text = render_prometheus(self.metrics, replica_stats, self.router.stats())
@@ -301,6 +386,10 @@ class GatewayServer:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
+        # TTFT is measured from HTTP accept, not engine submission — the
+        # client's clock starts when its request arrives, and queue wait is
+        # part of the latency it experiences.
+        arrival = TraceRecorder.now()
         try:
             payload = json.loads(request.body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
@@ -334,18 +423,56 @@ class GatewayServer:
             return
 
         self.metrics.in_flight += 1
+        log_token = bind_request_id(request_id)
         try:
             if completion.stream:
                 await self._stream_completion(
-                    request, reader, writer, decision.runner, request_id, completion, queue
+                    request, reader, writer, decision.runner, request_id,
+                    completion, queue, arrival,
                 )
             else:
                 await self._full_completion(
-                    request, writer, request_id, completion, queue
+                    request, writer, request_id, completion, queue, arrival
                 )
         finally:
+            reset_request_id(log_token)
             self.metrics.in_flight -= 1
             decision.runner.release(request_id)
+            if self.trace.enabled:
+                self.trace.complete(
+                    "request",
+                    arrival,
+                    TraceRecorder.now(),
+                    track="gateway",
+                    request_id=request_id,
+                    args={
+                        "tier": completion.tier or "default",
+                        "stream": completion.stream,
+                    },
+                )
+
+    def _observe_token_latency(
+        self,
+        request_id: str,
+        tier: Optional[str],
+        arrival: float,
+        last_token_at: Optional[float],
+    ) -> float:
+        """Record TTFT (first token) or ITL (later tokens); returns now."""
+        now = TraceRecorder.now()
+        if last_token_at is None:
+            self.metrics.observe_ttft(now - arrival, tier)
+            if self.trace.enabled:
+                self.trace.instant(
+                    "first_token",
+                    track="gateway",
+                    request_id=request_id,
+                    ts=now,
+                    args={"ttft_s": now - arrival},
+                )
+        else:
+            self.metrics.observe_itl(now - last_token_at, tier)
+        return now
 
     async def _full_completion(
         self,
@@ -354,12 +481,17 @@ class GatewayServer:
         request_id: str,
         completion: CompletionRequest,
         queue: "asyncio.Queue[StepOutput]",
+        arrival: float,
     ) -> None:
         tokens: list[int] = []
         finish_reason = None
+        last_token_at: Optional[float] = None
         while True:
             output = await queue.get()
             if output.token is not None:
+                last_token_at = self._observe_token_latency(
+                    request_id, completion.tier, arrival, last_token_at
+                )
                 tokens.append(output.token)
             if output.finished:
                 finish_reason = output.finish_reason
@@ -387,8 +519,10 @@ class GatewayServer:
         request_id: str,
         completion: CompletionRequest,
         queue: "asyncio.Queue[StepOutput]",
+        arrival: float,
     ) -> None:
         self.metrics.streams_started += 1
+        last_token_at: Optional[float] = None
         header = (
             "HTTP/1.1 200 OK\r\n"
             "Content-Type: text/event-stream\r\n"
@@ -418,6 +552,9 @@ class GatewayServer:
                     break
                 try:
                     if output.token is not None:
+                        last_token_at = self._observe_token_latency(
+                            request_id, completion.tier, arrival, last_token_at
+                        )
                         self.metrics.tokens_streamed += 1
                         writer.write(
                             sse_event(
@@ -461,6 +598,12 @@ class GatewayServer:
             if cancelled:
                 self.metrics.streams_cancelled += 1
                 await runner.cancel(request_id)
+            if self.trace.enabled:
+                self.trace.instant(
+                    "disconnect" if cancelled else "stream_end",
+                    track="gateway",
+                    request_id=request_id,
+                )
         self.metrics.observe_request(request.path, 200)
 
 

@@ -1,0 +1,58 @@
+"""Observability: request-lifecycle tracing, latency histograms, exposition.
+
+``repro.obs`` is the measurement substrate for the serving stack — one
+shared :class:`TraceRecorder` for gateway + replicas (Perfetto-loadable
+Chrome trace export), fixed-bucket :class:`Histogram` instances behind
+the TTFT/ITL/queue-wait/step-time Prometheus families, a request-id
+contextvar correlating logs with spans, and a text-exposition parser the
+tests and smoke script use to hold ``/metrics`` to its contract.
+"""
+
+from repro.obs.context import (
+    bind_request_id,
+    current_request_id,
+    reset_request_id,
+)
+from repro.obs.export import (
+    chrome_trace_events,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.hist import (
+    BATCH_BUCKETS,
+    Histogram,
+    LATENCY_BUCKETS_S,
+    merge_snapshots,
+)
+from repro.obs.promtext import ExpositionError, Family, Sample, parse_exposition
+from repro.obs.trace import (
+    NULL_RECORDER,
+    NullRecorder,
+    PHASE_COMPLETE,
+    PHASE_INSTANT,
+    TraceEvent,
+    TraceRecorder,
+)
+
+__all__ = [
+    "BATCH_BUCKETS",
+    "ExpositionError",
+    "Family",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "PHASE_COMPLETE",
+    "PHASE_INSTANT",
+    "Sample",
+    "TraceEvent",
+    "TraceRecorder",
+    "bind_request_id",
+    "chrome_trace_events",
+    "current_request_id",
+    "merge_snapshots",
+    "parse_exposition",
+    "reset_request_id",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,40 @@
+"""Request-id propagation: one contextvar correlating logs with traces.
+
+The gateway binds the engine-assigned request id for the duration of each
+HTTP completion handler; anything that logs inside that context — engine
+warnings surfaced through the runner, gateway handler logs — can stamp
+the id without threading it through every call signature.  The JSON log
+formatter (:func:`repro.utils.logging.enable_json_logging`) reads it, so
+a log line and a trace span for the same request share the same key.
+
+Contextvars follow asyncio tasks natively, which is exactly the
+propagation the gateway needs: concurrent requests in one event loop each
+see their own binding.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from typing import Optional
+
+_request_id: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_request_id", default=None
+)
+
+
+def bind_request_id(request_id: Optional[str]) -> contextvars.Token:
+    """Bind the current context's request id; returns the reset token."""
+    return _request_id.set(request_id)
+
+
+def reset_request_id(token: contextvars.Token) -> None:
+    """Undo a :func:`bind_request_id` (restores the previous binding)."""
+    _request_id.reset(token)
+
+
+def current_request_id() -> Optional[str]:
+    """The request id bound in this context, or ``None`` outside a request."""
+    return _request_id.get()
+
+
+__all__ = ["bind_request_id", "current_request_id", "reset_request_id"]

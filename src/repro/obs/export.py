@@ -1,0 +1,169 @@
+"""Chrome trace-event JSON export of a :class:`TraceRecorder`'s buffer.
+
+The output follows the Trace Event Format's *JSON object* flavour —
+``{"traceEvents": [...], ...}`` — and loads directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* every recorder *track* becomes one named thread (``thread_name``
+  metadata events), so each replica's engine steps render as their own
+  timeline next to the gateway's;
+* spans are ``"X"`` (complete) events with microsecond timestamps
+  relative to the recorder's epoch; instants are ``"i"`` events;
+* each request's spans are chained with flow events (``"s"``/``"t"``/
+  ``"f"`` sharing one flow id), so Perfetto draws arrows from the
+  gateway's request span through queue wait, prefill and decode on the
+  serving replica — the cross-track correlation the trace exists for.
+
+Truncation is explicit: when the ring buffer dropped events, the export's
+``otherData.truncated``/``otherData.dropped_events`` say so, instead of a
+partial trace masquerading as the whole story.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.trace import PHASE_COMPLETE, TraceEvent, TraceRecorder
+
+#: Synthetic process id for every track (one serving process, many tracks).
+_PID = 1
+
+
+def _microseconds(recorder_seconds: float, epoch: float) -> float:
+    return (recorder_seconds - epoch) * 1e6
+
+
+def chrome_trace_events(
+    events: list[TraceEvent],
+    *,
+    epoch: float = 0.0,
+) -> list[dict]:
+    """Render recorder events as a Chrome ``traceEvents`` list.
+
+    ``epoch`` is subtracted from every timestamp so traces start near 0.
+    """
+    tids: dict[str, int] = {}
+    out: list[dict] = []
+    for event in events:
+        tid = tids.get(event.track)
+        if tid is None:
+            tid = tids[event.track] = len(tids) + 1
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": {"name": event.track},
+                }
+            )
+        args = dict(event.args)
+        if event.request_id is not None:
+            args["request_id"] = event.request_id
+        rendered = {
+            "name": event.name,
+            "ph": event.phase,
+            "ts": _microseconds(event.ts, epoch),
+            "pid": _PID,
+            "tid": tid,
+            "args": args,
+        }
+        if event.phase == PHASE_COMPLETE:
+            rendered["dur"] = event.dur * 1e6
+        else:
+            rendered["s"] = "t"  # instant scope: thread
+        out.append(rendered)
+
+    # Flow arrows: chain each request's *spans* in time order.  Flow events
+    # bind to the slice at the same (pid, tid, ts), so they are emitted at
+    # the exact start timestamps of the spans they connect.
+    flows: dict[str, list[TraceEvent]] = {}
+    for event in events:
+        if event.request_id is not None and event.phase == PHASE_COMPLETE:
+            flows.setdefault(event.request_id, []).append(event)
+    for flow_id, (request_id, spans) in enumerate(sorted(flows.items()), start=1):
+        if len(spans) < 2:
+            continue  # an arrow needs two ends
+        spans = sorted(spans, key=lambda e: e.ts)
+        for index, span in enumerate(spans):
+            phase = "s" if index == 0 else ("f" if index == len(spans) - 1 else "t")
+            flow = {
+                "name": f"request:{request_id}",
+                "cat": "request",
+                "ph": phase,
+                "id": flow_id,
+                "ts": _microseconds(span.ts, epoch),
+                "pid": _PID,
+                "tid": tids[span.track],
+            }
+            if phase == "f":
+                flow["bp"] = "e"  # bind to the enclosing slice
+            out.append(flow)
+    return out
+
+
+def to_chrome_trace(
+    recorder: TraceRecorder,
+    *,
+    since: float = 0.0,
+    request_id: Optional[str] = None,
+) -> dict:
+    """Export a recorder snapshot as a Perfetto-loadable JSON object.
+
+    ``since``/``request_id`` filter as in :meth:`TraceRecorder.snapshot`.
+    """
+    events = recorder.snapshot(since=since, request_id=request_id)
+    dropped = recorder.dropped
+    return {
+        "traceEvents": chrome_trace_events(events, epoch=recorder.epoch),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "perf_counter",
+            "truncated": dropped > 0,
+            "dropped_events": dropped,
+            "events": len(events),
+            "enabled": recorder.enabled,
+        },
+    }
+
+
+#: Required trace-event fields per phase (the subset this exporter emits).
+_REQUIRED_BY_PHASE = {
+    "X": frozenset(("name", "ph", "ts", "dur", "pid", "tid")),
+    "i": frozenset(("name", "ph", "ts", "pid", "tid", "s")),
+    "M": frozenset(("name", "ph", "pid", "tid", "args")),
+    "s": frozenset(("name", "ph", "id", "ts", "pid", "tid")),
+    "t": frozenset(("name", "ph", "id", "ts", "pid", "tid")),
+    "f": frozenset(("name", "ph", "id", "ts", "pid", "tid")),
+}
+
+
+def validate_chrome_trace(trace: dict) -> None:
+    """Raise ``ValueError`` unless ``trace`` is a well-formed export.
+
+    Checks the JSON-object envelope and, for every event, the fields its
+    phase requires — the contract Perfetto loading depends on.  Used by the
+    trace tests and the CI smoke script against live ``/debug/trace`` output.
+    """
+    if not isinstance(trace.get("traceEvents"), list):
+        raise ValueError("trace is missing a 'traceEvents' list")
+    other = trace.get("otherData")
+    if not isinstance(other, dict) or "truncated" not in other:
+        raise ValueError("trace is missing 'otherData.truncated'")
+    for event in trace["traceEvents"]:
+        phase = event.get("ph")
+        required = _REQUIRED_BY_PHASE.get(phase)
+        if required is None:
+            raise ValueError(f"unknown event phase {phase!r}: {event}")
+        missing = required - set(event)
+        if missing:
+            raise ValueError(f"{phase!r} event missing {sorted(missing)}: {event}")
+        if "ts" in event and not isinstance(event["ts"], (int, float)):
+            raise ValueError(f"non-numeric ts in {event}")
+        if phase == "X" and event["dur"] < 0:
+            raise ValueError(f"negative duration in {event}")
+        if phase == "f" and event.get("bp") != "e":
+            raise ValueError(f"flow finish without bp='e': {event}")
+
+
+__all__ = ["chrome_trace_events", "to_chrome_trace", "validate_chrome_trace"]

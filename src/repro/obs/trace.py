@@ -1,0 +1,237 @@
+"""Request-lifecycle tracing: a bounded, thread-safe span/event recorder.
+
+One :class:`TraceRecorder` is shared by the whole serving process — the
+gateway's HTTP handlers, every replica engine's stepper thread, and the
+block pools all record into it.  Events carry a *track* (one per replica,
+plus ``"gateway"``) and, where applicable, a *request id*, so a request's
+journey from HTTP accept through queueing, prefill, decode steps and
+stream end can be reassembled after the fact (see
+:mod:`repro.obs.export` for the Chrome trace-event rendering Perfetto
+loads).
+
+Design constraints, in order:
+
+* **Disabled must be (almost) free.**  Hot paths guard every hook with
+  ``if recorder.enabled:`` — one attribute read on the decode path.  The
+  :class:`NullRecorder` singleton (``NULL_RECORDER``) is what disabled
+  components hold, so even an unguarded call is a cheap no-op.
+* **Bounded.**  Events live in a ring buffer (``deque(maxlen=...)``);
+  a long-running server overwrites its oldest history instead of growing.
+  ``dropped`` reports how many events fell off the ring, so exports can
+  flag truncation instead of silently presenting a partial trace as
+  complete.
+* **Thread-safe.**  Engine steppers record from executor threads while
+  the event loop records from HTTP handlers; a single lock serializes
+  appends and snapshots.  Timestamps come from ``time.perf_counter()`` —
+  one monotonic clock per process, valid across threads — so gateway and
+  engine events order correctly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.utils.validation import require
+
+#: Event phases (a subset of the Chrome trace-event phases).
+PHASE_COMPLETE = "X"  # a span: start timestamp + duration
+PHASE_INSTANT = "i"  # a point event
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded span or instant.
+
+    ``ts`` and ``dur`` are seconds on the recorder's monotonic clock
+    (``time.perf_counter``); ``dur`` is 0.0 for instants.  ``track`` names
+    the timeline the event belongs to (``"gateway"``, ``"replica-0"``,
+    ...); ``request_id`` correlates events of one request across tracks.
+    """
+
+    name: str
+    phase: str
+    ts: float
+    dur: float = 0.0
+    track: str = "main"
+    request_id: Optional[str] = None
+    args: dict = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Bounded ring buffer of :class:`TraceEvent` objects.
+
+    ``capacity`` bounds memory: once full, appending drops the oldest
+    event (and counts it in :attr:`dropped`).  All methods are safe to
+    call from any thread.
+    """
+
+    #: Hot paths check this before building event arguments.
+    enabled = True
+
+    def __init__(self, capacity: int = 65536) -> None:
+        require(capacity >= 1, "trace capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._events_total = 0
+        # Zero of the recorder's clock, so exports can report times
+        # relative to recorder creation instead of an arbitrary epoch.
+        self.epoch = time.perf_counter()
+
+    # Clock -----------------------------------------------------------------
+
+    @staticmethod
+    def now() -> float:
+        """The recorder's clock (monotonic, cross-thread, seconds)."""
+        return time.perf_counter()
+
+    # Recording -------------------------------------------------------------
+
+    def _append(self, event: TraceEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+            self._events_total += 1
+
+    def complete(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        track: str = "main",
+        request_id: Optional[str] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a finished span from explicit clock readings."""
+        self._append(
+            TraceEvent(
+                name, PHASE_COMPLETE, start, max(0.0, end - start),
+                track, request_id, args or {},
+            )
+        )
+
+    def instant(
+        self,
+        name: str,
+        *,
+        track: str = "main",
+        request_id: Optional[str] = None,
+        ts: Optional[float] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a point event (``ts`` defaults to now)."""
+        self._append(
+            TraceEvent(
+                name, PHASE_INSTANT, self.now() if ts is None else ts, 0.0,
+                track, request_id, args or {},
+            )
+        )
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        track: str = "main",
+        request_id: Optional[str] = None,
+        args: Optional[dict] = None,
+    ) -> Iterator[None]:
+        """Record the wrapped block as a complete span (even if it raises)."""
+        start = self.now()
+        try:
+            yield
+        finally:
+            self.complete(
+                name, start, self.now(), track=track, request_id=request_id,
+                args=args,
+            )
+
+    # Introspection ----------------------------------------------------------
+
+    @property
+    def events_total(self) -> int:
+        """Events ever recorded (including those the ring dropped)."""
+        return self._events_total
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the ring buffer (oldest-first truncation)."""
+        with self._lock:
+            return self._events_total - len(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def snapshot(
+        self,
+        since: float = 0.0,
+        request_id: Optional[str] = None,
+    ) -> list[TraceEvent]:
+        """A consistent copy of the buffered events, oldest first.
+
+        ``since`` keeps only events *ending* at or after that clock
+        reading (so a span still in the window is kept even if it started
+        before); ``request_id`` keeps only one request's events plus the
+        request-less events (engine steps) overlapping them.
+        """
+        with self._lock:
+            events = list(self._events)
+        if since > 0.0:
+            events = [e for e in events if e.ts + e.dur >= since]
+        if request_id is not None:
+            events = [e for e in events if e.request_id == request_id]
+        return events
+
+    def clear(self) -> None:
+        """Drop every buffered event (the drop counter keeps counting)."""
+        with self._lock:
+            self._events.clear()
+
+    def to_chrome_trace(
+        self, since: float = 0.0, request_id: Optional[str] = None
+    ) -> dict:
+        """Chrome trace-event JSON of the buffer; see :mod:`repro.obs.export`."""
+        from repro.obs.export import to_chrome_trace
+
+        return to_chrome_trace(self, since=since, request_id=request_id)
+
+
+class NullRecorder(TraceRecorder):
+    """The disabled recorder: every operation is a no-op.
+
+    Components default to holding :data:`NULL_RECORDER`, so tracing costs
+    one ``enabled`` attribute check where guarded and a no-op method call
+    where not.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def _append(self, event: TraceEvent) -> None:  # pragma: no cover - trivial
+        pass
+
+    @contextmanager
+    def span(self, name, **kwargs) -> Iterator[None]:
+        yield
+
+
+#: Shared no-op recorder; identity-comparable (``trace is NULL_RECORDER``).
+NULL_RECORDER = NullRecorder()
+
+
+__all__ = [
+    "NULL_RECORDER",
+    "NullRecorder",
+    "PHASE_COMPLETE",
+    "PHASE_INSTANT",
+    "TraceEvent",
+    "TraceRecorder",
+]

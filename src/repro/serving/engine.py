@@ -61,6 +61,8 @@ from repro.core.config import MillionConfig
 from repro.models.kv_cache import KVCacheFactory
 from repro.models.sampling import GreedySampler
 from repro.models.transformer import TransformerLM
+from repro.obs.hist import BATCH_BUCKETS, Histogram, LATENCY_BUCKETS_S
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.quant.policy_cache import HeadGroupKVCache
 from repro.serving.memory import (
     BlockPool,
@@ -123,6 +125,8 @@ class BatchedMillionEngine:
         fused_decode: bool = True,
         fused_min_batch: int = 2,
         tier_factories: Optional[dict[str, KVCacheFactory]] = None,
+        trace: Optional[TraceRecorder] = None,
+        trace_track: str = "engine",
     ) -> None:
         require(max_unclaimed_results >= 1, "max_unclaimed_results must be >= 1")
         require(fused_min_batch >= 1, "fused_min_batch must be >= 1")
@@ -203,6 +207,29 @@ class BatchedMillionEngine:
         self.last_prefill_seconds = 0.0
         self.last_decode_seconds = 0.0
         self.last_fused_batch_size = 0
+        # Tracing + latency histograms (repro.obs).  ``trace`` defaults to
+        # the shared no-op recorder so the disabled path costs one attribute
+        # check per hook; the gateway hands every replica one shared recorder
+        # with its own track name so all timelines land in one trace.
+        self.trace = trace if trace is not None else NULL_RECORDER
+        self.trace_track = trace_track
+        self.queue_wait_hist = Histogram(LATENCY_BUCKETS_S)
+        self.prefill_step_hist = Histogram(LATENCY_BUCKETS_S)
+        self.decode_step_hist = Histogram(LATENCY_BUCKETS_S)
+        self.fused_batch_hist = Histogram(BATCH_BUCKETS)
+        # Pool events (evictions, adoptions) record onto this engine's track.
+        for pool in self._all_pools():
+            pool.trace = self.trace
+            pool.trace_track = trace_track
+
+    def _all_pools(self) -> list[BlockPool]:
+        """Every distinct block pool this engine allocates from (default + tiers)."""
+        pools: list[BlockPool] = []
+        for factory in (self.factory, *self.tier_factories.values()):
+            pool = getattr(factory, "pool", None)
+            if pool is not None and all(pool is not seen for seen in pools):
+                pools.append(pool)
+        return pools
 
     # Construction -----------------------------------------------------------
 
@@ -260,6 +287,18 @@ class BatchedMillionEngine:
         self.scheduler.submit(state)
         self._states[request.request_id] = state
         self._tier_requests_total[request.tier or "default"] += 1
+        if self.trace.enabled:
+            self.trace.instant(
+                "queued",
+                track=self.trace_track,
+                ts=state.submitted_at,
+                request_id=request.request_id,
+                args={
+                    "tier": request.tier or "default",
+                    "prompt_tokens": int(request.prompt_ids.size),
+                    "max_new_tokens": request.max_new_tokens,
+                },
+            )
         return request.request_id
 
     def add_request(
@@ -304,6 +343,13 @@ class BatchedMillionEngine:
         self._release_context(state)
         state.next_logits = None
         self._record_result(state)
+        if self.trace.enabled:
+            self.trace.instant(
+                "cancelled",
+                track=self.trace_track,
+                request_id=request_id,
+                args={"generated": len(state.generated)},
+            )
         # Subscribers (e.g. a gateway streaming this request) need a finish
         # marker even though cancel happens outside step().
         self._emit(
@@ -326,6 +372,17 @@ class BatchedMillionEngine:
         self._output_listeners.remove(listener)
 
     def _emit(self, output: StepOutput) -> StepOutput:
+        if self.trace.enabled:
+            self.trace.instant(
+                "finish" if output.finished else "token",
+                track=self.trace_track,
+                request_id=output.request_id,
+                args=(
+                    {"reason": output.finish_reason.value}
+                    if output.finished and output.finish_reason is not None
+                    else None
+                ),
+            )
         for listener in self._output_listeners:
             listener(output)
         return output
@@ -600,6 +657,10 @@ class BatchedMillionEngine:
 
     def _prefill(self, state: RequestState) -> Optional[StepOutput]:
         """Prefill a newly admitted request; may finish it immediately."""
+        is_restore = bool(state.generated)
+        computed_before = self.prefill_tokens_computed
+        reused_before = self.prefill_tokens_reused
+        prefill_start = time.perf_counter()
         if self._pool_for(state) is not None:
             self._pooled_prefill(state)
         else:
@@ -607,6 +668,20 @@ class BatchedMillionEngine:
             with self._bound(state) as model:
                 logits = model.forward(state.request.prompt_ids)
             state.next_logits = logits[-1]
+            self.prefill_tokens_computed += int(state.request.prompt_ids.size)
+        if self.trace.enabled:
+            self.trace.complete(
+                "restore" if is_restore else "prefill",
+                prefill_start,
+                time.perf_counter(),
+                track=self.trace_track,
+                request_id=state.request_id,
+                args={
+                    "tokens_computed": self.prefill_tokens_computed - computed_before,
+                    "tokens_reused": self.prefill_tokens_reused - reused_before,
+                    "is_restore": is_restore,
+                },
+            )
         if state.request.max_new_tokens <= len(state.generated):
             self._finish(state, FinishReason.LENGTH)
         elif state.context.next_position >= self.model.config.max_seq_len:
@@ -627,6 +702,16 @@ class BatchedMillionEngine:
         state.next_logits = None
         state.prefill_plan = None  # the restore plan depends on generated tokens
         self.scheduler.preempt(state)
+        if self.trace.enabled:
+            self.trace.instant(
+                "preempted",
+                track=self.trace_track,
+                request_id=state.request_id,
+                args={
+                    "generated": len(state.generated),
+                    "preemptions": state.preemptions,
+                },
+            )
 
     def _decode_block_demand(self, state: RequestState) -> int:
         """Pool blocks ``state``'s next decode step will allocate on flush."""
@@ -817,6 +902,7 @@ class BatchedMillionEngine:
         step_start = time.perf_counter()
         self.step_count += 1
         outputs: list[StepOutput] = []
+        admitted_count = 0
         gate = self._admission_gate if self._has_pool else None
         while True:
             state = self.scheduler.admit_next(gate)
@@ -834,6 +920,20 @@ class BatchedMillionEngine:
                 state = self.scheduler.admit_next(gate=None)
             if state is None:
                 break
+            admitted_count += 1
+            if state.admissions == 1 and state.queue_wait_s is not None:
+                # First admission only: restores after preemption would
+                # otherwise double-count one request's queue wait.
+                self.queue_wait_hist.observe(state.queue_wait_s)
+                if self.trace.enabled:
+                    self.trace.complete(
+                        "queue_wait",
+                        state.submitted_at,
+                        state.admitted_at,
+                        track=self.trace_track,
+                        request_id=state.request_id,
+                        args={"tier": state.request.tier or "default"},
+                    )
             prefill_output = self._prefill(state)
             if prefill_output is not None:
                 outputs.append(prefill_output)
@@ -855,6 +955,25 @@ class BatchedMillionEngine:
         self.last_decode_seconds = decode_end - decode_start
         self.prefill_seconds_total += self.last_prefill_seconds
         self.decode_seconds_total += self.last_decode_seconds
+        decoded = [o for o in outputs if o.token is not None]
+        if admitted_count:
+            self.prefill_step_hist.observe(self.last_prefill_seconds)
+        if decoded:
+            self.decode_step_hist.observe(self.last_decode_seconds)
+            if self.last_fused_batch_size:
+                self.fused_batch_hist.observe(self.last_fused_batch_size)
+            if self.trace.enabled:
+                self.trace.complete(
+                    "decode_step",
+                    decode_start,
+                    decode_end,
+                    track=self.trace_track,
+                    args={
+                        "batch": len(decoded),
+                        "fused_batch": self.last_fused_batch_size,
+                        "requests": sorted(o.request_id for o in decoded),
+                    },
+                )
         return outputs
 
     def run(self) -> dict[str, np.ndarray]:
@@ -1015,6 +1134,12 @@ class BatchedMillionEngine:
             },
             "pool": self.pool.stats() if self.pool is not None else None,
             "tiers": self.tier_stats(),
+            "histograms": {
+                "queue_wait_seconds": self.queue_wait_hist.snapshot(),
+                "prefill_step_seconds": self.prefill_step_hist.snapshot(),
+                "decode_step_seconds": self.decode_step_hist.snapshot(),
+                "fused_batch_size": self.fused_batch_hist.snapshot(),
+            },
         }
 
 

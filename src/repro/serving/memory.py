@@ -43,6 +43,7 @@ from repro.core.pq import ProductQuantizer
 from repro.core.storage import BlockArena
 from repro.models.config import ModelConfig
 from repro.models.kv_cache import FP16_BYTES
+from repro.obs.trace import NULL_RECORDER
 from repro.utils.bitpack import code_dtype
 from repro.utils.validation import require
 
@@ -215,6 +216,11 @@ class BlockPool:
         self.allocations = 0
         self.evictions = 0
         self.adoptions = 0
+        # Trace hook: the owning engine points these at its shared recorder
+        # and replica track (see BatchedMillionEngine), so evictions and
+        # adoptions show up on the replica's timeline.
+        self.trace = NULL_RECORDER
+        self.trace_track = "pool"
 
     @classmethod
     def for_model(
@@ -310,6 +316,12 @@ class BlockPool:
             del self._group_of[block_id]
             self._reclaim(block_id)
         self.evictions += 1
+        if self.trace.enabled:
+            self.trace.instant(
+                "pool_evict",
+                track=self.trace_track,
+                args={"evictions": self.evictions, "free": len(self._free)},
+            )
 
     def _reclaim(self, block_id: int) -> None:
         assert self._refcounts[block_id] == 0
@@ -538,6 +550,12 @@ class BlockPool:
         for block_id in ids:
             self._refcounts[block_id] += 1
         self.adoptions += 1
+        if self.trace.enabled:
+            self.trace.instant(
+                "pool_adopt",
+                track=self.trace_track,
+                args={"adoptions": self.adoptions, "blocks": len(ids)},
+            )
         return ids
 
     # Accounting ----------------------------------------------------------

@@ -112,6 +112,14 @@ class RequestState:
     # Engine-memoized prefill/restore schedule; valid only while the request
     # waits in the queue (the engine clears it on admission and preemption).
     prefill_plan: Optional[object] = None
+    # Lifecycle timestamps on the process-wide monotonic clock
+    # (time.perf_counter), stamped by the scheduler.  ``admitted_at`` and
+    # ``queue_wait_s`` cover the *first* admission only; restores after
+    # preemption bump ``admissions`` without rewriting them.
+    submitted_at: Optional[float] = None
+    admitted_at: Optional[float] = None
+    queue_wait_s: Optional[float] = None
+    admissions: int = 0
 
     @property
     def request_id(self) -> str:

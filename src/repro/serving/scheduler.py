@@ -24,6 +24,7 @@ Two further lifecycle transitions support the block pool:
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict, deque
 from typing import Callable, Optional
 
@@ -98,6 +99,7 @@ class ContinuousBatchingScheduler:
             and all(s.request_id != state.request_id for s in self._queued),
             f"duplicate request id {state.request_id!r}",
         )
+        state.submitted_at = time.perf_counter()
         self._queued.append(state)
 
     def admit_next(self, gate: Optional[AdmissionGate] = None) -> Optional[RequestState]:
@@ -113,6 +115,11 @@ class ContinuousBatchingScheduler:
             return None
         self._queued.popleft()
         state.status = RequestStatus.RUNNING
+        state.admissions += 1
+        if state.admitted_at is None:
+            state.admitted_at = time.perf_counter()
+            if state.submitted_at is not None:
+                state.queue_wait_s = state.admitted_at - state.submitted_at
         self._running[state.request_id] = state
         return state
 

@@ -2,12 +2,26 @@
 
 The library never configures the root logger; applications stay in control.
 ``get_logger`` only attaches a ``NullHandler`` so importing the package never
-prints anything unless the application opts in.
+prints anything unless the application opts in — via
+:func:`enable_console_logging` (human-readable lines) or
+:func:`enable_json_logging` (one JSON object per line, carrying the request
+id the gateway binds per completion, so log lines join against trace spans
+and metrics by the same key).
+
+Both enablers are idempotent: repeated calls reuse the handler they
+installed and only adjust the level, and each looks for *its own* handler
+class — a console handler never masks a JSON one or vice versa (both are
+``StreamHandler`` subclasses, so an ``isinstance`` check against the base
+class would conflate them).
 """
 
 from __future__ import annotations
 
+import json
 import logging
+from typing import Optional, TextIO
+
+from repro.obs.context import current_request_id
 
 _LIBRARY_ROOT = "repro"
 
@@ -24,22 +38,81 @@ def get_logger(name: str | None = None) -> logging.Logger:
     full_name = _LIBRARY_ROOT if not name else f"{_LIBRARY_ROOT}.{name}"
     logger = logging.getLogger(full_name)
     root = logging.getLogger(_LIBRARY_ROOT)
-    if not root.handlers:
+    if not any(isinstance(h, logging.NullHandler) for h in root.handlers):
         root.addHandler(logging.NullHandler())
     return logger
 
 
+class _ConsoleHandler(logging.StreamHandler):
+    """Marker subclass so the console enabler finds exactly its handler."""
+
+
+class _JsonHandler(logging.StreamHandler):
+    """Marker subclass so the JSON enabler finds exactly its handler."""
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per line: timestamp, level, logger, message.
+
+    ``request_id`` is included whenever the emitting context has one bound
+    (see :func:`repro.obs.context.bind_request_id` — the gateway binds the
+    engine-assigned id for the duration of each completion handler).
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": self.formatTime(record, "%Y-%m-%dT%H:%M:%S")
+            + f".{int(record.msecs):03d}",
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        request_id = current_request_id()
+        if request_id is not None:
+            payload["request_id"] = request_id
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, separators=(",", ":"))
+
+
 def enable_console_logging(level: int = logging.INFO) -> None:
-    """Attach a simple console handler to the library logger.
+    """Attach a console handler to the library logger (idempotent).
+
+    Repeated calls — including with a different ``level`` — adjust the level
+    of the handler installed by the first call instead of stacking a second
+    one (which would print every line twice).
 
     Intended for examples and benchmark scripts; library code never calls it.
     """
     root = logging.getLogger(_LIBRARY_ROOT)
-    has_stream = any(isinstance(h, logging.StreamHandler) for h in root.handlers)
-    if not has_stream:
-        handler = logging.StreamHandler()
+    handler = next(
+        (h for h in root.handlers if isinstance(h, _ConsoleHandler)), None
+    )
+    if handler is None:
+        handler = _ConsoleHandler()
         handler.setFormatter(
             logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
         )
         root.addHandler(handler)
+    root.setLevel(level)
+
+
+def enable_json_logging(
+    level: int = logging.INFO, stream: Optional[TextIO] = None
+) -> None:
+    """Attach a structured JSON handler to the library logger (idempotent).
+
+    Each line is one JSON object (see :class:`JsonLogFormatter`); pass
+    ``stream`` to direct output somewhere other than stderr (tests pass an
+    ``io.StringIO``).  Repeated calls adjust the level; a ``stream`` on a
+    repeat call rebinds the existing handler's output.
+    """
+    root = logging.getLogger(_LIBRARY_ROOT)
+    handler = next((h for h in root.handlers if isinstance(h, _JsonHandler)), None)
+    if handler is None:
+        handler = _JsonHandler(stream)
+        handler.setFormatter(JsonLogFormatter())
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
     root.setLevel(level)

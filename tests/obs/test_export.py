@@ -1,0 +1,114 @@
+"""Chrome trace-event export: schema shape, tracks, flow correlation."""
+
+import json
+
+import pytest
+
+from repro.obs.export import chrome_trace_events, to_chrome_trace
+from repro.obs.trace import TraceRecorder
+
+# The trace-event fields Perfetto requires per phase (the schema the ISSUE's
+# acceptance test validates exported traces against).
+_REQUIRED_BY_PHASE = {
+    "X": {"name", "ph", "ts", "dur", "pid", "tid"},
+    "i": {"name", "ph", "ts", "pid", "tid", "s"},
+    "M": {"name", "ph", "pid", "tid", "args"},
+    "s": {"name", "ph", "id", "ts", "pid", "tid"},
+    "t": {"name", "ph", "id", "ts", "pid", "tid"},
+    "f": {"name", "ph", "id", "ts", "pid", "tid"},
+}
+
+
+def assert_valid_trace_events(events):
+    """Every event carries the fields its phase requires, with sane types."""
+    assert isinstance(events, list)
+    for event in events:
+        phase = event["ph"]
+        assert phase in _REQUIRED_BY_PHASE, f"unknown phase {phase!r}"
+        missing = _REQUIRED_BY_PHASE[phase] - set(event)
+        assert not missing, f"{phase!r} event missing {missing}: {event}"
+        if "ts" in event:
+            assert isinstance(event["ts"], (int, float))
+        if phase == "X":
+            assert event["dur"] >= 0
+        if phase == "f":
+            assert event.get("bp") == "e"
+
+
+def _populated_recorder():
+    rec = TraceRecorder()
+    base = 100.0
+    rec.epoch = base
+    for req in ("req-0000", "req-0001"):
+        offset = 0.0 if req == "req-0000" else 0.5
+        rec.complete(
+            "request", base + offset, base + offset + 0.4,
+            track="gateway", request_id=req,
+        )
+        rec.complete(
+            "queue_wait", base + offset, base + offset + 0.01,
+            track="replica-0", request_id=req,
+        )
+        rec.complete(
+            "prefill", base + offset + 0.01, base + offset + 0.05,
+            track="replica-0", request_id=req,
+        )
+        rec.instant(
+            "first_token", track="gateway", request_id=req,
+            ts=base + offset + 0.06,
+        )
+    rec.complete("decode_step", base + 0.06, base + 0.08, track="replica-0",
+                 args={"batch": 2})
+    return rec
+
+
+class TestChromeTraceEvents:
+    def test_schema_valid_and_json_serializable(self):
+        exported = to_chrome_trace(_populated_recorder())
+        assert json.loads(json.dumps(exported)) == exported
+        assert_valid_trace_events(exported["traceEvents"])
+        assert exported["displayTimeUnit"] == "ms"
+        assert exported["otherData"]["truncated"] is False
+
+    def test_each_track_becomes_a_named_thread(self):
+        events = to_chrome_trace(_populated_recorder())["traceEvents"]
+        names = {
+            e["args"]["name"]: e["tid"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert set(names) == {"gateway", "replica-0"}
+        assert len(set(names.values())) == 2  # distinct tids
+
+    def test_timestamps_relative_to_epoch_in_microseconds(self):
+        events = to_chrome_trace(_populated_recorder())["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X" and e["name"] == "request"]
+        assert min(s["ts"] for s in spans) == 0.0
+        assert max(s["ts"] for s in spans) == pytest.approx(500_000.0)  # 0.5 s
+        assert spans[0]["dur"] == pytest.approx(400_000.0)
+
+    def test_request_flow_chains_cross_track_spans(self):
+        events = to_chrome_trace(_populated_recorder())["traceEvents"]
+        for req in ("req-0000", "req-0001"):
+            flow = [e for e in events if e["name"] == f"request:{req}"]
+            # 3 spans per request: start, one step, finish.
+            assert [e["ph"] for e in flow] == ["s", "t", "f"]
+            ids = {e["id"] for e in flow}
+            assert len(ids) == 1
+            # The chain crosses from the gateway track to the replica track.
+            assert len({e["tid"] for e in flow}) == 2
+        flow_ids = {
+            e["id"] for e in events if e["ph"] in ("s", "t", "f")
+        }
+        assert len(flow_ids) == 2  # one flow id per request
+
+    def test_single_span_requests_get_no_flow(self):
+        rec = TraceRecorder()
+        rec.complete("request", 0.0, 1.0, request_id="lonely")
+        events = chrome_trace_events(rec.snapshot())
+        assert not [e for e in events if e["ph"] in ("s", "t", "f")]
+
+    def test_request_id_lands_in_args(self):
+        events = to_chrome_trace(_populated_recorder())["traceEvents"]
+        span = next(e for e in events if e["ph"] == "X" and e["name"] == "request")
+        assert span["args"]["request_id"] == "req-0000"

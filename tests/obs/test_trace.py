@@ -1,0 +1,146 @@
+"""TraceRecorder: spans, ring-buffer truncation, thread safety, filtering."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_RECORDER,
+    NullRecorder,
+    PHASE_COMPLETE,
+    PHASE_INSTANT,
+    TraceRecorder,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestRecording:
+    def test_complete_records_duration(self):
+        rec = TraceRecorder()
+        rec.complete("work", 1.0, 1.5, track="t", request_id="r1")
+        (event,) = rec.snapshot()
+        assert event.name == "work"
+        assert event.phase == PHASE_COMPLETE
+        assert event.ts == 1.0
+        assert event.dur == pytest.approx(0.5)
+        assert event.track == "t"
+        assert event.request_id == "r1"
+
+    def test_negative_duration_clamps_to_zero(self):
+        rec = TraceRecorder()
+        rec.complete("backwards", 2.0, 1.0)
+        assert rec.snapshot()[0].dur == 0.0
+
+    def test_instant_defaults_to_now(self):
+        rec = TraceRecorder()
+        before = rec.now()
+        rec.instant("mark")
+        (event,) = rec.snapshot()
+        assert event.phase == PHASE_INSTANT
+        assert event.dur == 0.0
+        assert before <= event.ts <= rec.now()
+
+    def test_span_context_manager_records_on_exception(self):
+        rec = TraceRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.span("failing", request_id="r1"):
+                raise RuntimeError("boom")
+        (event,) = rec.snapshot()
+        assert event.name == "failing"
+        assert event.request_id == "r1"
+
+    def test_span_nesting_orders_inner_before_outer(self):
+        # The inner span *closes* first, so it lands in the buffer first;
+        # its [ts, ts+dur] window nests inside the outer span's window.
+        rec = TraceRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        inner, outer = rec.snapshot()
+        assert (inner.name, outer.name) == ("inner", "outer")
+        assert outer.ts <= inner.ts
+        assert inner.ts + inner.dur <= outer.ts + outer.dur
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            TraceRecorder(capacity=0)
+
+
+class TestRingBuffer:
+    def test_truncation_drops_oldest_and_counts(self):
+        rec = TraceRecorder(capacity=3)
+        for i in range(5):
+            rec.instant(f"e{i}")
+        assert len(rec) == 3
+        assert rec.events_total == 5
+        assert rec.dropped == 2
+        assert [e.name for e in rec.snapshot()] == ["e2", "e3", "e4"]
+
+    def test_export_flags_truncation(self):
+        rec = TraceRecorder(capacity=2)
+        for i in range(4):
+            rec.instant(f"e{i}")
+        exported = rec.to_chrome_trace()
+        assert exported["otherData"]["truncated"] is True
+        assert exported["otherData"]["dropped_events"] == 2
+
+    def test_clear_keeps_totals(self):
+        rec = TraceRecorder()
+        rec.instant("a")
+        rec.clear()
+        assert len(rec) == 0
+        assert rec.events_total == 1
+
+
+class TestSnapshotFilters:
+    def test_since_keeps_spans_still_in_window(self):
+        rec = TraceRecorder()
+        rec.complete("old", 0.0, 1.0)
+        rec.complete("overlapping", 4.0, 6.0)
+        rec.instant("recent", ts=7.0)
+        names = [e.name for e in rec.snapshot(since=5.0)]
+        assert names == ["overlapping", "recent"]
+
+    def test_request_id_filter(self):
+        rec = TraceRecorder()
+        rec.instant("a", request_id="r1")
+        rec.instant("b", request_id="r2")
+        rec.instant("c")
+        assert [e.name for e in rec.snapshot(request_id="r1")] == ["a"]
+
+
+class TestThreadSafety:
+    def test_concurrent_appends_lose_nothing(self):
+        rec = TraceRecorder(capacity=10_000)
+        per_thread = 500
+
+        def record(tid):
+            for i in range(per_thread):
+                rec.instant(f"t{tid}-{i}", track=f"thread-{tid}")
+
+        threads = [threading.Thread(target=record, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert rec.events_total == 4 * per_thread
+        assert len(rec) == 4 * per_thread
+
+
+class TestNullRecorder:
+    def test_disabled_and_inert(self):
+        rec = NullRecorder()
+        assert rec.enabled is False
+        rec.instant("a")
+        rec.complete("b", 0.0, 1.0)
+        with rec.span("c"):
+            pass
+        assert len(rec) == 0
+        assert rec.events_total == 0
+
+    def test_null_export_is_valid_json(self):
+        exported = NULL_RECORDER.to_chrome_trace()
+        assert json.loads(json.dumps(exported)) == exported
+        assert exported["traceEvents"] == []
+        assert exported["otherData"]["enabled"] is False

@@ -1,0 +1,116 @@
+"""Logging wrapper: JSON formatter, request-id correlation, idempotency."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.context import bind_request_id, reset_request_id
+from repro.utils.logging import (
+    enable_console_logging,
+    enable_json_logging,
+    get_logger,
+)
+
+ROOT = "repro"
+
+
+@pytest.fixture(autouse=True)
+def _pristine_library_logger():
+    """Save/restore the library root logger's handlers and level."""
+    root = logging.getLogger(ROOT)
+    saved_handlers, saved_level = list(root.handlers), root.level
+    root.handlers = []
+    try:
+        yield
+    finally:
+        root.handlers = saved_handlers
+        root.setLevel(saved_level)
+
+
+def _json_lines(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestGetLogger:
+    def test_namespaced_under_library_root(self):
+        assert get_logger().name == ROOT
+        assert get_logger("gateway").name == f"{ROOT}.gateway"
+
+    def test_silent_by_default(self, capsys):
+        get_logger("quiet").warning("nothing should print")
+        captured = capsys.readouterr()
+        assert captured.out == "" and captured.err == ""
+
+
+class TestJsonLogging:
+    def test_one_json_object_per_line(self):
+        stream = io.StringIO()
+        enable_json_logging(logging.INFO, stream=stream)
+        get_logger("engine").info("step %d done", 3)
+        (line,) = _json_lines(stream)
+        assert line["message"] == "step 3 done"
+        assert line["level"] == "INFO"
+        assert line["logger"] == f"{ROOT}.engine"
+        assert "request_id" not in line
+        assert "T" in line["ts"]
+
+    def test_bound_request_id_lands_in_every_line(self):
+        stream = io.StringIO()
+        enable_json_logging(logging.INFO, stream=stream)
+        logger = get_logger("gateway")
+        token = bind_request_id("req-0042")
+        try:
+            logger.info("serving")
+        finally:
+            reset_request_id(token)
+        logger.info("after unbind")
+        bound, unbound = _json_lines(stream)
+        assert bound["request_id"] == "req-0042"
+        assert "request_id" not in unbound
+
+    def test_exceptions_serialized(self):
+        stream = io.StringIO()
+        enable_json_logging(logging.INFO, stream=stream)
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            get_logger().exception("failed")
+        (line,) = _json_lines(stream)
+        assert "ValueError: boom" in line["exc_info"]
+        assert json.dumps(line)  # still valid JSON despite the traceback
+
+    def test_idempotent_and_rebinds_stream(self):
+        first, second = io.StringIO(), io.StringIO()
+        enable_json_logging(logging.INFO, stream=first)
+        enable_json_logging(logging.DEBUG, stream=second)
+        root = logging.getLogger(ROOT)
+        assert len(root.handlers) == 1
+        get_logger().debug("now visible")
+        assert first.getvalue() == ""
+        assert _json_lines(second)[0]["message"] == "now visible"
+
+
+class TestConsoleLogging:
+    def test_idempotent(self):
+        enable_console_logging(logging.INFO)
+        enable_console_logging(logging.DEBUG)
+        root = logging.getLogger(ROOT)
+        assert len(root.handlers) == 1
+        assert root.level == logging.DEBUG
+
+    def test_console_and_json_coexist(self):
+        # Each enabler must find only its own handler class: enabling both
+        # yields exactly two handlers, and re-enabling either adds none.
+        enable_console_logging(logging.INFO)
+        stream = io.StringIO()
+        enable_json_logging(logging.INFO, stream=stream)
+        enable_console_logging(logging.INFO)
+        enable_json_logging(logging.INFO)
+        root = logging.getLogger(ROOT)
+        assert len(root.handlers) == 2
+        get_logger().info("to both")
+        assert _json_lines(stream)[0]["message"] == "to both"
