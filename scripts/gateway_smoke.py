@@ -48,6 +48,8 @@ from repro.obs.promtext import ExpositionError, parse_exposition  # noqa: E402
 GATED_FAMILIES = (
     "repro_gateway_ttft_seconds",
     "repro_gateway_itl_seconds",
+    "repro_gateway_priority_ttft_seconds",
+    "repro_gateway_priority_itl_seconds",
     "repro_engine_queue_wait_seconds",
     "repro_engine_step_seconds",
     "repro_engine_fused_batch_size",
@@ -168,6 +170,10 @@ def main() -> None:
         itl = families["repro_gateway_itl_seconds"]
         assert itl.value(tier="default", le="+Inf") == float(len(expected) - 1), (
             "ITL _count should be tokens served minus the first"
+        )
+        priority_ttft = families["repro_gateway_priority_ttft_seconds"]
+        assert priority_ttft.value(priority="interactive", le="+Inf") == 1.0, (
+            "a request without an explicit priority is interactive"
         )
         print(f"metrics ok ({len(families)} families, exposition valid)")
 

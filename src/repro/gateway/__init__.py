@@ -11,7 +11,8 @@ compute loop, and this package adds the asynchronous serving shell:
   decoded token out to per-request asyncio queues;
 * :mod:`~repro.gateway.router` — :class:`ReplicaRouter`, prefix-affinity
   placement over the block pool's chained prompt hashes with least-loaded
-  fallback and 429 backpressure;
+  fallback; capacity refusals (hard queue cap or SLO admission, see
+  :class:`~repro.serving.scheduler.SloPolicy`) surface as 429 backpressure;
 * :mod:`~repro.gateway.metrics` — Prometheus text rendering of gateway,
   router and per-replica engine statistics;
 * :mod:`~repro.gateway.server` — :class:`GatewayServer`, the stdlib asyncio

@@ -33,6 +33,7 @@ from repro.obs.trace import TraceRecorder
 from repro.quant.policy import QuantPolicy, derive_policy, million_variant
 from repro.quant.policy_cache import PolicyCacheFactory
 from repro.serving.engine import BatchedMillionEngine
+from repro.serving.scheduler import SloPolicy
 from repro.serving.memory import (
     BlockPool,
     PooledMillionCacheFactory,
@@ -71,6 +72,15 @@ class GatewayConfig:
     # Ring-buffer capacity (events) of the shared request-lifecycle trace
     # recorder; 0 disables tracing (hooks cost one attribute check).
     trace_capacity: int = 65536
+    # Priority-class admission: 0 collapses the interactive/best_effort
+    # queues into one FIFO (the pre-priority baseline the serving.slo_load
+    # benchmark compares against).  Integer because every non-model knob
+    # becomes a ``type=int`` CLI flag.
+    priority_aware: int = 1
+    # Per-class queue-wait SLOs in milliseconds; 0 disables that class's SLO
+    # (submissions are then only refused at the max_queue_size hard cap).
+    interactive_ttft_slo_ms: int = 0
+    best_effort_ttft_slo_ms: int = 0
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -172,6 +182,20 @@ def build_engines(
                     tier_factories[name] = PolicyCacheFactory(
                         policy, model.config, million_factories=factory_bank
                     )
+        slo_policy = None
+        if config.interactive_ttft_slo_ms > 0 or config.best_effort_ttft_slo_ms > 0:
+            slo_policy = SloPolicy(
+                interactive_slo_s=(
+                    config.interactive_ttft_slo_ms / 1000.0
+                    if config.interactive_ttft_slo_ms > 0
+                    else None
+                ),
+                best_effort_slo_s=(
+                    config.best_effort_ttft_slo_ms / 1000.0
+                    if config.best_effort_ttft_slo_ms > 0
+                    else None
+                ),
+            )
         engines.append(
             BatchedMillionEngine(
                 model,
@@ -181,6 +205,8 @@ def build_engines(
                 tier_factories=tier_factories or None,
                 trace=trace,
                 trace_track=f"replica-{replica_index}",
+                priority_aware=bool(config.priority_aware),
+                slo_policy=slo_policy,
             )
         )
     return engines

@@ -4,11 +4,13 @@
 `text exposition format <https://prometheus.io/docs/instrumenting/exposition_formats/>`_:
 
 * gateway HTTP counters (requests by path/status, streamed tokens, client
-  disconnects, in-flight requests);
+  disconnects, in-flight requests) and TTFT/ITL latency histograms, sliced
+  by quality tier and by priority class;
 * router decision counters (prefix vs sticky vs least-loaded placements);
 * per-replica engine statistics straight from ``engine.stats()`` — scheduler
-  queue depths, prefill reuse, preemptions, and block-pool occupancy —
-  labelled ``{replica="<index>"}``.
+  queue depths (total and per priority class), prefill reuse, preemptions,
+  SLO rejections, and block-pool occupancy/pressure — labelled
+  ``{replica="<index>"}``.
 
 Rendering is pull-based and stateless: every scrape reflects the live
 counters, nothing is sampled or aggregated in between.
@@ -21,6 +23,7 @@ from collections import Counter
 from typing import Optional, Sequence
 
 from repro.obs.hist import Histogram, LATENCY_BUCKETS_S
+from repro.serving.request import PRIORITIES
 
 _GATEWAY_PREFIX = "repro_gateway"
 
@@ -47,11 +50,16 @@ def _render_value(value) -> str:
 class GatewayMetrics:
     """Mutable counters + latency histograms the HTTP server updates as it serves.
 
-    TTFT (time to first token) and ITL (inter-token latency) are per quality
-    tier (``"default"`` for untiered requests).  Families are pre-seeded so
-    the very first ``/metrics`` scrape already exposes every gateway family
-    with a 0 sample — a collector that starts alongside the gateway must see
-    the family exist, not a gap until the first request happens to arrive.
+    TTFT (time to first token) and ITL (inter-token latency) are recorded
+    twice per observation: once per quality tier (``"default"`` for untiered
+    requests) and once per priority class (``interactive`` /
+    ``best_effort``), so an operator can slice latency by either dimension
+    without a labels cross-product.  Families are pre-seeded so the very
+    first ``/metrics`` scrape already exposes every gateway family with a 0
+    sample — a collector that starts alongside the gateway must see the
+    family exist, not a gap until the first request happens to arrive.
+    Tenant tags are deliberately **not** a label: the tenant space is
+    unbounded, and unbounded label cardinality is how scrapes die.
     """
 
     def __init__(self) -> None:
@@ -63,6 +71,12 @@ class GatewayMetrics:
         self.in_flight = 0
         self.ttft_seconds: dict[str, Histogram] = {"default": Histogram()}
         self.itl_seconds: dict[str, Histogram] = {"default": Histogram()}
+        self.priority_ttft_seconds: dict[str, Histogram] = {
+            label: Histogram() for label in PRIORITIES
+        }
+        self.priority_itl_seconds: dict[str, Histogram] = {
+            label: Histogram() for label in PRIORITIES
+        }
 
     def observe_request(self, path: str, status: int) -> None:
         self.http_requests[(path, str(status))] += 1
@@ -74,13 +88,25 @@ class GatewayMetrics:
             hist = store[tier or "default"] = Histogram(LATENCY_BUCKETS_S)
         return hist
 
-    def observe_ttft(self, seconds: float, tier: Optional[str] = None) -> None:
+    def observe_ttft(
+        self,
+        seconds: float,
+        tier: Optional[str] = None,
+        priority: str = "interactive",
+    ) -> None:
         """Record one request's time from HTTP accept to its first token."""
         self._tier_hist(self.ttft_seconds, tier).observe(seconds)
+        self.priority_ttft_seconds[priority].observe(seconds)
 
-    def observe_itl(self, seconds: float, tier: Optional[str] = None) -> None:
+    def observe_itl(
+        self,
+        seconds: float,
+        tier: Optional[str] = None,
+        priority: str = "interactive",
+    ) -> None:
         """Record one inter-token gap (first token excluded; see TTFT)."""
         self._tier_hist(self.itl_seconds, tier).observe(seconds)
+        self.priority_itl_seconds[priority].observe(seconds)
 
 
 class _Lines:
@@ -196,6 +222,20 @@ def render_prometheus(
             metrics.itl_seconds[tier].snapshot(),
             "Gap between consecutive completion tokens, by tier.",
             {"tier": tier},
+        )
+    for priority in PRIORITIES:
+        out.add_histogram(
+            f"{_GATEWAY_PREFIX}_priority_ttft_seconds",
+            metrics.priority_ttft_seconds[priority].snapshot(),
+            "Time from HTTP accept to first completion token, by priority class.",
+            {"priority": priority},
+        )
+    for priority in PRIORITIES:
+        out.add_histogram(
+            f"{_GATEWAY_PREFIX}_priority_itl_seconds",
+            metrics.priority_itl_seconds[priority].snapshot(),
+            "Gap between consecutive completion tokens, by priority class.",
+            {"priority": priority},
         )
 
     if router_stats is not None:
@@ -334,9 +374,46 @@ def render_prometheus(
                         "gauge",
                         tier_labels,
                     )
+        priority = stats.get("priority")
+        if priority is not None:
+            for class_label, class_stats in sorted(priority.items()):
+                class_labels = {**labels, "priority": class_label}
+                out.add(
+                    "repro_engine_priority_queued",
+                    class_stats["queued"],
+                    "Requests waiting for admission, by priority class.",
+                    "gauge",
+                    class_labels,
+                )
+                out.add(
+                    "repro_engine_priority_running",
+                    class_stats["running"],
+                    "Sequences currently decoding, by priority class.",
+                    "gauge",
+                    class_labels,
+                )
+                out.add(
+                    "repro_engine_priority_preemptions_total",
+                    class_stats["preemptions"],
+                    "Sequences evicted under memory pressure, by the "
+                    "victim's priority class.",
+                    "counter",
+                    class_labels,
+                )
+                out.add(
+                    "repro_engine_slo_rejections_total",
+                    class_stats["slo_rejections"],
+                    "Submissions refused by the SLO admission gate, by "
+                    "priority class.",
+                    "counter",
+                    class_labels,
+                )
         pool = stats.get("pool")
         if pool is None:
             continue
+        out.add("repro_pool_pressure", float(pool.get("pressure", 0.0)),
+                "Fraction of pool blocks an allocation burst could not "
+                "obtain (pinned by running sequences).", "gauge", labels)
         out.add("repro_pool_utilization", float(pool["utilization"]),
                 "Fraction of pool blocks holding content.", "gauge", labels)
         out.add("repro_pool_used_blocks", pool["used_blocks"],

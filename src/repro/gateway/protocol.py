@@ -11,9 +11,19 @@ OpenAI-compatible client can drive the engine:
   decoded token, then a final chunk carrying ``finish_reason`` and the
   ``data: [DONE]`` sentinel.
 
+Beyond the OpenAI subset the body accepts repo extensions: ``tier`` (quality
+tier name, existence checked by the engine), ``priority`` (``"interactive"``
+/ ``"best_effort"`` serving class, validated here against
+:data:`~repro.serving.request.PRIORITIES`) and ``tenant`` (opaque
+accounting tag, ≤ 64 chars).
+
 Everything here is pure data shaping: no I/O, no engine access.  Validation
 errors raise :class:`ProtocolError` with the HTTP status the server should
 return, so malformed requests are rejected before they reach a replica.
+Capacity refusals are *not* protocol errors: the server maps the engine's
+:class:`~repro.serving.scheduler.QueueFullError` /
+:class:`~repro.serving.scheduler.SloCapacityError` to HTTP 429 with a
+``Retry-After`` header after parsing succeeds.
 """
 
 from __future__ import annotations
@@ -25,7 +35,7 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from repro.serving.request import FinishReason, GenerationRequest
+from repro.serving.request import PRIORITIES, FinishReason, GenerationRequest
 
 #: SSE terminal sentinel, exactly as the OpenAI streaming API sends it.
 SSE_DONE = b"data: [DONE]\n\n"
@@ -68,6 +78,8 @@ class CompletionRequest:
     stop_token_id: Optional[int] = None
     seed: Optional[int] = None
     tier: Optional[str] = None
+    priority: str = "interactive"
+    tenant: Optional[str] = None
     model: str = "repro-million"
     extra: dict = field(default_factory=dict)
 
@@ -119,6 +131,20 @@ class CompletionRequest:
                 '(e.g. "quality", "balanced", "compact")'
             )
 
+        priority = payload.get("priority", "interactive")
+        if priority not in PRIORITIES:
+            raise ProtocolError(
+                f"'priority' must be one of {list(PRIORITIES)}, got {priority!r}"
+            )
+
+        tenant = payload.get("tenant")
+        if tenant is not None and (
+            not isinstance(tenant, str) or not 0 < len(tenant) <= 64
+        ):
+            raise ProtocolError(
+                "'tenant' must be a non-empty string of at most 64 characters"
+            )
+
         return cls(
             prompt_ids=prompt_ids,
             max_tokens=max_tokens,
@@ -126,6 +152,8 @@ class CompletionRequest:
             stop_token_id=stop_token_id,
             seed=seed,
             tier=tier,
+            priority=priority,
+            tenant=tenant,
             model=str(payload.get("model", "repro-million")),
         )
 
@@ -135,6 +163,9 @@ class CompletionRequest:
         ``tier`` passes through verbatim; whether the tier exists is the
         engine's call (it raises at submission, which the server maps to a
         400), so the protocol layer stays configuration-agnostic.
+        ``priority`` is validated here against :data:`PRIORITIES` (unknown
+        classes never reach a replica) and ``tenant`` passes through as an
+        opaque accounting tag.
         """
         return GenerationRequest(
             prompt_ids=self.prompt_ids,
@@ -142,6 +173,8 @@ class CompletionRequest:
             stop_token=self.stop_token_id,
             seed=self.seed,
             tier=self.tier,
+            priority=self.priority,
+            tenant=self.tenant,
         )
 
 

@@ -19,9 +19,12 @@ Design points:
 
 * every connection is ``Connection: close`` — one exchange per socket keeps
   the parser small and makes disconnect detection unambiguous;
-* requests are routed by :class:`~repro.gateway.router.ReplicaRouter`; a
-  full queue surfaces as **429** with a ``Retry-After`` hint rather than
-  unbounded buffering;
+* requests are routed by :class:`~repro.gateway.router.ReplicaRouter`;
+  capacity refusals — the ``max_queue_size`` hard cap, or an
+  :class:`~repro.serving.scheduler.SloCapacityError` when the replica's SLO
+  admission gate projects the request would miss its class's queue-wait SLO
+  — surface as **429** with a ``Retry-After`` hint rather than unbounded
+  buffering;
 * a *disconnect watcher* reads the socket while a stream is in flight —
   client EOF (curl hit Ctrl-C) cancels the request inside the engine via
   :meth:`AsyncEngineRunner.cancel`, freeing its batch slot and pool blocks
@@ -409,11 +412,14 @@ class GatewayServer:
                 completion.to_generation_request()
             )
         except QueueFullError as exc:
+            # SloCapacityError carries a projected-wait-derived backoff hint;
+            # the plain hard-cap refusal keeps the coarse 1s default.
+            retry_after = getattr(exc, "retry_after_s", 1)
             await self._send(
                 writer,
                 429,
                 _error_body(429, str(exc)),
-                extra_headers=(("Retry-After", "1"),),
+                extra_headers=(("Retry-After", str(int(retry_after))),),
             )
             self.metrics.observe_request(request.path, 429)
             return
@@ -447,6 +453,8 @@ class GatewayServer:
                     request_id=request_id,
                     args={
                         "tier": completion.tier or "default",
+                        "priority": completion.priority,
+                        "tenant": completion.tenant or "",
                         "stream": completion.stream,
                     },
                 )
@@ -455,13 +463,14 @@ class GatewayServer:
         self,
         request_id: str,
         tier: Optional[str],
+        priority: str,
         arrival: float,
         last_token_at: Optional[float],
     ) -> float:
         """Record TTFT (first token) or ITL (later tokens); returns now."""
         now = TraceRecorder.now()
         if last_token_at is None:
-            self.metrics.observe_ttft(now - arrival, tier)
+            self.metrics.observe_ttft(now - arrival, tier, priority)
             if self.trace.enabled:
                 self.trace.instant(
                     "first_token",
@@ -471,7 +480,7 @@ class GatewayServer:
                     args={"ttft_s": now - arrival},
                 )
         else:
-            self.metrics.observe_itl(now - last_token_at, tier)
+            self.metrics.observe_itl(now - last_token_at, tier, priority)
         return now
 
     async def _full_completion(
@@ -490,7 +499,11 @@ class GatewayServer:
             output = await queue.get()
             if output.token is not None:
                 last_token_at = self._observe_token_latency(
-                    request_id, completion.tier, arrival, last_token_at
+                    request_id,
+                    completion.tier,
+                    completion.priority,
+                    arrival,
+                    last_token_at,
                 )
                 tokens.append(output.token)
             if output.finished:
@@ -553,7 +566,11 @@ class GatewayServer:
                 try:
                     if output.token is not None:
                         last_token_at = self._observe_token_latency(
-                            request_id, completion.tier, arrival, last_token_at
+                            request_id,
+                            completion.tier,
+                            completion.priority,
+                            arrival,
+                            last_token_at,
                         )
                         self.metrics.tokens_streamed += 1
                         writer.write(

@@ -1,0 +1,131 @@
+"""Aggregate replay outcomes into per-class / per-tenant SLO reports.
+
+Percentiles come from :class:`repro.obs.hist.Histogram` — the same bucketed
+estimator behind the gateway's ``/metrics`` histograms and PromQL's
+``histogram_quantile`` — so a number in a load report is directly comparable
+to the same quantile scraped off the server.  The report is plain data
+(:meth:`LoadReport.summary` is JSON-ready) because the ``serving.slo_load``
+benchmark records straight from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.obs.hist import Histogram
+from repro.loadgen.client import RequestOutcome
+from repro.serving.request import PRIORITIES
+
+
+@dataclass
+class ClassReport:
+    """Latency + disposition of one priority class's requests."""
+
+    sent: int = 0
+    completed: int = 0
+    rejected: int = 0  # HTTP 429 (queue cap or SLO admission)
+    errors: int = 0
+    tokens: int = 0
+    ttft: Histogram = field(default_factory=Histogram)
+    itl: Histogram = field(default_factory=Histogram)
+
+    def observe(self, outcome: RequestOutcome) -> None:
+        self.sent += 1
+        if outcome.status == 429:
+            self.rejected += 1
+            return
+        if not outcome.completed:
+            self.errors += 1
+            return
+        self.completed += 1
+        self.tokens += outcome.tokens
+        if outcome.ttft_s is not None:
+            self.ttft.observe(outcome.ttft_s)
+        for gap in outcome.itl_s:
+            self.itl.observe(gap)
+
+    @property
+    def completed_fraction(self) -> float:
+        return self.completed / self.sent if self.sent else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "sent": self.sent,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "tokens": self.tokens,
+            "completed_fraction": self.completed_fraction,
+            "ttft_p50_s": self.ttft.quantile(0.5),
+            "ttft_p99_s": self.ttft.quantile(0.99),
+            "itl_p50_s": self.itl.quantile(0.5),
+            "itl_p99_s": self.itl.quantile(0.99),
+        }
+
+
+@dataclass
+class LoadReport:
+    """Everything one replay measured, sliced by class and tenant."""
+
+    classes: dict[str, ClassReport]
+    tenants: dict[str, ClassReport]
+    duration_s: float
+
+    @classmethod
+    def from_outcomes(
+        cls, outcomes: Sequence[RequestOutcome], duration_s: float
+    ) -> "LoadReport":
+        classes = {label: ClassReport() for label in PRIORITIES}
+        tenants: dict[str, ClassReport] = {}
+        for outcome in outcomes:
+            classes[outcome.priority].observe(outcome)
+            tenants.setdefault(outcome.tenant, ClassReport()).observe(outcome)
+        return cls(classes=classes, tenants=tenants, duration_s=duration_s)
+
+    def summary(self) -> dict:
+        sent = sum(r.sent for r in self.classes.values())
+        completed = sum(r.completed for r in self.classes.values())
+        return {
+            "duration_s": self.duration_s,
+            "sent": sent,
+            "completed": completed,
+            "classes": {
+                label: report.summary() for label, report in self.classes.items()
+            },
+            "tenants": {
+                tenant: report.summary()
+                for tenant, report in sorted(self.tenants.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable results table (what ``python -m repro.loadgen`` prints)."""
+
+        def fmt(value: Optional[float]) -> str:
+            return f"{value * 1000:8.1f}" if value is not None else "       -"
+
+        lines = [
+            f"{'class/tenant':<16} {'sent':>5} {'done':>5} {'429':>5} "
+            f"{'err':>4} {'ttft p50':>9} {'ttft p99':>9} "
+            f"{'itl p50':>9} {'itl p99':>9}  (ms)",
+        ]
+        rows = [(label, self.classes[label]) for label in PRIORITIES]
+        rows += sorted(self.tenants.items())
+        for label, report in rows:
+            lines.append(
+                f"{label:<16} {report.sent:>5} {report.completed:>5} "
+                f"{report.rejected:>5} {report.errors:>4} "
+                f"{fmt(report.ttft.quantile(0.5)):>9} "
+                f"{fmt(report.ttft.quantile(0.99)):>9} "
+                f"{fmt(report.itl.quantile(0.5)):>9} "
+                f"{fmt(report.itl.quantile(0.99)):>9}"
+            )
+        lines.append(
+            f"replay: {sum(r.sent for r in self.classes.values())} requests "
+            f"in {self.duration_s:.2f}s"
+        )
+        return "\n".join(lines)
+
+
+__all__ = ["ClassReport", "LoadReport"]

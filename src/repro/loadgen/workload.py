@@ -1,0 +1,227 @@
+"""Trace synthesis: bursty arrivals, Zipf prefixes, mixed tenants.
+
+A workload here is a fully materialized *schedule* — every request's arrival
+offset, token ids, output budget, tenant and priority class — computed up
+front from a seed.  The replay layer (:mod:`repro.loadgen.client`) then
+fires the schedule open-loop against a gateway: arrival times never depend
+on completion times, so an overloaded server sees the queue build exactly
+the way it would under real independent clients.
+
+The shape knobs mirror what production LLM traffic studies report:
+
+* **Bursty arrivals** — a Poisson process whose rate switches between a base
+  rate and a burst rate on a fixed episode cycle (a step-function
+  non-homogeneous Poisson process).  Bursts are what expose admission-policy
+  differences; a constant rate mostly measures steady-state throughput.
+* **Zipf-shared prefixes** — each request prepends one of ``prefix_groups``
+  shared prefixes, with group popularity Zipf-distributed.  Hot prefixes
+  exercise the block pool's prefix sharing and the router's prefix-affinity
+  placement the way shared system prompts do.
+* **Mixed lengths** — per-class prompt/output budgets: ``interactive``
+  requests are short-prompt/short-output (chat turns), ``best_effort``
+  requests are long-prompt/long-output (batch summarization), so the two
+  classes genuinely compete for pool blocks rather than sliding past each
+  other.
+* **Tenants** — each request carries an opaque tenant tag; tenants are
+  pinned to one priority class so per-tenant reports decompose cleanly.
+
+Everything is derived from ``seed`` through :func:`repro.utils.rng.get_rng`
+— the same spec always synthesizes the same schedule, which is what lets the
+``serving.slo_load`` benchmark replay one trace against two admission
+policies and attribute the delta to the policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.serving.request import PRIORITIES
+from repro.utils.rng import get_rng
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of one synthetic serving workload (see module docstring).
+
+    ``burst_every_s``/``burst_duration_s`` define the episode cycle: the
+    arrival rate is ``burst_rate_rps`` for the first ``burst_duration_s``
+    seconds of every ``burst_every_s``-second window and ``base_rate_rps``
+    for the rest.  ``best_effort_fraction`` is the expected fraction of
+    requests in the ``best_effort`` class; tenants are split between the
+    classes in the same proportion.
+    """
+
+    requests: int = 64
+    base_rate_rps: float = 8.0
+    burst_rate_rps: float = 32.0
+    burst_every_s: float = 4.0
+    burst_duration_s: float = 1.0
+    prefix_groups: int = 8
+    zipf_alpha: float = 1.1
+    prefix_tokens: int = 48
+    interactive_prompt_tokens: tuple[int, int] = (8, 32)
+    best_effort_prompt_tokens: tuple[int, int] = (32, 96)
+    interactive_output_tokens: tuple[int, int] = (4, 12)
+    best_effort_output_tokens: tuple[int, int] = (16, 48)
+    best_effort_fraction: float = 0.5
+    tenants: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        require(self.requests >= 1, "requests must be >= 1")
+        require(self.base_rate_rps > 0, "base_rate_rps must be positive")
+        require(
+            self.burst_rate_rps >= self.base_rate_rps,
+            "burst_rate_rps must be >= base_rate_rps",
+        )
+        require(self.burst_every_s > 0, "burst_every_s must be positive")
+        require(
+            0 <= self.burst_duration_s <= self.burst_every_s,
+            "burst_duration_s must be within [0, burst_every_s]",
+        )
+        require(self.prefix_groups >= 1, "prefix_groups must be >= 1")
+        require(self.zipf_alpha > 0, "zipf_alpha must be positive")
+        require(self.prefix_tokens >= 0, "prefix_tokens must be >= 0")
+        require(0.0 <= self.best_effort_fraction <= 1.0,
+                "best_effort_fraction must be in [0, 1]")
+        require(self.tenants >= 1, "tenants must be >= 1")
+        for name in (
+            "interactive_prompt_tokens",
+            "best_effort_prompt_tokens",
+            "interactive_output_tokens",
+            "best_effort_output_tokens",
+        ):
+            lo, hi = getattr(self, name)
+            require(1 <= lo <= hi, f"{name} must satisfy 1 <= lo <= hi")
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One request of a materialized schedule.
+
+    ``at_s`` is the arrival offset from replay start; ``prompt_ids`` already
+    includes the shared prefix of ``prefix_group``.
+    """
+
+    index: int
+    at_s: float
+    prompt_ids: np.ndarray
+    max_tokens: int
+    priority: str
+    tenant: str
+    prefix_group: int
+
+
+def _arrival_times(spec: WorkloadSpec, rng: np.random.Generator) -> np.ndarray:
+    """Step-function non-homogeneous Poisson arrival offsets (seconds).
+
+    Sampled incrementally: each gap is exponential at the rate in force at
+    the previous arrival.  A gap can overshoot an episode boundary — exact
+    thinning is not worth the complexity for a load harness; the episode
+    structure survives because bursts last many expected inter-arrivals.
+    """
+    times = np.empty(spec.requests, dtype=np.float64)
+    t = 0.0
+    for i in range(spec.requests):
+        in_burst = (t % spec.burst_every_s) < spec.burst_duration_s
+        rate = spec.burst_rate_rps if in_burst else spec.base_rate_rps
+        t += rng.exponential(1.0 / rate)
+        times[i] = t
+    return times
+
+
+def _zipf_groups(spec: WorkloadSpec, rng: np.random.Generator) -> np.ndarray:
+    """Per-request prefix-group indices with Zipf(alpha) popularity."""
+    ranks = np.arange(1, spec.prefix_groups + 1, dtype=np.float64)
+    weights = ranks ** -spec.zipf_alpha
+    return rng.choice(
+        spec.prefix_groups, size=spec.requests, p=weights / weights.sum()
+    )
+
+
+def _tenant_pools(spec: WorkloadSpec) -> dict[str, list[str]]:
+    """Tenants pinned to priority classes, split like the request mix."""
+    n_best_effort = int(round(spec.tenants * spec.best_effort_fraction))
+    n_best_effort = min(max(n_best_effort, 0), spec.tenants)
+    if 0.0 < spec.best_effort_fraction and n_best_effort == 0:
+        n_best_effort = 1
+    if spec.best_effort_fraction < 1.0 and n_best_effort == spec.tenants:
+        n_best_effort = spec.tenants - 1
+    names = [f"tenant-{i}" for i in range(spec.tenants)]
+    return {
+        "interactive": names[: spec.tenants - n_best_effort] or names,
+        "best_effort": names[spec.tenants - n_best_effort:] or names,
+    }
+
+
+def synthesize(
+    spec: WorkloadSpec,
+    vocab_size: int,
+    max_seq_len: Optional[int] = None,
+) -> list[ScheduledRequest]:
+    """Materialize a schedule: same spec + vocab → same requests, always.
+
+    ``max_seq_len`` (when given) clips each request's prompt + output budget
+    to the model's window so the gateway never rejects a synthetic request
+    for length.
+    """
+    require(vocab_size >= 2, "vocab_size must be >= 2")
+    rng = get_rng(spec.seed)
+    times = _arrival_times(spec, rng)
+    groups = _zipf_groups(spec, rng)
+    prefixes = [
+        rng.integers(0, vocab_size, size=spec.prefix_tokens, dtype=np.int64)
+        for _ in range(spec.prefix_groups)
+    ]
+    tenant_pools = _tenant_pools(spec)
+    prompt_bounds = {
+        "interactive": spec.interactive_prompt_tokens,
+        "best_effort": spec.best_effort_prompt_tokens,
+    }
+    output_bounds = {
+        "interactive": spec.interactive_output_tokens,
+        "best_effort": spec.best_effort_output_tokens,
+    }
+    schedule: list[ScheduledRequest] = []
+    for index in range(spec.requests):
+        priority = (
+            "best_effort"
+            if rng.random() < spec.best_effort_fraction
+            else "interactive"
+        )
+        assert priority in PRIORITIES
+        tenants = tenant_pools[priority]
+        tenant = tenants[int(rng.integers(0, len(tenants)))]
+        p_lo, p_hi = prompt_bounds[priority]
+        o_lo, o_hi = output_bounds[priority]
+        suffix_len = int(rng.integers(p_lo, p_hi + 1))
+        max_tokens = int(rng.integers(o_lo, o_hi + 1))
+        suffix = rng.integers(0, vocab_size, size=suffix_len, dtype=np.int64)
+        prompt = np.concatenate([prefixes[groups[index]], suffix])
+        if max_seq_len is not None:
+            budget = max_seq_len - max_tokens
+            require(
+                budget >= 1,
+                f"max_seq_len {max_seq_len} cannot fit any prompt plus "
+                f"{max_tokens} output tokens",
+            )
+            prompt = prompt[:budget]
+        schedule.append(
+            ScheduledRequest(
+                index=index,
+                at_s=float(times[index]),
+                prompt_ids=prompt,
+                max_tokens=max_tokens,
+                priority=priority,
+                tenant=tenant,
+                prefix_group=int(groups[index]),
+            )
+        )
+    return schedule
+
+
+__all__ = ["ScheduledRequest", "WorkloadSpec", "synthesize"]

@@ -1,8 +1,11 @@
 """Batched serving layer: many sequences through one calibrated model.
 
-* :class:`~repro.serving.request.GenerationRequest` — one prompt + limits;
-* :class:`~repro.serving.scheduler.ContinuousBatchingScheduler` — FCFS
-  admission into a bounded running set with immediate slot reuse;
+* :class:`~repro.serving.request.GenerationRequest` — one prompt + limits,
+  plus a :data:`~repro.serving.request.PRIORITIES` class and tenant tag;
+* :class:`~repro.serving.scheduler.ContinuousBatchingScheduler` —
+  priority-class FCFS admission into a bounded running set with immediate
+  slot reuse, optional SLO-aware backpressure
+  (:class:`~repro.serving.scheduler.SloPolicy`);
 * :class:`~repro.serving.engine.BatchedMillionEngine` — swaps per-request
   :class:`~repro.models.transformer.ModelContext` objects through a shared
   model, one decode step per running sequence per engine step;
@@ -23,13 +26,20 @@ from repro.serving.memory import (
     hash_token_block,
 )
 from repro.serving.request import (
+    PRIORITIES,
     FinishReason,
     GenerationRequest,
     RequestState,
     RequestStatus,
     StepOutput,
+    priority_rank,
 )
-from repro.serving.scheduler import ContinuousBatchingScheduler, QueueFullError
+from repro.serving.scheduler import (
+    ContinuousBatchingScheduler,
+    QueueFullError,
+    SloCapacityError,
+    SloPolicy,
+)
 
 __all__ = [
     "BatchedMillionEngine",
@@ -37,13 +47,17 @@ __all__ = [
     "ContinuousBatchingScheduler",
     "FinishReason",
     "GenerationRequest",
+    "PRIORITIES",
     "PoolExhaustedError",
     "QueueFullError",
     "PooledMillionCacheFactory",
     "PooledMillionKVCacheLayer",
     "RequestState",
     "RequestStatus",
+    "SloCapacityError",
+    "SloPolicy",
     "StepOutput",
     "chain_hashes",
     "hash_token_block",
+    "priority_rank",
 ]

@@ -38,9 +38,11 @@ memory manager on top of slot-count scheduling:
   queue head until the pool can cover its prefill blocks (minus prefix hits)
   plus one decode block per layer of headroom.
 * **Preemption with recompute.**  Before each decode step the engine checks
-  the pool can cover the step's flush; if not, the youngest running sequence
-  is preempted: its non-shared blocks are freed and it re-queues at the
-  front.  Restoration replays its full token history through the same
+  the pool can cover the step's flush; if not, a running sequence is
+  preempted — lowest priority class first, youngest first within a class
+  (so ``best_effort`` work is sacrificed before ``interactive`` work): its
+  non-shared blocks are freed and it re-queues at the front of its class's
+  queue.  Restoration replays its full token history through the same
   block-aligned protocol — forced flushing is deterministic in the total
   token count, so the restored cache state and the next sampled token are
   bit-identical to an uncontended run (a test asserts this).
@@ -73,13 +75,14 @@ from repro.serving.memory import (
     ROOT_HASH,
 )
 from repro.serving.request import (
+    PRIORITIES,
     FinishReason,
     GenerationRequest,
     RequestState,
     RequestStatus,
     StepOutput,
 )
-from repro.serving.scheduler import ContinuousBatchingScheduler
+from repro.serving.scheduler import ContinuousBatchingScheduler, SloPolicy
 from repro.utils.logging import get_logger
 from repro.utils.rng import get_rng
 from repro.utils.validation import require
@@ -127,6 +130,8 @@ class BatchedMillionEngine:
         tier_factories: Optional[dict[str, KVCacheFactory]] = None,
         trace: Optional[TraceRecorder] = None,
         trace_track: str = "engine",
+        priority_aware: bool = True,
+        slo_policy: Optional[SloPolicy] = None,
     ) -> None:
         require(max_unclaimed_results >= 1, "max_unclaimed_results must be >= 1")
         require(fused_min_batch >= 1, "fused_min_batch must be >= 1")
@@ -169,8 +174,15 @@ class BatchedMillionEngine:
             # batch, which the segment-ADC path cannot serve (it requires one
             # shared codebook set per layer) — they use the generic attend.
             self._fused_attention = FusedMillionAttention()
+        # ``priority_aware=False`` collapses the priority classes into one
+        # FIFO queue and makes preemption youngest-first regardless of class
+        # — the pre-priority behavior, kept as the baseline the
+        # ``serving.slo_load`` benchmark compares against.
         self.scheduler = ContinuousBatchingScheduler(
-            max_batch_size=max_batch_size, max_queue_size=max_queue_size
+            max_batch_size=max_batch_size,
+            max_queue_size=max_queue_size,
+            priority_aware=priority_aware,
+            slo_policy=slo_policy,
         )
         self.max_unclaimed_results = max_unclaimed_results
         self._states: dict[str, RequestState] = {}
@@ -193,6 +205,9 @@ class BatchedMillionEngine:
         }
         # Lifetime counters (reported by stats()).
         self.preemption_count = 0
+        # Preemptions split by the victim's priority class: under pool
+        # contention best_effort should absorb (nearly) all of these.
+        self.priority_preemptions: dict[str, int] = {p: 0 for p in PRIORITIES}
         self.prefill_tokens_computed = 0
         self.prefill_tokens_reused = 0
         self.prefix_block_hits = 0
@@ -295,6 +310,8 @@ class BatchedMillionEngine:
                 request_id=request.request_id,
                 args={
                     "tier": request.tier or "default",
+                    "priority": request.priority,
+                    "tenant": request.tenant or "",
                     "prompt_tokens": int(request.prompt_ids.size),
                     "max_new_tokens": request.max_new_tokens,
                 },
@@ -310,6 +327,8 @@ class BatchedMillionEngine:
         sampler=None,
         seed: Optional[int] = None,
         tier: Optional[str] = None,
+        priority: str = "interactive",
+        tenant: Optional[str] = None,
     ) -> str:
         """Convenience wrapper building and submitting a :class:`GenerationRequest`."""
         return self.submit(
@@ -321,6 +340,8 @@ class BatchedMillionEngine:
                 sampler=sampler,
                 seed=seed,
                 tier=tier,
+                priority=priority,
+                tenant=tenant,
             )
         )
 
@@ -697,6 +718,7 @@ class BatchedMillionEngine:
     def _preempt(self, state: RequestState) -> None:
         """Evict a running sequence: free its blocks, re-queue it at the front."""
         self.preemption_count += 1
+        self.priority_preemptions[state.priority] += 1
         state.preemptions += 1
         self._release_context(state)
         state.next_logits = None
@@ -719,35 +741,43 @@ class BatchedMillionEngine:
         caches = self._pooled_caches(state)
         return caches[0].flushable_blocks() * pool.n_layers
 
-    def _ensure_decode_capacity(self, state: RequestState, reserved: int = 0) -> bool:
+    def _ensure_decode_capacity(
+        self,
+        state: RequestState,
+        reserved: int = 0,
+        exclude: Sequence[RequestState] = (),
+    ) -> bool:
         """Make room for ``state``'s next decode step, preempting if needed.
 
         ``reserved`` is block demand already promised to sequences decoding
         in the same fused step *against the same pool* — their flush
         allocations have not happened yet, so the pool must cover the sum,
-        not just this sequence's share.  Returns ``False`` if ``state``
-        itself was preempted (it is the youngest running sequence and the
-        pool still cannot cover its flush).
+        not just this sequence's share.  The victim is the first candidate in
+        :meth:`ContinuousBatchingScheduler.preemption_victims` order (lowest
+        priority class first, youngest first within a class) that decodes
+        against the contended pool — preempting a sequence on another pool
+        would free nothing here.  ``exclude`` holds sequences that must not
+        be victims: the fused path passes the states already collected into
+        this step's batch, whose sampled-but-not-yet-decoded token would be
+        lost if their context were freed mid-batch.  Returns ``False`` if
+        ``state`` itself was preempted (every eligible same-pool candidate
+        outranks it and the pool still cannot cover its flush).
         """
         pool = self._pool_for(state)
         assert pool is not None and state.context is not None
+        excluded = {id(s) for s in exclude}
         demand = self._decode_block_demand(state)
         while demand and not pool.can_allocate(reserved + demand):
-            victim = self.scheduler.youngest_running
-            assert victim is not None
-            if victim is not state and self._pool_for(victim) is not pool:
-                # The youngest sequence decodes against a different pool;
-                # preempting it frees nothing here.  Fall through to the
-                # youngest sharing this pool.
-                victim = next(
-                    (
-                        candidate
-                        for candidate in reversed(list(self.scheduler.running))
-                        if candidate.status is RequestStatus.RUNNING
-                        and self._pool_for(candidate) is pool
-                    ),
-                    state,
-                )
+            victim = next(
+                (
+                    candidate
+                    for candidate in self.scheduler.preemption_victims()
+                    if candidate.status is RequestStatus.RUNNING
+                    and id(candidate) not in excluded
+                    and self._pool_for(candidate) is pool
+                ),
+                state,
+            )
             if victim is state:
                 same_pool_running = sum(
                     1
@@ -826,8 +856,12 @@ class BatchedMillionEngine:
             if state.status is not RequestStatus.RUNNING:
                 continue  # preempted or cancelled earlier in this very step
             pool = self._pool_for(state)
+            # ``exclude=live`` protects sequences already collected into this
+            # fused batch: each holds a sampled token whose forward has not
+            # run yet, so preempting one here would null its context out from
+            # under the stacked decode (and orphan the sampled token).
             if pool is not None and not self._ensure_decode_capacity(
-                state, reserved.get(id(pool), 0)
+                state, reserved.get(id(pool), 0), exclude=live
             ):
                 continue
             processed.append(state)
@@ -1109,6 +1143,26 @@ class BatchedMillionEngine:
                 )
         return tiers
 
+    def priority_stats(self) -> dict:
+        """Per-priority-class serving statistics.
+
+        Always keyed by every class in :data:`PRIORITIES`, even when the
+        scheduler runs priority-unaware (classes then share one FIFO queue
+        but requests still carry their class tag).  ``slo_rejections`` counts
+        submissions refused by the scheduler's SLO admission gate.
+        """
+        queued = self.scheduler.queued_count_by_class()
+        running = self.scheduler.running_count_by_class()
+        return {
+            label: {
+                "queued": queued[label],
+                "running": running[label],
+                "preemptions": self.priority_preemptions[label],
+                "slo_rejections": self.scheduler.slo_rejections[label],
+            }
+            for label in PRIORITIES
+        }
+
     def stats(self) -> dict:
         """Aggregate serving statistics: queues, memory, pool utilization."""
         return {
@@ -1134,6 +1188,7 @@ class BatchedMillionEngine:
             },
             "pool": self.pool.stats() if self.pool is not None else None,
             "tiers": self.tier_stats(),
+            "priority": self.priority_stats(),
             "histograms": {
                 "queue_wait_seconds": self.queue_wait_hist.snapshot(),
                 "prefill_step_seconds": self.prefill_step_hist.snapshot(),

@@ -659,6 +659,19 @@ class BlockPool:
     def utilization(self) -> float:
         return self.used_block_count / self.num_blocks
 
+    def pressure(self) -> float:
+        """Fraction of the pool an allocation burst could *not* obtain.
+
+        ``1 - available/total`` in [0, 1]: 0.0 when every block is free or
+        evictable, 1.0 when every block is pinned by a running sequence.
+        Unlike :meth:`utilization`, blocks held only by the reuse cache do
+        not count — they are reclaimable on demand, so they exert no
+        admission pressure.  This is the signal the gateway exports as
+        ``repro_pool_pressure`` and the SLO admission docs key their
+        preemption-churn runbook on.
+        """
+        return 1.0 - self.available_block_count / self.num_blocks
+
     def stats(self) -> dict:
         """Snapshot of pool occupancy and lifetime counters."""
         return {
@@ -670,6 +683,7 @@ class BlockPool:
             "evictable_blocks": self.evictable_block_count,
             "cached_groups": self.cached_group_count,
             "utilization": self.utilization(),
+            "pressure": self.pressure(),
             "bytes_per_block": self.bytes_per_block,
             "memory_bytes": self.memory_bytes(),
             "allocations": self.allocations,

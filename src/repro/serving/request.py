@@ -12,13 +12,26 @@ from repro.models.transformer import ModelContext
 from repro.utils.validation import require
 
 
+#: Priority classes in admission order (highest first).  ``interactive``
+#: requests are admitted before any queued ``best_effort`` request and are
+#: the last preemption victims; ``best_effort`` requests absorb queueing and
+#: preemption when the pool is contended.  The default is ``interactive`` so
+#: priority-unaware callers keep today's FCFS behavior.
+PRIORITIES = ("interactive", "best_effort")
+
+
+def priority_rank(priority: str) -> int:
+    """Admission rank of a priority class (0 = highest)."""
+    return PRIORITIES.index(priority)
+
+
 class RequestStatus(Enum):
     """Lifecycle of a request inside the batched engine.
 
     ``PREEMPTED`` is a running sequence that was evicted under memory
     pressure: its KV blocks were returned to the pool and it sits at the
-    front of the queue waiting to be restored by re-prefilling its full
-    token history (prompt + tokens generated so far).
+    front of its priority class's queue waiting to be restored by
+    re-prefilling its full token history (prompt + tokens generated so far).
     """
 
     QUEUED = "queued"
@@ -55,6 +68,12 @@ class GenerationRequest:
     the engine (e.g. ``"quality"`` / ``"balanced"`` / ``"compact"``, each
     backed by a different quantization policy).  ``None`` uses the engine's
     default factory; unknown tiers are rejected at submission.
+
+    ``priority`` selects a serving class (see :data:`PRIORITIES`):
+    ``"interactive"`` requests are admitted ahead of ``"best_effort"`` ones
+    and are preempted last under pool pressure.  ``tenant`` is an opaque tag
+    carried through scheduling and tracing for per-tenant accounting; it
+    never affects scheduling decisions.
     """
 
     prompt_ids: np.ndarray
@@ -64,6 +83,8 @@ class GenerationRequest:
     sampler: Optional[object] = None
     seed: Optional[int] = None
     tier: Optional[str] = None
+    priority: str = "interactive"
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Validate at construction, not deep inside prefill: a malformed
@@ -85,6 +106,15 @@ class GenerationRequest:
         require(
             self.tier is None or (isinstance(self.tier, str) and self.tier != ""),
             "tier must be None (default) or a non-empty string",
+        )
+        require(
+            self.priority in PRIORITIES,
+            f"priority must be one of {PRIORITIES}, got {self.priority!r}",
+        )
+        require(
+            self.tenant is None
+            or (isinstance(self.tenant, str) and 0 < len(self.tenant) <= 64),
+            "tenant must be None or a non-empty string of at most 64 characters",
         )
 
 
@@ -125,6 +155,10 @@ class RequestState:
     def request_id(self) -> str:
         assert self.request.request_id is not None
         return self.request.request_id
+
+    @property
+    def priority(self) -> str:
+        return self.request.priority
 
     @property
     def generated_ids(self) -> np.ndarray:

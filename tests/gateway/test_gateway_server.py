@@ -278,6 +278,79 @@ class TestErrorPaths:
 
         asyncio.run(scenario())
 
+    def test_slo_admission_returns_429_with_projected_retry_hint(
+        self, tiny_config, million_factory, calibration_tokens, gw
+    ):
+        """With an (absurdly tight) interactive SLO, a submission whose
+        projected queue wait exceeds it is shed with 429 — and the
+        ``Retry-After`` hint comes from the projection, not the coarse
+        hard-cap default.  Best-effort has no SLO and still queues."""
+        from repro.serving import SloPolicy
+
+        prompt = calibration_tokens[:10].tolist()
+
+        async def scenario():
+            server = _make_server(
+                tiny_config, million_factory, max_batch_size=1,
+                slo_policy=SloPolicy(interactive_slo_s=1e-4),
+            )
+            host, port = await server.start(port=0)
+            try:
+                # Two sequential completions establish the scheduler's
+                # admission-interval estimate (a cold scheduler never sheds).
+                for _ in range(2):
+                    status, _, _ = await gw.raw_request(
+                        host, port, "POST", "/v1/completions",
+                        {"prompt": prompt, "max_tokens": 2},
+                    )
+                    assert status == 200
+                # A long stream pins the single batch slot ...
+                stream = asyncio.create_task(
+                    gw.raw_request(
+                        host, port, "POST", "/v1/completions",
+                        {"prompt": prompt, "max_tokens": 2000, "stream": True},
+                    )
+                )
+                await asyncio.sleep(0.3)
+                # ... a queued interactive request sits ahead of any newcomer
+                # (its own projected wait was 0 — nothing was queued) ...
+                queued = asyncio.create_task(
+                    gw.raw_request(
+                        host, port, "POST", "/v1/completions",
+                        {"prompt": prompt, "max_tokens": 2},
+                    )
+                )
+                await asyncio.sleep(0.3)
+                # ... so the next interactive projection is ≥ one admission
+                # interval > the SLO: shed with a Retry-After hint.
+                status, headers, body = await gw.raw_request(
+                    host, port, "POST", "/v1/completions",
+                    {"prompt": prompt, "max_tokens": 2},
+                )
+                assert status == 429, body
+                assert int(headers.get("retry-after")) >= 1
+                assert "SLO" in json.loads(body)["error"]["message"]
+                # Best-effort work has no SLO: same backlog, still accepted
+                # (it blocks behind the stream, so just check it queued).
+                best_effort = asyncio.create_task(
+                    gw.raw_request(
+                        host, port, "POST", "/v1/completions",
+                        {"prompt": prompt, "max_tokens": 2,
+                         "priority": "best_effort"},
+                    )
+                )
+                await asyncio.sleep(0.2)
+                assert not best_effort.done()  # queued, not 429ed
+                stream_status, _, _ = await stream
+                assert stream_status == 200
+                queued_status, _, _ = await queued
+                best_status, _, _ = await best_effort
+                assert queued_status == 200 and best_status == 200
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
 
 class TestDisconnectCancellation:
     async def _open_stream(self, host, port, payload):

@@ -165,3 +165,80 @@ class TestServedScrapes:
         assert families["repro_gateway_ttft_seconds"].value(
             tier="default", le="+Inf"
         ) == 0.0
+
+
+class TestPriorityFamilies:
+    def test_priority_labelled_latency_and_engine_families(
+        self, tiny_config, million_factory, calibration_tokens, gw
+    ):
+        prompt = calibration_tokens[:10].tolist()
+
+        async def scenario():
+            server = _make_server(tiny_config, million_factory)
+            host, port = await server.start(port=0)
+            try:
+                for priority, count in (("best_effort", 2), (None, 1)):
+                    for _ in range(count):
+                        payload = {"prompt": prompt, "max_tokens": 3}
+                        if priority is not None:
+                            payload["priority"] = priority
+                        status, _, _ = await gw.raw_request(
+                            host, port, "POST", "/v1/completions", payload
+                        )
+                        assert status == 200
+                return await _scrape(gw, host, port)
+            finally:
+                await server.stop()
+
+        families = asyncio.run(scenario())
+        ttft = families["repro_gateway_priority_ttft_seconds"]
+        assert ttft.type == "histogram"
+        assert ttft.value(priority="best_effort", le="+Inf") == 2.0
+        # Omitting the field means interactive — the default class.
+        assert ttft.value(priority="interactive", le="+Inf") == 1.0
+        itl = families["repro_gateway_priority_itl_seconds"]
+        assert itl.value(priority="best_effort", le="+Inf") == 2.0 * 2
+        # Per-replica scheduler state and lifetime counters render for both
+        # classes even when nothing was preempted or shed.
+        for label in ("interactive", "best_effort"):
+            assert families["repro_engine_priority_queued"].value(
+                replica="0", priority=label
+            ) == 0.0
+            assert families["repro_engine_priority_running"].value(
+                replica="0", priority=label
+            ) == 0.0
+            assert families["repro_engine_priority_preemptions_total"].value(
+                replica="0", priority=label
+            ) == 0.0
+            assert families["repro_engine_slo_rejections_total"].value(
+                replica="0", priority=label
+            ) == 0.0
+
+    def test_pool_pressure_gauge_renders_with_pooled_engine(
+        self, tiny_config, million_config, million_factory, calibration_tokens, gw
+    ):
+        from repro.serving import BlockPool, PooledMillionCacheFactory
+
+        prompt = calibration_tokens[:10].tolist()
+        pool = BlockPool.for_model(
+            tiny_config, million_config, num_blocks=64, block_tokens=32
+        )
+        pooled = PooledMillionCacheFactory.from_factory(million_factory, pool)
+
+        async def scenario():
+            server = _make_server(tiny_config, pooled)
+            host, port = await server.start(port=0)
+            try:
+                status, _, _ = await gw.raw_request(
+                    host, port, "POST", "/v1/completions",
+                    {"prompt": prompt, "max_tokens": 3},
+                )
+                assert status == 200
+                return await _scrape(gw, host, port)
+            finally:
+                await server.stop()
+
+        families = asyncio.run(scenario())
+        pressure = families["repro_pool_pressure"]
+        assert pressure.type == "gauge"
+        assert 0.0 <= pressure.value(replica="0") <= 1.0

@@ -60,6 +60,11 @@ class TestCompletionRequestParsing:
             ({"prompt": [1], "stream": "yes"}, "'stream' must be a boolean"),
             ({"prompt": [1], "stop_token_id": "x"}, "stop_token_id"),
             ({"prompt": [1], "seed": 1.5}, "'seed' must be an integer"),
+            ({"prompt": [1], "priority": "urgent"}, "'priority' must be one of"),
+            ({"prompt": [1], "priority": 3}, "'priority' must be one of"),
+            ({"prompt": [1], "tenant": ""}, "'tenant' must be a non-empty"),
+            ({"prompt": [1], "tenant": "x" * 65}, "at most 64 characters"),
+            ({"prompt": [1], "tenant": 7}, "'tenant' must be a non-empty"),
         ],
     )
     def test_rejections(self, payload, match):
@@ -79,6 +84,19 @@ class TestCompletionRequestParsing:
         generation = request.to_generation_request()
         assert generation.max_new_tokens == 7 and generation.stop_token == 5
         np.testing.assert_array_equal(generation.prompt_ids, [3, 4])
+
+    def test_priority_and_tenant_pass_through(self):
+        request = CompletionRequest.from_json(
+            {"prompt": [1], "priority": "best_effort", "tenant": "acme"},
+            vocab_size=128,
+        )
+        generation = request.to_generation_request()
+        assert generation.priority == "best_effort"
+        assert generation.tenant == "acme"
+
+    def test_priority_defaults_to_interactive(self):
+        request = CompletionRequest.from_json({"prompt": [1]}, vocab_size=128)
+        assert request.priority == "interactive" and request.tenant is None
 
 
 class TestResponseShaping:

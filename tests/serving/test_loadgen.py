@@ -1,0 +1,174 @@
+"""Load-harness unit tests: schedule synthesis and report aggregation.
+
+The HTTP replay path is covered end to end by ``python -m repro.loadgen
+--smoke`` in CI and by the ``serving.slo_load`` benchmark; here we pin the
+deterministic parts — same spec must mean same schedule, and the report
+arithmetic the benchmark gates on must be exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.loadgen import (
+    LoadReport,
+    RequestOutcome,
+    ScheduledRequest,
+    WorkloadSpec,
+    synthesize,
+)
+from repro.loadgen.__main__ import _smoke_check
+from repro.serving.request import PRIORITIES
+
+SPEC = WorkloadSpec(requests=48, seed=13)
+
+
+class TestWorkloadSynthesis:
+    def test_same_seed_same_schedule(self):
+        a = synthesize(SPEC, vocab_size=128)
+        b = synthesize(SPEC, vocab_size=128)
+        assert len(a) == len(b) == SPEC.requests
+        for x, y in zip(a, b):
+            assert (x.at_s, x.max_tokens, x.priority, x.tenant) == (
+                y.at_s, y.max_tokens, y.priority, y.tenant
+            )
+            np.testing.assert_array_equal(x.prompt_ids, y.prompt_ids)
+
+    def test_different_seed_different_schedule(self):
+        a = synthesize(SPEC, vocab_size=128)
+        b = synthesize(WorkloadSpec(requests=48, seed=14), vocab_size=128)
+        assert any(x.at_s != y.at_s for x, y in zip(a, b))
+
+    def test_arrivals_strictly_increasing(self):
+        times = [r.at_s for r in synthesize(SPEC, vocab_size=128)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+        assert times[0] > 0
+
+    def test_shared_prefixes_identical_within_group(self):
+        schedule = synthesize(SPEC, vocab_size=128)
+        by_group: dict[int, ScheduledRequest] = {}
+        for request in schedule:
+            first = by_group.setdefault(request.prefix_group, request)
+            np.testing.assert_array_equal(
+                request.prompt_ids[: SPEC.prefix_tokens],
+                first.prompt_ids[: SPEC.prefix_tokens],
+            )
+
+    def test_both_classes_present_with_class_length_mix(self):
+        schedule = synthesize(SPEC, vocab_size=128)
+        by_class = {label: [] for label in PRIORITIES}
+        for request in schedule:
+            by_class[request.priority].append(request)
+        assert all(by_class.values())
+        for request in by_class["interactive"]:
+            lo, hi = SPEC.interactive_output_tokens
+            assert lo <= request.max_tokens <= hi
+        for request in by_class["best_effort"]:
+            lo, hi = SPEC.best_effort_output_tokens
+            assert lo <= request.max_tokens <= hi
+
+    def test_tenants_pinned_to_one_class(self):
+        tenant_class: dict[str, str] = {}
+        for request in synthesize(SPEC, vocab_size=128):
+            assert tenant_class.setdefault(request.tenant, request.priority) == (
+                request.priority
+            )
+
+    def test_max_seq_len_clips_prompt_plus_output(self):
+        for request in synthesize(SPEC, vocab_size=128, max_seq_len=64):
+            assert len(request.prompt_ids) + request.max_tokens <= 64
+
+    def test_prompt_ids_within_vocab(self):
+        for request in synthesize(SPEC, vocab_size=32):
+            assert int(request.prompt_ids.max()) < 32
+            assert int(request.prompt_ids.min()) >= 0
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(Exception):
+            WorkloadSpec(requests=0)
+        with pytest.raises(Exception):
+            WorkloadSpec(base_rate_rps=8.0, burst_rate_rps=4.0)
+        with pytest.raises(Exception):
+            WorkloadSpec(burst_every_s=1.0, burst_duration_s=2.0)
+        with pytest.raises(Exception):
+            synthesize(WorkloadSpec(requests=1), vocab_size=128, max_seq_len=4)
+
+
+def _outcome(index, priority, tenant, status=200, ttft=0.1, gaps=(), tokens=3):
+    return RequestOutcome(
+        index=index,
+        priority=priority,
+        tenant=tenant,
+        prefix_group=0,
+        status=status,
+        ttft_s=ttft if status == 200 else None,
+        itl_s=list(gaps),
+        tokens=tokens if status == 200 else 0,
+        finish_reason="length" if status == 200 else None,
+    )
+
+
+class TestLoadReport:
+    def test_dispositions_and_quantiles(self):
+        outcomes = [
+            _outcome(0, "interactive", "t0", ttft=0.010, gaps=[0.002, 0.004]),
+            _outcome(1, "interactive", "t0", ttft=0.030),
+            _outcome(2, "interactive", "t1", status=429),
+            _outcome(3, "best_effort", "t2", ttft=0.200, tokens=9),
+            _outcome(4, "best_effort", "t2", status=500),
+        ]
+        report = LoadReport.from_outcomes(outcomes, duration_s=2.0)
+        summary = report.summary()
+        interactive = summary["classes"]["interactive"]
+        best_effort = summary["classes"]["best_effort"]
+        assert interactive["sent"] == 3
+        assert interactive["completed"] == 2
+        assert interactive["rejected"] == 1
+        assert best_effort == {
+            **best_effort, "sent": 2, "completed": 1, "errors": 1, "tokens": 9
+        }
+        assert summary["sent"] == 5 and summary["completed"] == 3
+        # Quantiles come from the shared bucketed histogram: the estimate
+        # must bracket the true value even if it lands on a bucket edge.
+        assert 0.0 < interactive["ttft_p50_s"] <= 0.05
+        assert best_effort["itl_p50_s"] is None  # no gaps observed
+        assert set(summary["tenants"]) == {"t0", "t1", "t2"}
+        assert summary["tenants"]["t1"]["rejected"] == 1
+
+    def test_classes_always_present(self):
+        report = LoadReport.from_outcomes([], duration_s=1.0)
+        assert set(report.summary()["classes"]) == set(PRIORITIES)
+
+    def test_render_mentions_every_class_and_tenant(self):
+        outcomes = [
+            _outcome(0, "interactive", "alpha"),
+            _outcome(1, "best_effort", "beta"),
+        ]
+        text = LoadReport.from_outcomes(outcomes, duration_s=1.0).render()
+        for needle in ("interactive", "best_effort", "alpha", "beta", "ttft p99"):
+            assert needle in text
+
+
+class TestSmokeCheck:
+    def _report(self, outcomes):
+        return LoadReport.from_outcomes(outcomes, duration_s=1.0)
+
+    def test_healthy_report_passes(self):
+        report = self._report(
+            [_outcome(0, "interactive", "t0"), _outcome(1, "best_effort", "t1")]
+        )
+        assert _smoke_check(report) is None
+
+    def test_missing_class_fails(self):
+        report = self._report([_outcome(0, "interactive", "t0")])
+        assert "best_effort" in _smoke_check(report)
+
+    def test_all_errors_fail(self):
+        report = self._report(
+            [
+                _outcome(0, "interactive", "t0", status=500),
+                _outcome(1, "best_effort", "t1", status=500),
+            ]
+        )
+        assert _smoke_check(report) is not None
