@@ -15,7 +15,12 @@ then from this process:
    families exist with ``_count`` matching the requests served;
 4. pulls ``/debug/trace`` and asserts it is a schema-valid Chrome trace
    containing at least one complete request span;
-5. checks a malformed request is rejected with 400.
+5. pulls ``/debug/prof`` and validates the profiler payload (phase table +
+   collapsed stacks + speedscope document) with
+   :func:`repro.obs.prof.validate_prof_payload`;
+6. checks ``/readyz`` reports ready and renders one frame of the
+   ``repro-obs top`` dashboard (``python -m repro.obs top --once``);
+7. checks a malformed request is rejected with 400.
 
 Run from the repository root::
 
@@ -41,6 +46,7 @@ import numpy as np  # noqa: E402
 from repro.data import load_corpus  # noqa: E402
 from repro.gateway import GatewayConfig, build_engines  # noqa: E402
 from repro.obs.export import validate_chrome_trace  # noqa: E402
+from repro.obs.prof import validate_prof_payload  # noqa: E402
 from repro.obs.promtext import ExpositionError, parse_exposition  # noqa: E402
 
 #: Histogram families the serving gate relies on; a scrape without them is
@@ -194,6 +200,50 @@ def main() -> None:
             f"trace ok ({trace['otherData']['events']} events, "
             f"{len(request_spans)} request span(s))"
         )
+
+        status, body = request(port, "GET", "/debug/prof")
+        assert status == 200, (status, body)
+        prof_payload = json.loads(body)
+        validate_prof_payload(prof_payload)
+        assert prof_payload["enabled"], "profiler should default on"
+        prof_phases = {row["phase"] for row in prof_payload["phases"]}
+        assert {"decode", "prefill"} <= prof_phases, (
+            f"profiler missing top-level phases: {sorted(prof_phases)}"
+        )
+        assert "repro_engine_phase_seconds" in families, (
+            "profiled gateway should export repro_engine_phase_seconds"
+        )
+        assert "repro_health_state" in families, (
+            "gateway should export its health verdict"
+        )
+        print(f"prof ok ({len(prof_phases)} phases, payload valid)")
+
+        status, body = request(port, "GET", "/readyz")
+        assert status == 200, (status, body)
+        assert json.loads(body)["ready"] is True
+        print("readyz ok")
+
+        top = subprocess.run(
+            [
+                sys.executable, "-m", "repro.obs", "top", "--once",
+                "--no-color", "--target", f"127.0.0.1:{port}",
+            ],
+            env={
+                **os.environ,
+                "PYTHONPATH": str(REPO_ROOT / "src")
+                + os.pathsep
+                + os.environ.get("PYTHONPATH", ""),
+            },
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert top.returncode == 0, (top.returncode, top.stdout, top.stderr)
+        assert "repro-obs top" in top.stdout and "health=ok" in top.stdout, (
+            top.stdout
+        )
+        print("repro-obs top --once ok")
 
         status, body = request(port, "POST", "/v1/completions", {"max_tokens": 4})
         assert status == 400, (status, body)

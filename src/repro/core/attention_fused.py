@@ -42,6 +42,7 @@ from repro.models.attention import AttentionBlock
 from repro.models.attention_math import attention_scores, repeat_kv_heads
 from repro.models.positional import alibi_bias
 from repro.models.tensor_ops import softmax
+from repro.obs.prof import NULL_PROFILER, PhaseProfiler
 from repro.utils.bitpack import code_dtype
 from repro.utils.scratch import ScratchArena
 from repro.utils.validation import require
@@ -60,6 +61,10 @@ class FusedMillionAttention:
 
     def __init__(self) -> None:
         self.arena = ScratchArena()
+        # Phase attribution (repro.obs.prof): the owning engine replaces this
+        # with its profiler; the default no-op keeps the disabled cost to one
+        # ``enabled`` attribute check per step.
+        self.prof: PhaseProfiler = NULL_PROFILER
         # Element maps depend only on (H, kv_heads, segment lengths); they
         # are identical for every layer of a step (all layers see the same
         # token stream), so they are rebuilt once per step and reused.
@@ -181,7 +186,13 @@ class FusedMillionAttention:
                 "fused attention requires caches sharing one quantizer pair",
             )
 
+        prof = self.prof
+        timing = prof.enabled
+        if timing:
+            t = prof.now()
         self._flush_and_append(caches, k, v)
+        if timing:
+            t = prof.lap("decode/flush_encode", t)
         segments = [cache.stored_tokens for cache in caches]
         self._build_maps(
             n_heads, kv_heads, segments, value_pq.m_subspaces, value_pq.n_centroids
@@ -194,6 +205,8 @@ class FusedMillionAttention:
         scores_flat = None
         key_rows = value_rows = None
         if n_elements:
+            if timing:
+                t = prof.now()
             total_stored = sum(segments)
             m_key = key_pq.m_subspaces
             m_value = value_pq.m_subspaces
@@ -226,15 +239,23 @@ class FusedMillionAttention:
                     )
                     seg_start += seg_len
                 self._pack_signatures[layer_index] = signature
+            if timing:
+                t = prof.lap("decode/pack_codes", t)
             flat_q = q.reshape(n_seqs * n_heads, head_dim)
             luts = key_pq.build_score_luts(flat_q, subspace_major=True)
+            if timing:
+                t = prof.lap("decode/lut_build", t)
             scores_flat = adc_scores_flat(
                 luts, key_rows, token_kv, row_index, self.arena, "fused.adc"
             )
             np.multiply(scores_flat, np.float32(scale), out=scores_flat)
+            if timing:
+                t = prof.lap("decode/adc_gather", t)
 
         # Sequence-local merge with the full-precision recent window: exactly
         # the sequential cache's attend(), with the stored scores precomputed.
+        if timing:
+            t = prof.now()
         context = np.empty((n_seqs, n_heads, head_dim), dtype=np.float32)
         probs_packed = self.arena.get("pack.probs", (n_elements,), np.float32)
         pending_contexts: list[np.ndarray] = []
@@ -280,6 +301,8 @@ class FusedMillionAttention:
                 )
             else:
                 pending_contexts.append(None)
+        if timing:
+            t = prof.lap("decode/softmax_merge", t)
 
         if n_elements:
             stored_context = weighted_decode_flat(
@@ -301,6 +324,8 @@ class FusedMillionAttention:
                 context[b] += stored_context[b]
             if pending_contexts[b] is not None:
                 context[b] += pending_contexts[b][0]
+        if timing:
+            prof.lap("decode/scatter_add", t)
         return context
 
 

@@ -29,7 +29,9 @@ from repro.core.million_cache import MillionCacheFactory
 from repro.data.corpus import load_corpus
 from repro.models.model_zoo import load_model
 from repro.models.tokenizer import ByteTokenizer
-from repro.obs.trace import TraceRecorder
+from repro.obs.health import HealthEngine, HealthPolicy
+from repro.obs.prof import PhaseProfiler
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.quant.policy import QuantPolicy, derive_policy, million_variant
 from repro.quant.policy_cache import PolicyCacheFactory
 from repro.serving.engine import BatchedMillionEngine
@@ -81,6 +83,19 @@ class GatewayConfig:
     # (submissions are then only refused at the max_queue_size hard cap).
     interactive_ttft_slo_ms: int = 0
     best_effort_ttft_slo_ms: int = 0
+    # Phase profiler (repro.obs.prof): 1 gives every replica a profiler —
+    # /debug/prof and the repro_engine_phase_seconds family light up; 0
+    # leaves the no-op profiler (each hook costs one attribute check).
+    profiler: int = 1
+    # Health engine rolling window, seconds (deltas between scrapes).
+    health_window_s: int = 60
+    # Per-class TTFT SLOs (milliseconds) for the health engine's burn-rate
+    # rules; 0 inherits the admission SLO knob of the same class, and if
+    # both are 0 the class has no burn rule.  Separate knobs because the
+    # admission gate *sheds* load while the burn rule only *reports* —
+    # an operator may want alerting well before refusing requests.
+    burn_interactive_slo_ms: int = 0
+    burn_best_effort_slo_ms: int = 0
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -207,20 +222,58 @@ def build_engines(
                 trace_track=f"replica-{replica_index}",
                 priority_aware=bool(config.priority_aware),
                 slo_policy=slo_policy,
+                prof=PhaseProfiler() if config.profiler else None,
             )
         )
     return engines
 
 
+def health_policy_from_config(config: GatewayConfig) -> HealthPolicy:
+    """The health engine thresholds a :class:`GatewayConfig` implies."""
+    ttft_slo_s: dict[str, float] = {}
+    interactive_ms = (
+        config.burn_interactive_slo_ms or config.interactive_ttft_slo_ms
+    )
+    best_effort_ms = (
+        config.burn_best_effort_slo_ms or config.best_effort_ttft_slo_ms
+    )
+    if interactive_ms > 0:
+        ttft_slo_s["interactive"] = interactive_ms / 1000.0
+    if best_effort_ms > 0:
+        ttft_slo_s["best_effort"] = best_effort_ms / 1000.0
+    return HealthPolicy(
+        window_s=float(config.health_window_s), ttft_slo_s=ttft_slo_s
+    )
+
+
 def build_gateway(config: GatewayConfig) -> GatewayServer:
-    """Assemble runners, router and server (not yet started)."""
-    engines = build_engines(config)
+    """Assemble runners, router, health engine and server (not yet started)."""
+    trace = (
+        TraceRecorder(capacity=config.trace_capacity)
+        if config.trace_capacity > 0
+        else None
+    )
+    engines = build_engines(config, trace=trace)
     runners = [
         AsyncEngineRunner(engine, name=f"replica-{i}")
         for i, engine in enumerate(engines)
     ]
     router = ReplicaRouter(runners)
-    return GatewayServer(router, tokenizer=ByteTokenizer(), model_name=config.model)
+    health = HealthEngine(
+        health_policy_from_config(config),
+        trace=trace if trace is not None else NULL_RECORDER,
+    )
+    return GatewayServer(
+        router,
+        tokenizer=ByteTokenizer(),
+        model_name=config.model,
+        health=health,
+    )
 
 
-__all__ = ["GatewayConfig", "build_engines", "build_gateway"]
+__all__ = [
+    "GatewayConfig",
+    "build_engines",
+    "build_gateway",
+    "health_policy_from_config",
+]

@@ -22,6 +22,7 @@ import math
 from collections import Counter
 from typing import Optional, Sequence
 
+from repro.obs.health import HealthEngine, state_value
 from repro.obs.hist import Histogram, LATENCY_BUCKETS_S
 from repro.serving.request import PRIORITIES
 
@@ -173,8 +174,13 @@ def render_prometheus(
     metrics: GatewayMetrics,
     replica_stats: Sequence[dict],
     router_stats: Optional[dict] = None,
+    health: Optional[HealthEngine] = None,
 ) -> str:
-    """Render one scrape; ``replica_stats`` is one ``engine.stats()`` each."""
+    """Render one scrape; ``replica_stats`` is one ``engine.stats()`` each.
+
+    ``health`` renders the health engine's *last* evaluation (the server
+    evaluates before rendering) — the scrape never re-samples.
+    """
     out = _Lines()
 
     for (path, status), count in sorted(metrics.http_requests.items()):
@@ -253,6 +259,38 @@ def render_prometheus(
             "Requests rejected because every replica queue was full.",
             "counter",
         )
+        out.add(
+            "repro_router_health_avoided_total",
+            router_stats.get("health_avoided", 0),
+            "Routing decisions that excluded at least one degraded or "
+            "unhealthy replica.",
+            "counter",
+        )
+
+    if health is not None:
+        out.add(
+            "repro_health_state",
+            state_value(health.state),
+            "Gateway health verdict (0 ok, 1 degraded, 2 unhealthy).",
+            "gauge",
+        )
+        for index, replica_state in enumerate(health.replica_states):
+            out.add(
+                "repro_health_replica_state",
+                state_value(replica_state),
+                "Per-replica health verdict (0 ok, 1 degraded, 2 unhealthy).",
+                "gauge",
+                {"replica": str(index)},
+            )
+        for priority in sorted(health.burn_rates):
+            out.add(
+                "repro_slo_burn_rate",
+                float(health.burn_rates[priority]),
+                "TTFT SLO burn rate over the health window, by priority "
+                "class (1.0 spends the error budget exactly as it accrues).",
+                "gauge",
+                {"priority": priority},
+            )
 
     engine_gauges = (
         ("running", "repro_engine_running", "Sequences currently decoding."),
@@ -314,6 +352,17 @@ def render_prometheus(
                 "counter",
                 labels,
             )
+        phases = stats.get("phases")
+        if phases:
+            for phase in sorted(phases):
+                out.add(
+                    "repro_engine_phase_seconds",
+                    float(phases[phase]["total_s"]),
+                    "Wall seconds attributed to a named engine phase "
+                    "(see /debug/prof for self times and flamegraphs).",
+                    "counter",
+                    {**labels, "phase": phase},
+                )
         histograms = stats.get("histograms")
         if histograms is not None:
             out.add_histogram(

@@ -66,11 +66,15 @@ class ReplicaRouter:
         self.max_sticky_entries = max_sticky_entries
         # chain hash -> replica index, most recently routed last.
         self._sticky: "OrderedDict[bytes, int]" = OrderedDict()
+        # Per-replica health states (0 ok, 1 degraded, 2 unhealthy) pushed by
+        # the gateway's health engine after every scrape; empty = all healthy.
+        self._replica_health: list[int] = []
         # Decision counters (reported by /metrics).
         self.prefix_routed = 0
         self.sticky_routed = 0
         self.load_routed = 0
         self.rejected = 0
+        self.health_avoided = 0
 
     def route(self, prompt_ids: np.ndarray) -> RoutingDecision:
         """Pick a replica for a prompt and register its prefix affinity."""
@@ -89,6 +93,7 @@ class ReplicaRouter:
             raise QueueFullError(
                 f"all {len(self.runners)} replicas are at queue capacity"
             )
+        candidates = self._prefer_healthy(candidates)
         decision = (
             self._route_by_pool(candidates, hashes)
             or self._route_by_sticky(candidates, hashes)
@@ -102,6 +107,34 @@ class ReplicaRouter:
             self.load_routed += 1
         self._register(hashes, decision.replica_index)
         return decision
+
+    # Health ---------------------------------------------------------------
+
+    def set_replica_health(self, states: Sequence[int]) -> None:
+        """Record per-replica health (0 ok, 1 degraded, 2 unhealthy).
+
+        Pushed by the gateway after every health evaluation, so routing
+        never blocks on the health engine itself.
+        """
+        self._replica_health = [int(state) for state in states]
+
+    def _replica_state(self, index: int) -> int:
+        if index < len(self._replica_health):
+            return self._replica_health[index]
+        return 0
+
+    def _prefer_healthy(self, candidates):
+        """Deprioritize degraded replicas: route within the healthiest
+        non-empty tier (ok > degraded > unhealthy).  A degraded replica
+        still serves when every healthy one is at queue capacity —
+        shedding load beats rejecting it, and the verdict may be stale."""
+        best = min(self._replica_state(index) for index, _ in candidates)
+        preferred = [
+            pair for pair in candidates if self._replica_state(pair[0]) == best
+        ]
+        if len(preferred) < len(candidates):
+            self.health_avoided += 1
+        return preferred
 
     # Strategies -----------------------------------------------------------
 
@@ -147,6 +180,7 @@ class ReplicaRouter:
             "sticky_routed": self.sticky_routed,
             "load_routed": self.load_routed,
             "rejected": self.rejected,
+            "health_avoided": self.health_avoided,
             "sticky_entries": len(self._sticky),
         }
 

@@ -7,12 +7,19 @@ three endpoints:
 * ``POST /v1/completions`` — OpenAI-style completion; ``"stream": true``
   responds with server-sent events, one ``data:`` chunk per decoded token
   as the engine produces it, else a single JSON body.
-* ``GET /healthz`` — liveness + replica summary.
+* ``GET /healthz`` — liveness + the health engine's rolling-window verdict
+  (``ok``/``degraded``/``unhealthy`` with per-rule checks, SLO burn rates
+  and per-replica reasons); always 200 while the process serves.
+* ``GET /readyz`` — readiness: 503 until :meth:`GatewayServer.finish_startup`
+  brings the replicas up (and again if the gateway turns unhealthy), so a
+  booting/calibrating gateway reports not-ready instead of ok.
 * ``GET /metrics`` — Prometheus text format (see :mod:`repro.gateway.metrics`),
   including per-tier TTFT/ITL histograms observed by the completion handlers.
 * ``GET /debug/trace`` — Chrome trace-event JSON of the shared
   :class:`~repro.obs.trace.TraceRecorder` (load it in Perfetto); supports
   ``?since=<seconds>`` on the recorder's clock.
+* ``GET /debug/prof`` — the phase profiler's aggregated view: per-phase
+  self-time table, collapsed stacks and a speedscope flamegraph JSON.
 * ``GET /v1/requests/<id>/trace`` — one request's slice of the same trace.
 
 Design points:
@@ -35,11 +42,19 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 from typing import Optional, Sequence
 from urllib.parse import parse_qsl
 
 from repro.gateway.metrics import GatewayMetrics, render_prometheus
 from repro.obs.context import bind_request_id, reset_request_id
+from repro.obs.health import HealthEngine, HealthSample, state_value
+from repro.obs.prof import (
+    merge_phase_snapshots,
+    phase_table,
+    to_collapsed,
+    to_speedscope,
+)
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.gateway.protocol import (
     SSE_DONE,
@@ -68,6 +83,7 @@ _STATUS_PHRASES = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -179,6 +195,7 @@ class GatewayServer:
         tokenizer=None,
         model_name: str = "repro-million",
         trace: Optional[TraceRecorder] = None,
+        health: Optional[HealthEngine] = None,
     ) -> None:
         self.router = router
         self.tokenizer = tokenizer
@@ -198,25 +215,59 @@ class GatewayServer:
                 NULL_RECORDER,
             )
         self.trace = trace
+        # SLO health: every /healthz, /readyz and /metrics scrape feeds the
+        # engine one sample and gets the rolling-window verdict back.  The
+        # default policy carries no SLOs, so a bare gateway is "ok" on
+        # liveness alone; bootstrap wires thresholds from GatewayConfig.
+        self.health = (
+            health if health is not None else HealthEngine(trace=self.trace)
+        )
         # String prompts fold into the smallest replica vocabulary (they are
         # homogeneous in practice; min() is the safe choice if not).
         self.vocab_size = min(
             runner.engine.model.config.vocab_size for runner in router.runners
         )
         self._server: Optional[asyncio.AbstractServer] = None
+        self._ready = False
 
     # Lifecycle ------------------------------------------------------------
 
-    async def start(self, host: str = "127.0.0.1", port: int = 8707) -> tuple[str, int]:
-        """Start all replica runners and the listener; returns (host, port)."""
-        for runner in self.router.runners:
-            if not runner.started:
-                await runner.start()
+    async def start_listening(
+        self, host: str = "127.0.0.1", port: int = 8707
+    ) -> tuple[str, int]:
+        """Bind the listener without starting the replicas.
+
+        Liveness (``/healthz``) answers immediately, but ``/readyz`` stays
+        503 until :meth:`finish_startup` brings the runners up — the
+        booting/calibrating window reports not-ready instead of ok, so a
+        load balancer never routes traffic at an engine that cannot serve.
+        """
         self._server = await asyncio.start_server(self._handle_client, host, port)
         sockname = self._server.sockets[0].getsockname()
         return sockname[0], sockname[1]
 
+    async def finish_startup(self) -> None:
+        """Start every replica runner and flip ``/readyz`` to ready."""
+        for runner in self.router.runners:
+            if not runner.started:
+                await runner.start()
+        self._ready = True
+
+    async def start(self, host: str = "127.0.0.1", port: int = 8707) -> tuple[str, int]:
+        """Start the listener and all replica runners; returns (host, port)."""
+        bound = await self.start_listening(host, port)
+        await self.finish_startup()
+        return bound
+
+    @property
+    def ready(self) -> bool:
+        """Readiness: runners are up and at least one replica can serve."""
+        return self._ready and any(
+            runner.error is None for runner in self.router.runners
+        )
+
     async def stop(self) -> None:
+        self._ready = False
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -277,6 +328,16 @@ class GatewayServer:
                 await self._simple(writer, request.path, 405, "use GET")
                 return
             await self._healthz(request, writer)
+        elif request.path == "/readyz":
+            if request.method != "GET":
+                await self._simple(writer, request.path, 405, "use GET")
+                return
+            await self._readyz(request, writer)
+        elif request.path == "/debug/prof":
+            if request.method != "GET":
+                await self._simple(writer, request.path, 405, "use GET")
+                return
+            await self._debug_prof(request, writer)
         elif request.path == "/metrics":
             if request.method != "GET":
                 await self._simple(writer, request.path, 405, "use GET")
@@ -322,13 +383,110 @@ class GatewayServer:
 
     # Endpoints --------------------------------------------------------------
 
+    def _health_sample(self) -> HealthSample:
+        """One scrape's worth of cumulative state for the health engine."""
+        replicas = []
+        for runner in self.router.runners:
+            engine = runner.engine
+            pool = engine.pool
+            replicas.append(
+                {
+                    "queued": engine.queued_count,
+                    "running": engine.running_count,
+                    "pool_pressure": (
+                        float(pool.stats()["pressure"]) if pool is not None else 0.0
+                    ),
+                    "failed": runner.error is not None,
+                    "error": str(runner.error) if runner.error is not None else "",
+                }
+            )
+        # Probe endpoints are excluded: a /readyz 503 during boot is the
+        # readiness contract working, not a serving error, and counting it
+        # would let the probes themselves trip the error_rate rule.
+        probes = {"/healthz", "/readyz"}
+        http_total = sum(
+            count
+            for (path, _), count in self.metrics.http_requests.items()
+            if path not in probes
+        )
+        http_errors = sum(
+            count
+            for (path, status), count in self.metrics.http_requests.items()
+            if status.startswith("5") and path not in probes
+        )
+        return HealthSample(
+            ts=TraceRecorder.now(),
+            ttft={
+                priority: hist.snapshot()
+                for priority, hist in self.metrics.priority_ttft_seconds.items()
+            },
+            http_total=http_total,
+            http_errors=http_errors,
+            replicas=replicas,
+        )
+
+    def _evaluate_health(self) -> dict:
+        """Feed one sample to the health engine and sync the router's view."""
+        report = self.health.observe(self._health_sample())
+        self.router.set_replica_health(
+            [state_value(state) for state in self.health.replica_states]
+        )
+        return report
+
     async def _healthz(self, request: _Request, writer: asyncio.StreamWriter) -> None:
+        report = self._evaluate_health()
         body = _json_body(
             {
-                "status": "ok",
+                "status": report["status"],
+                "ready": self.ready,
                 "model": self.model_name,
                 "replicas": len(self.router.runners),
                 "in_flight": self.metrics.in_flight,
+                "window_s": report["window_s"],
+                "burn_rates": report["burn_rates"],
+                "checks": report["checks"],
+                "replica_health": report["replicas"],
+            }
+        )
+        # Liveness: /healthz is 200 as long as the process serves — the
+        # verdict rides in the body.  Readiness semantics live on /readyz.
+        await self._send(writer, 200, body)
+        self.metrics.observe_request(request.path, 200)
+
+    async def _readyz(self, request: _Request, writer: asyncio.StreamWriter) -> None:
+        report = self._evaluate_health()
+        ready = self.ready and report["status"] != "unhealthy"
+        status = 200 if ready else 503
+        reason = (
+            "ok"
+            if ready
+            else ("replicas are not started" if not self._ready else report["status"])
+        )
+        body = _json_body(
+            {"ready": ready, "status": report["status"], "reason": reason}
+        )
+        await self._send(writer, status, body)
+        self.metrics.observe_request(request.path, status)
+
+    async def _debug_prof(
+        self, request: _Request, writer: asyncio.StreamWriter
+    ) -> None:
+        snapshots = [
+            runner.engine.prof.snapshot() for runner in self.router.runners
+        ]
+        merged = merge_phase_snapshots(snapshots)
+        body = _json_body(
+            {
+                "enabled": any(
+                    runner.engine.prof.enabled for runner in self.router.runners
+                ),
+                "phases": phase_table(merged),
+                "collapsed": to_collapsed(merged),
+                "speedscope": to_speedscope(merged),
+                "per_replica": {
+                    str(index): phase_table(snapshot)
+                    for index, snapshot in enumerate(snapshots)
+                },
             }
         )
         await self._send(writer, 200, body)
@@ -342,6 +500,13 @@ class GatewayServer:
         except ValueError:
             await self._simple(
                 writer, request.path, 400, "since must be a number (seconds)"
+            )
+            return
+        if not math.isfinite(since):
+            # float() happily parses "nan"/"inf", but a non-finite cutoff is
+            # meaningless on the recorder's clock — reject, don't 500 later.
+            await self._simple(
+                writer, request.path, 400, "since must be a finite number (seconds)"
             )
             return
         body = _json_body(
@@ -377,7 +542,10 @@ class GatewayServer:
 
     async def _metrics(self, request: _Request, writer: asyncio.StreamWriter) -> None:
         replica_stats = [await runner.stats() for runner in self.router.runners]
-        text = render_prometheus(self.metrics, replica_stats, self.router.stats())
+        self._evaluate_health()
+        text = render_prometheus(
+            self.metrics, replica_stats, self.router.stats(), health=self.health
+        )
         await self._send(
             writer, 200, text.encode(), content_type="text/plain; version=0.0.4"
         )

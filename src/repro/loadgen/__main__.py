@@ -95,9 +95,27 @@ def _parser() -> argparse.ArgumentParser:
         "--max-seq-len", type=int, default=512,
         help="clip prompt+output to this window (match the serving model)",
     )
+    parser.add_argument(
+        "--interactive-slo-ms", type=float, default=0.0,
+        help="grade interactive TTFT against this SLO (adds a burn column; "
+             "0 = no SLO)",
+    )
+    parser.add_argument(
+        "--best-effort-slo-ms", type=float, default=0.0,
+        help="grade best_effort TTFT against this SLO (0 = no SLO)",
+    )
     parser.add_argument("--json", metavar="PATH",
                         help="also write the summary as JSON")
     return parser
+
+
+def _slos_from_args(args: argparse.Namespace) -> dict[str, float]:
+    slos: dict[str, float] = {}
+    if args.interactive_slo_ms > 0:
+        slos["interactive"] = args.interactive_slo_ms / 1000.0
+    if args.best_effort_slo_ms > 0:
+        slos["best_effort"] = args.best_effort_slo_ms / 1000.0
+    return slos
 
 
 def _spec_from_args(args: argparse.Namespace) -> WorkloadSpec:
@@ -116,7 +134,9 @@ def _spec_from_args(args: argparse.Namespace) -> WorkloadSpec:
     )
 
 
-async def _run_self_hosted(spec: WorkloadSpec) -> LoadReport:
+async def _run_self_hosted(
+    spec: WorkloadSpec, slos: Optional[dict] = None
+) -> LoadReport:
     # Imported lazily: the target path must not pay gateway build imports.
     from repro.gateway.bootstrap import GatewayConfig, build_gateway
 
@@ -138,7 +158,9 @@ async def _run_self_hosted(spec: WorkloadSpec) -> LoadReport:
         started = time.perf_counter()
         outcomes = await replay(host, port, schedule)
         return LoadReport.from_outcomes(
-            outcomes, duration_s=time.perf_counter() - started
+            outcomes,
+            duration_s=time.perf_counter() - started,
+            ttft_slo_s=slos,
         )
     finally:
         await server.stop()
@@ -153,7 +175,9 @@ async def _run_target(args: argparse.Namespace, spec: WorkloadSpec) -> LoadRepor
     started = time.perf_counter()
     outcomes = await replay(host or "127.0.0.1", int(port), schedule)
     return LoadReport.from_outcomes(
-        outcomes, duration_s=time.perf_counter() - started
+        outcomes,
+        duration_s=time.perf_counter() - started,
+        ttft_slo_s=_slos_from_args(args),
     )
 
 
@@ -176,13 +200,13 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = _parser().parse_args(argv)
     if args.smoke:
         spec = _SMOKE_SPEC
-        report = asyncio.run(_run_self_hosted(spec))
+        report = asyncio.run(_run_self_hosted(spec, _slos_from_args(args)))
     elif args.target:
         spec = _spec_from_args(args)
         report = asyncio.run(_run_target(args, spec))
     elif args.self_host:
         spec = _spec_from_args(args)
-        report = asyncio.run(_run_self_hosted(spec))
+        report = asyncio.run(_run_self_hosted(spec, _slos_from_args(args)))
     else:
         _parser().error("one of --target, --self-host or --smoke is required")
         return 2  # unreachable; parser.error raises SystemExit

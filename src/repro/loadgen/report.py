@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.obs.hist import Histogram
+from repro.obs.hist import Histogram, snapshot_fraction_over
 from repro.loadgen.client import RequestOutcome
 from repro.serving.request import PRIORITIES
 
@@ -49,6 +49,24 @@ class ClassReport:
     def completed_fraction(self) -> float:
         return self.completed / self.sent if self.sent else 0.0
 
+    def slo_burn(
+        self, slo_s: Optional[float], objective: float = 0.95
+    ) -> Optional[float]:
+        """TTFT SLO burn rate over this report's requests.
+
+        The same construct the gateway's health engine computes live
+        (:mod:`repro.obs.health`): the fraction of requests with TTFT over
+        ``slo_s``, divided by the error budget ``1 - objective``.  ``None``
+        when no SLO is configured or nothing was observed, so the table can
+        print ``-`` instead of a misleading 0.
+        """
+        if slo_s is None or slo_s <= 0.0:
+            return None
+        fraction = snapshot_fraction_over(self.ttft.snapshot(), slo_s)
+        if fraction is None:
+            return None
+        return fraction / (1.0 - objective)
+
     def summary(self) -> dict:
         return {
             "sent": self.sent,
@@ -71,17 +89,28 @@ class LoadReport:
     classes: dict[str, ClassReport]
     tenants: dict[str, ClassReport]
     duration_s: float
+    #: Per-priority-class TTFT SLOs (seconds) to grade against; classes
+    #: absent from the map show ``-`` in the burn column.
+    ttft_slo_s: dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def from_outcomes(
-        cls, outcomes: Sequence[RequestOutcome], duration_s: float
+        cls,
+        outcomes: Sequence[RequestOutcome],
+        duration_s: float,
+        ttft_slo_s: Optional[dict[str, float]] = None,
     ) -> "LoadReport":
         classes = {label: ClassReport() for label in PRIORITIES}
         tenants: dict[str, ClassReport] = {}
         for outcome in outcomes:
             classes[outcome.priority].observe(outcome)
             tenants.setdefault(outcome.tenant, ClassReport()).observe(outcome)
-        return cls(classes=classes, tenants=tenants, duration_s=duration_s)
+        return cls(
+            classes=classes,
+            tenants=tenants,
+            duration_s=duration_s,
+            ttft_slo_s=dict(ttft_slo_s or {}),
+        )
 
     def summary(self) -> dict:
         sent = sum(r.sent for r in self.classes.values())
@@ -91,7 +120,12 @@ class LoadReport:
             "sent": sent,
             "completed": completed,
             "classes": {
-                label: report.summary() for label, report in self.classes.items()
+                label: {
+                    **report.summary(),
+                    "ttft_slo_s": self.ttft_slo_s.get(label),
+                    "slo_burn": report.slo_burn(self.ttft_slo_s.get(label)),
+                }
+                for label, report in self.classes.items()
             },
             "tenants": {
                 tenant: report.summary()
@@ -105,21 +139,28 @@ class LoadReport:
         def fmt(value: Optional[float]) -> str:
             return f"{value * 1000:8.1f}" if value is not None else "       -"
 
+        def fmt_burn(value: Optional[float]) -> str:
+            return f"{value:6.2f}x" if value is not None else "      -"
+
         lines = [
             f"{'class/tenant':<16} {'sent':>5} {'done':>5} {'429':>5} "
             f"{'err':>4} {'ttft p50':>9} {'ttft p99':>9} "
-            f"{'itl p50':>9} {'itl p99':>9}  (ms)",
+            f"{'itl p50':>9} {'itl p99':>9} {'burn':>7}  (ms)",
         ]
         rows = [(label, self.classes[label]) for label in PRIORITIES]
         rows += sorted(self.tenants.items())
         for label, report in rows:
+            # Tenants mix priority classes, so the burn column (an SLO per
+            # priority class) only applies to class rows.
+            burn = report.slo_burn(self.ttft_slo_s.get(label))
             lines.append(
                 f"{label:<16} {report.sent:>5} {report.completed:>5} "
                 f"{report.rejected:>5} {report.errors:>4} "
                 f"{fmt(report.ttft.quantile(0.5)):>9} "
                 f"{fmt(report.ttft.quantile(0.99)):>9} "
                 f"{fmt(report.itl.quantile(0.5)):>9} "
-                f"{fmt(report.itl.quantile(0.99)):>9}"
+                f"{fmt(report.itl.quantile(0.99)):>9} "
+                f"{fmt_burn(burn):>7}"
             )
         lines.append(
             f"replay: {sum(r.sent for r in self.classes.values())} requests "

@@ -1,0 +1,6 @@
+"""``python -m repro.obs`` — same interface as the ``repro-obs`` script."""
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,75 @@
+"""``repro-obs``: operator console for a running gateway.
+
+Subcommands::
+
+    repro-obs top --target 127.0.0.1:8707          # live dashboard, ctrl-c to exit
+    repro-obs top --target 127.0.0.1:8707 --once   # one frame, no screen clearing (CI)
+
+Also reachable without installing the console script as
+``python -m repro.obs top ...``.  The dashboard only *reads* ``/metrics``
+and ``/healthz`` — pointing it at a production gateway is always safe.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    top = commands.add_parser(
+        "top", help="live per-replica dashboard over /metrics and /healthz"
+    )
+    top.add_argument(
+        "--target",
+        metavar="HOST:PORT",
+        default="127.0.0.1:8707",
+        help="gateway to scrape (default %(default)s)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between scrapes (default %(default)s)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render one frame and exit (no screen clearing; CI mode)",
+    )
+    top.add_argument(
+        "--no-color", action="store_true", help="disable ANSI colors"
+    )
+    top.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-request HTTP timeout in seconds (default %(default)s)",
+    )
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.command == "top":
+        # Imported lazily so `repro-obs --help` stays instant.
+        from repro.obs.top import run_top
+
+        return run_top(
+            args.target,
+            interval_s=args.interval,
+            once=args.once,
+            color=not args.no_color,
+            timeout=args.timeout,
+        )
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

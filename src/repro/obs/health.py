@@ -1,0 +1,351 @@
+"""SLO health engine: burn rates and ok/degraded/unhealthy verdicts.
+
+PR 7 exported raw signals (TTFT/ITL histograms, pool pressure, HTTP
+counters); this module turns them into *state*.  A :class:`HealthEngine`
+keeps a rolling window of :class:`HealthSample` scrapes — cumulative
+histogram/counter snapshots stamped on the shared
+``time.perf_counter()`` clock — and evaluates rules over the **deltas**
+between the newest and oldest sample in the window, so verdicts reflect
+the last ``window_s`` seconds of traffic rather than lifetime averages
+that can never recover.
+
+The headline rule is the **SLO burn rate**, the standard SRE construct:
+with an objective of ``0.95`` ("95% of interactive requests see TTFT
+under the SLO"), the error budget is 5% of requests; the burn rate is
+the fraction of in-window requests breaching the SLO divided by that
+budget.  Burn 1.0 spends the budget exactly as fast as it accrues;
+sustained burn above :attr:`HealthPolicy.degraded_burn` marks the
+gateway degraded, above :attr:`HealthPolicy.unhealthy_burn` unhealthy.
+Breach fractions come straight from the existing TTFT histograms
+(:func:`repro.obs.hist.snapshot_fraction_over` on the window delta) —
+no extra bookkeeping on the request path.
+
+Replica-scoped rules (pool pressure, queue depth, a dead stepper thread)
+give each replica its own state; the gateway's
+:class:`~repro.gateway.router.ReplicaRouter` consults those to
+deprioritize degraded replicas while they recover.  Every state
+transition emits an instant into the shared
+:class:`~repro.obs.trace.TraceRecorder` and a structured log line, so an
+operator can line alerts up against the request timeline in Perfetto.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.obs.hist import delta_snapshots, snapshot_fraction_over
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
+from repro.utils.validation import require
+
+
+def _logger():
+    # Imported lazily: repro.utils.logging itself imports repro.obs (the
+    # request-id contextvar), so a module-level import here would be circular.
+    from repro.utils.logging import get_logger
+
+    return get_logger("health")
+
+#: Health states, worst last; gauges export their index
+#: (``repro_health_state``: 0 ok, 1 degraded, 2 unhealthy).
+HEALTH_STATES = ("ok", "degraded", "unhealthy")
+_RANK = {state: index for index, state in enumerate(HEALTH_STATES)}
+
+
+def _worst(states: Sequence[str]) -> str:
+    return max(states, key=_RANK.__getitem__, default="ok")
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Thresholds the health engine evaluates every scrape.
+
+    ``ttft_slo_s`` maps priority classes to their TTFT SLO in seconds;
+    classes absent from the map have no burn rule.  The defaults carry no
+    SLOs, so a bare gateway reports ``ok`` on liveness alone.
+    """
+
+    window_s: float = 60.0
+    #: Fraction of requests that must meet their SLO (0.95 = error budget 5%).
+    objective: float = 0.95
+    ttft_slo_s: Mapping[str, float] = field(default_factory=dict)
+    degraded_burn: float = 1.0
+    unhealthy_burn: float = 6.0
+    #: Minimum in-window observations before a burn/error verdict is made.
+    min_samples: int = 1
+    #: Sustained block-pool pressure above this degrades the replica.
+    max_pool_pressure: float = 0.95
+    #: In-window HTTP 5xx fraction above this degrades the gateway.
+    max_error_rate: float = 0.05
+    #: Queue depth above this degrades the replica; ``None`` disables.
+    max_queued: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        require(self.window_s > 0.0, "health window must be positive")
+        require(0.0 < self.objective < 1.0, "objective must be in (0, 1)")
+        require(self.min_samples >= 1, "min_samples must be >= 1")
+        require(
+            0.0 < self.degraded_burn <= self.unhealthy_burn,
+            "need 0 < degraded_burn <= unhealthy_burn",
+        )
+        for priority, slo in self.ttft_slo_s.items():
+            require(slo > 0.0, f"TTFT SLO for {priority!r} must be positive")
+
+
+@dataclass(frozen=True)
+class HealthSample:
+    """One scrape's worth of cumulative state, stamped on the shared clock.
+
+    ``ttft`` holds per-priority-class histogram snapshots
+    (:meth:`repro.obs.hist.Histogram.snapshot`); ``replicas`` one dict per
+    replica with ``queued``, ``running``, ``pool_pressure`` and ``failed``.
+    """
+
+    ts: float
+    ttft: Mapping[str, dict] = field(default_factory=dict)
+    http_total: int = 0
+    http_errors: int = 0
+    replicas: Sequence[dict] = ()
+
+
+@dataclass(frozen=True)
+class HealthCheck:
+    """One rule's verdict: what fired, where, and the number behind it."""
+
+    rule: str
+    state: str
+    scope: str  # "gateway" or "replica-<i>"
+    reason: str
+    value: Optional[float] = None
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "state": self.state,
+            "scope": self.scope,
+            "reason": self.reason,
+            "value": self.value,
+        }
+
+
+class HealthEngine:
+    """Rolling-window rule evaluation over health samples.
+
+    :meth:`observe` is the single entry point: the gateway feeds it one
+    :class:`HealthSample` per ``/healthz`` or ``/metrics`` scrape and gets
+    the machine-readable report back.  State between scrapes (the window,
+    last verdicts for transition alerts) lives here, never in the server.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[HealthPolicy] = None,
+        trace: Optional[TraceRecorder] = None,
+        track: str = "gateway",
+    ) -> None:
+        self.policy = policy if policy is not None else HealthPolicy()
+        self.trace = trace if trace is not None else NULL_RECORDER
+        self.track = track
+        self._lock = threading.Lock()
+        self._samples: deque[HealthSample] = deque()
+        self._last_states: dict[str, str] = {}
+        # Last evaluation, for consumers that must not re-sample (metrics
+        # rendering after a /healthz scrape, tests).
+        self.state = "ok"
+        self.burn_rates: dict[str, float] = {}
+        self.replica_states: list[str] = []
+
+    # Evaluation -------------------------------------------------------------
+
+    def observe(self, sample: HealthSample) -> dict:
+        """Fold one scrape into the window and evaluate every rule."""
+        with self._lock:
+            self._samples.append(sample)
+            while (
+                len(self._samples) > 1
+                and self._samples[0].ts < sample.ts - self.policy.window_s
+            ):
+                self._samples.popleft()
+            oldest = self._samples[0]
+            checks = self._evaluate(oldest, sample)
+            replica_states = [
+                _worst(
+                    [c.state for c in checks if c.scope == f"replica-{index}"]
+                )
+                for index in range(len(sample.replicas))
+            ]
+            state = _worst([check.state for check in checks])
+            self._alert_transitions(checks, state)
+            self.state = state
+            self.replica_states = replica_states
+            return {
+                "status": state,
+                "window_s": sample.ts - oldest.ts,
+                "samples": len(self._samples),
+                "burn_rates": dict(self.burn_rates),
+                "checks": [check.to_json() for check in checks],
+                "replicas": [
+                    {
+                        "replica": index,
+                        "state": replica_states[index],
+                        "reasons": [
+                            check.reason
+                            for check in checks
+                            if check.scope == f"replica-{index}"
+                            and check.state != "ok"
+                        ],
+                    }
+                    for index in range(len(sample.replicas))
+                ],
+            }
+
+    def _evaluate(
+        self, oldest: HealthSample, newest: HealthSample
+    ) -> list[HealthCheck]:
+        policy = self.policy
+        checks: list[HealthCheck] = []
+        burn_rates: dict[str, float] = {}
+        budget = 1.0 - policy.objective
+        for priority, slo_s in sorted(policy.ttft_slo_s.items()):
+            burn_rates[priority] = 0.0
+            old_snap = oldest.ttft.get(priority)
+            new_snap = newest.ttft.get(priority)
+            if old_snap is None or new_snap is None or oldest is newest:
+                continue
+            delta = delta_snapshots(new_snap, old_snap)
+            if delta["count"] < policy.min_samples:
+                continue
+            fraction = snapshot_fraction_over(delta, slo_s) or 0.0
+            burn = fraction / budget
+            burn_rates[priority] = burn
+            if burn >= policy.degraded_burn:
+                state = (
+                    "unhealthy" if burn >= policy.unhealthy_burn else "degraded"
+                )
+                checks.append(
+                    HealthCheck(
+                        rule="slo_burn",
+                        state=state,
+                        scope="gateway",
+                        reason=(
+                            f"slo_burn:{priority} burning {burn:.2f}x the error "
+                            f"budget ({fraction:.0%} of {delta['count']} "
+                            f"requests over the {slo_s * 1000:.0f}ms TTFT SLO, "
+                            f"objective {policy.objective:.0%})"
+                        ),
+                        value=burn,
+                    )
+                )
+        self.burn_rates = burn_rates
+
+        if oldest is not newest:
+            requests = newest.http_total - oldest.http_total
+            errors = newest.http_errors - oldest.http_errors
+            if requests >= policy.min_samples and errors > 0:
+                rate = errors / requests
+                if rate > policy.max_error_rate:
+                    checks.append(
+                        HealthCheck(
+                            rule="error_rate",
+                            state="degraded",
+                            scope="gateway",
+                            reason=(
+                                f"error_rate {rate:.1%} over the last "
+                                f"{requests} requests exceeds "
+                                f"{policy.max_error_rate:.0%}"
+                            ),
+                            value=rate,
+                        )
+                    )
+
+        for index, replica in enumerate(newest.replicas):
+            scope = f"replica-{index}"
+            if replica.get("failed"):
+                checks.append(
+                    HealthCheck(
+                        rule="replica_failed",
+                        state="unhealthy",
+                        scope=scope,
+                        reason=f"{scope} stepper died: {replica.get('error', '')}",
+                    )
+                )
+                continue
+            pressure = float(replica.get("pool_pressure", 0.0))
+            if pressure > policy.max_pool_pressure:
+                checks.append(
+                    HealthCheck(
+                        rule="pool_pressure",
+                        state="degraded",
+                        scope=scope,
+                        reason=(
+                            f"{scope} pool pressure {pressure:.2f} exceeds "
+                            f"{policy.max_pool_pressure:.2f}"
+                        ),
+                        value=pressure,
+                    )
+                )
+            queued = int(replica.get("queued", 0))
+            if policy.max_queued is not None and queued > policy.max_queued:
+                checks.append(
+                    HealthCheck(
+                        rule="queue_depth",
+                        state="degraded",
+                        scope=scope,
+                        reason=(
+                            f"{scope} has {queued} queued requests "
+                            f"(limit {policy.max_queued})"
+                        ),
+                        value=float(queued),
+                    )
+                )
+        return checks
+
+    # Alerting ---------------------------------------------------------------
+
+    def _alert_transitions(self, checks: list[HealthCheck], state: str) -> None:
+        """Emit trace instants + logs when any rule (or the overall state)
+        changes verdict; steady states stay silent."""
+        current: dict[str, tuple[str, str]] = {"overall": (state, f"gateway {state}")}
+        for check in checks:
+            key = f"{check.rule}@{check.scope}"
+            current[key] = (check.state, check.reason)
+        for key in set(self._last_states) | set(current):
+            before = self._last_states.get(key, "ok")
+            after, reason = current.get(key, ("ok", f"{key} recovered"))
+            if after == before:
+                continue
+            logger = _logger()
+            worsened = _RANK[after] > _RANK[before]
+            log = logger.warning if worsened else logger.info
+            log("health %s: %s -> %s (%s)", key, before, after, reason)
+            if self.trace.enabled:
+                self.trace.instant(
+                    "health_alert",
+                    track=self.track,
+                    args={
+                        "key": key,
+                        "from": before,
+                        "to": after,
+                        "reason": reason,
+                    },
+                )
+        self._last_states = {
+            key: value[0] for key, value in current.items() if value[0] != "ok"
+        }
+
+
+def state_value(state: str) -> int:
+    """Numeric gauge value of a health state (0 ok, 1 degraded, 2 unhealthy)."""
+    return _RANK[state]
+
+
+__all__ = [
+    "HEALTH_STATES",
+    "HealthCheck",
+    "HealthEngine",
+    "HealthPolicy",
+    "HealthSample",
+    "state_value",
+]

@@ -111,26 +111,90 @@ class Histogram:
         first bucket treated as 0.  Observations in ``+Inf`` clamp to the
         largest finite bound.  ``None`` when the histogram is empty.
         """
-        require(0.0 <= q <= 1.0, "quantile must be in [0, 1]")
-        with self._lock:
-            if self._count == 0:
-                return None
-            rank = q * self._count
-            cumulative = 0
-            for index, bucket_count in enumerate(self._counts):
-                cumulative += bucket_count
-                if cumulative >= rank and bucket_count > 0:
-                    hi = self.buckets[index]
-                    lo = self.buckets[index - 1] if index > 0 else 0.0
-                    within = (rank - (cumulative - bucket_count)) / bucket_count
-                    return lo + (hi - lo) * min(1.0, max(0.0, within))
-            return self.buckets[-1]
+        return snapshot_quantile(self.snapshot(), q)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Histogram(count={self._count}, sum={self._sum:.6g}, "
             f"buckets={len(self.buckets)})"
         )
+
+
+def snapshot_quantile(snapshot: dict, q: float) -> Optional[float]:
+    """:meth:`Histogram.quantile` on a detached snapshot dict.
+
+    Shared by the live histograms, the health engine (which quantiles
+    window *deltas* rather than lifetime state) and the ``repro-obs top``
+    dashboard (which reconstructs snapshots from a parsed ``/metrics``
+    scrape).  ``None`` when the snapshot holds no observations.
+    """
+    require(0.0 <= q <= 1.0, "quantile must be in [0, 1]")
+    count = int(snapshot["count"])
+    if count == 0:
+        return None
+    buckets = snapshot["buckets"]
+    rank = q * count
+    cumulative = 0
+    for index, bucket_count in enumerate(snapshot["counts"]):
+        cumulative += bucket_count
+        if cumulative >= rank and bucket_count > 0:
+            hi = buckets[index]
+            lo = buckets[index - 1] if index > 0 else 0.0
+            within = (rank - (cumulative - bucket_count)) / bucket_count
+            return lo + (hi - lo) * min(1.0, max(0.0, within))
+    return buckets[-1]
+
+
+def snapshot_fraction_over(snapshot: dict, threshold: float) -> Optional[float]:
+    """Estimated fraction of observations strictly above ``threshold``.
+
+    The burn-rate primitive: observations are spread uniformly within
+    their bucket (the same assumption :func:`snapshot_quantile` makes),
+    the ``+Inf`` bucket counts entirely as over.  ``None`` when empty.
+    """
+    count = int(snapshot["count"])
+    if count == 0:
+        return None
+    buckets = snapshot["buckets"]
+    over = count - sum(snapshot["counts"])  # the +Inf bucket
+    for index in range(len(buckets) - 1, -1, -1):
+        hi = buckets[index]
+        if hi <= threshold:
+            break
+        lo = buckets[index - 1] if index > 0 else 0.0
+        bucket_count = snapshot["counts"][index]
+        if threshold <= lo:
+            over += bucket_count
+        else:
+            over += bucket_count * (hi - threshold) / (hi - lo)
+    return min(1.0, max(0.0, over / count))
+
+
+def delta_snapshots(new: dict, old: dict) -> dict:
+    """``new - old`` for snapshots of the *same* histogram over time.
+
+    The window primitive behind SLO burn rates: two scrapes of a
+    cumulative histogram family differ by exactly the observations made
+    between them.  Bucket bounds must match (same guarantee as
+    :func:`merge_snapshots`); counts going backwards mean the histograms
+    are unrelated and raise rather than mis-subtract.
+    """
+    require(
+        list(new["buckets"]) == list(old["buckets"]),
+        "cannot diff histograms with different bucket bounds",
+    )
+    counts = [a - b for a, b in zip(new["counts"], old["counts"])]
+    count = int(new["count"]) - int(old["count"])
+    require(
+        count >= 0 and all(c >= 0 for c in counts),
+        "histogram delta went backwards (snapshots are not from one series)",
+    )
+    return {
+        "buckets": list(new["buckets"]),
+        "counts": counts,
+        "sum": float(new["sum"]) - float(old["sum"]),
+        "count": count,
+    }
 
 
 def merge_snapshots(snapshots: Sequence[dict]) -> dict:
@@ -156,4 +220,12 @@ def merge_snapshots(snapshots: Sequence[dict]) -> dict:
     return merged
 
 
-__all__ = ["BATCH_BUCKETS", "Histogram", "LATENCY_BUCKETS_S", "merge_snapshots"]
+__all__ = [
+    "BATCH_BUCKETS",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "delta_snapshots",
+    "merge_snapshots",
+    "snapshot_fraction_over",
+    "snapshot_quantile",
+]

@@ -64,6 +64,7 @@ from repro.models.kv_cache import KVCacheFactory
 from repro.models.sampling import GreedySampler
 from repro.models.transformer import TransformerLM
 from repro.obs.hist import BATCH_BUCKETS, Histogram, LATENCY_BUCKETS_S
+from repro.obs.prof import NULL_PROFILER, PhaseProfiler
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.quant.policy_cache import HeadGroupKVCache
 from repro.serving.memory import (
@@ -132,6 +133,7 @@ class BatchedMillionEngine:
         trace_track: str = "engine",
         priority_aware: bool = True,
         slo_policy: Optional[SloPolicy] = None,
+        prof: Optional[PhaseProfiler] = None,
     ) -> None:
         require(max_unclaimed_results >= 1, "max_unclaimed_results must be >= 1")
         require(fused_min_batch >= 1, "fused_min_batch must be >= 1")
@@ -174,6 +176,13 @@ class BatchedMillionEngine:
             # batch, which the segment-ADC path cannot serve (it requires one
             # shared codebook set per layer) — they use the generic attend.
             self._fused_attention = FusedMillionAttention()
+        # Phase profiler (repro.obs.prof): attributes step wall time to named
+        # kernels.  Defaults to the shared no-op so every hook costs one
+        # ``enabled`` attribute check; the fused attention shares the same
+        # instance so kernel phases nest under the engine's ``decode`` root.
+        self.prof = prof if prof is not None else NULL_PROFILER
+        if self._fused_attention is not None:
+            self._fused_attention.prof = self.prof
         # ``priority_aware=False`` collapses the priority classes into one
         # FIFO queue and makes preemption youngest-first regardless of class
         # — the pre-priority behavior, kept as the baseline the
@@ -636,6 +645,8 @@ class BatchedMillionEngine:
         """
         pool = self._pool_for(state)
         assert pool is not None
+        prof = self.prof
+        timing = prof.enabled
         plan = self._prefill_plan(state)
         state.prefill_plan = None  # consumed; stale once decoding resumes
         block = pool.block_tokens
@@ -645,6 +656,8 @@ class BatchedMillionEngine:
         state.block_hashes = []
         with self._bound(state) as model:
             caches = self._pooled_caches(state)
+            if timing:
+                t = prof.now()
             hits = pool.longest_prefix(plan.hashes)
             usable = self._usable_hits(state, plan, hits)
             self.prefix_block_hits += usable
@@ -656,6 +669,8 @@ class BatchedMillionEngine:
                 model.advance_position(usable * block)
                 state.block_hashes.extend(plan.hashes[:usable])
                 self.prefill_tokens_reused += usable * block
+            if timing:
+                t = prof.lap("prefill/adopt", t)
             if usable * block < prompt_tokens:
                 if usable * block < plan.aligned:
                     prefix = history[usable * block : plan.aligned]
@@ -664,17 +679,24 @@ class BatchedMillionEngine:
                         cache.flush_all()
                     self._register_new_blocks(state)
                     self.prefill_tokens_computed += prefix.size
+                    if timing:
+                        t = prof.lap("prefill/aligned", t)
                 tail = history[plan.aligned : prompt_tokens]
                 logits = model.forward(tail)
                 state.next_logits = logits[-1]
                 self.prefill_tokens_computed += tail.size
+                if timing:
+                    t = prof.lap("prefill/tail", t)
             # Replay the generated tokens (restore only; empty range for a
             # fresh prompt).  Each decode step re-seals and republishes the
             # blocks it originally flushed.
-            for index in range(max(usable * block, prompt_tokens), history.size):
+            replay_from = max(usable * block, prompt_tokens)
+            for index in range(replay_from, history.size):
                 state.next_logits = model.decode_step(int(history[index]))
                 self._register_new_blocks(state)
                 self.prefill_tokens_computed += 1
+            if timing and history.size > replay_from:
+                prof.lap("prefill/replay", t)
 
     def _prefill(self, state: RequestState) -> Optional[StepOutput]:
         """Prefill a newly admitted request; may finish it immediately."""
@@ -690,6 +712,8 @@ class BatchedMillionEngine:
                 logits = model.forward(state.request.prompt_ids)
             state.next_logits = logits[-1]
             self.prefill_tokens_computed += int(state.request.prompt_ids.size)
+        if self.prof.enabled:
+            self.prof.record("prefill", time.perf_counter() - prefill_start)
         if self.trace.enabled:
             self.trace.complete(
                 "restore" if is_restore else "prefill",
@@ -847,6 +871,9 @@ class BatchedMillionEngine:
         results: dict[str, StepOutput] = {}
         live: list[RequestState] = []
         tokens: list[int] = []
+        timing = self.prof.enabled
+        sample_seconds = 0.0
+        sampled = 0
         # Reserved block demand is tracked per pool: tier engines may decode
         # sequences against different pools in one fused step, and a pool
         # only has to cover the flushes of its own sequences.
@@ -874,7 +901,13 @@ class BatchedMillionEngine:
                 )
                 continue
             sampler = request.sampler or GreedySampler()
-            token = sampler(state.next_logits, state.rng)
+            if timing:
+                sample_start = time.perf_counter()
+                token = sampler(state.next_logits, state.rng)
+                sample_seconds += time.perf_counter() - sample_start
+                sampled += 1
+            else:
+                token = sampler(state.next_logits, state.rng)
             state.generated.append(token)
             if request.stop_token is not None and token == request.stop_token:
                 self._finish(state, FinishReason.STOP_TOKEN)
@@ -920,6 +953,8 @@ class BatchedMillionEngine:
                     state.request_id, token, state.is_finished, state.finish_reason
                 )
         self.last_fused_batch_size = fused_batch
+        if timing and sampled:
+            self.prof.record("decode/sample", sample_seconds, count=sampled)
         return [
             self._emit(results[state.request_id])
             for state in processed
@@ -989,6 +1024,12 @@ class BatchedMillionEngine:
         self.last_decode_seconds = decode_end - decode_start
         self.prefill_seconds_total += self.last_prefill_seconds
         self.decode_seconds_total += self.last_decode_seconds
+        if self.prof.enabled:
+            # The ``decode`` root phase is the same wall split exported as
+            # ``decode_seconds_total``, so the kernel phases' self times sum
+            # exactly to the measured decode wall (the remainder — norms,
+            # MLPs, logit projection, Python glue — is ``decode`` self time).
+            self.prof.record("decode", self.last_decode_seconds)
         decoded = [o for o in outputs if o.token is not None]
         if admitted_count:
             self.prefill_step_hist.observe(self.last_prefill_seconds)
@@ -1187,6 +1228,7 @@ class BatchedMillionEngine:
                 "decode_seconds_total": self.decode_seconds_total,
             },
             "pool": self.pool.stats() if self.pool is not None else None,
+            "phases": self.prof.snapshot(),
             "tiers": self.tier_stats(),
             "priority": self.priority_stats(),
             "histograms": {

@@ -20,11 +20,11 @@ from repro.obs.trace import TraceRecorder
 from repro.serving import BatchedMillionEngine
 
 
-def _make_traced_server(config, factory, **engine_kwargs):
+def _make_traced_server(config, factory, capacity=8192, **engine_kwargs):
     model = build_model(config, seed=7)
     engine = BatchedMillionEngine(
         model, factory,
-        trace=TraceRecorder(capacity=8192), trace_track="replica-0",
+        trace=TraceRecorder(capacity=capacity), trace_track="replica-0",
         **engine_kwargs,
     )
     runner = AsyncEngineRunner(engine, name="replica-0")
@@ -147,6 +147,48 @@ class TestDebugTrace:
         assert late["otherData"]["events"] == 0
         assert late["traceEvents"] == []
         assert bad_status == 400
+
+    def test_non_finite_since_rejected(self, tiny_config, million_factory, gw):
+        # float('nan')/float('inf') parse fine, so a plain float() guard
+        # would let them through and silently break the filter comparison.
+        async def scenario():
+            server = _make_traced_server(tiny_config, million_factory)
+            host, port = await server.start(port=0)
+            try:
+                statuses = []
+                for value in ("nan", "inf", "-inf", "NaN"):
+                    status, _, body = await gw.raw_request(
+                        host, port, "GET", f"/debug/trace?since={value}"
+                    )
+                    statuses.append((status, json.loads(body)))
+                return statuses
+            finally:
+                await server.stop()
+
+        for status, body in asyncio.run(scenario()):
+            assert status == 400
+            assert "finite" in body["error"]["message"]
+
+    def test_truncated_flag_set_when_ring_wraps(
+        self, tiny_config, million_factory, calibration_tokens, gw
+    ):
+        prompt = calibration_tokens[:10].tolist()
+
+        async def scenario():
+            # An 8-event ring cannot hold three requests' lifecycles.
+            server = _make_traced_server(tiny_config, million_factory, capacity=8)
+            host, port = await server.start(port=0)
+            try:
+                await _serve_requests(gw, host, port, prompt, n_requests=3)
+                _, _, body = await gw.raw_request(host, port, "GET", "/debug/trace")
+                return json.loads(body)
+            finally:
+                await server.stop()
+
+        trace = asyncio.run(scenario())
+        validate_chrome_trace(trace)
+        assert trace["otherData"]["truncated"] is True
+        assert trace["otherData"]["dropped_events"] > 0
 
     def test_request_id_filter(
         self, tiny_config, million_factory, calibration_tokens, gw

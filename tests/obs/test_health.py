@@ -1,0 +1,194 @@
+"""HealthEngine unit tests: burn rates, windowing, rules, alert transitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.health import (
+    HEALTH_STATES,
+    HealthEngine,
+    HealthPolicy,
+    HealthSample,
+    state_value,
+)
+from repro.obs.hist import Histogram
+from repro.obs.trace import TraceRecorder
+
+
+def ttft_snapshot(values):
+    hist = Histogram()
+    for value in values:
+        hist.observe(value)
+    return hist.snapshot()
+
+
+def sample(ts, ttft_values=(), http_total=0, http_errors=0, replicas=()):
+    return HealthSample(
+        ts=ts,
+        ttft={"interactive": ttft_snapshot(ttft_values)} if ttft_values else {},
+        http_total=http_total,
+        http_errors=http_errors,
+        replicas=replicas,
+    )
+
+
+INTERACTIVE_SLO = HealthPolicy(
+    window_s=60.0, objective=0.95, ttft_slo_s={"interactive": 0.5}
+)
+
+
+class TestBurnRate:
+    def test_single_sample_is_ok(self):
+        engine = HealthEngine(INTERACTIVE_SLO)
+        report = engine.observe(sample(0.0, ttft_values=[10.0] * 5))
+        # No window yet — cumulative state alone must not fire a burn rule.
+        assert report["status"] == "ok"
+        assert engine.burn_rates == {"interactive": 0.0}
+
+    def test_burn_over_window_delta_flags_degraded(self):
+        engine = HealthEngine(INTERACTIVE_SLO)
+        engine.observe(sample(0.0, ttft_values=[0.01] * 10))
+        # 10 new requests, 2 of them over the 500ms SLO: burn = 0.2/0.05 = 4.
+        late = [0.01] * 18 + [10.0, 10.0]
+        report = engine.observe(sample(10.0, ttft_values=late))
+        assert report["status"] == "degraded"
+        assert engine.burn_rates["interactive"] == pytest.approx(4.0)
+        [check] = [c for c in report["checks"] if c["rule"] == "slo_burn"]
+        assert "interactive" in check["reason"]
+        assert "4.00x" in check["reason"]
+        assert check["scope"] == "gateway"
+
+    def test_extreme_burn_is_unhealthy(self):
+        engine = HealthEngine(INTERACTIVE_SLO)
+        engine.observe(sample(0.0, ttft_values=[0.01]))
+        # Every new request breaches: burn = 1.0 / 0.05 = 20 >= 6.
+        report = engine.observe(sample(10.0, ttft_values=[0.01] + [10.0] * 9))
+        assert report["status"] == "unhealthy"
+
+    def test_recovery_when_breaches_age_out_of_window(self):
+        engine = HealthEngine(INTERACTIVE_SLO)
+        good = [0.01] * 10
+        engine.observe(sample(0.0, ttft_values=good))
+        # 10 new requests, 1 breach: burn = 0.1/0.05 = 2 -> degraded.
+        assert engine.observe(
+            sample(10.0, ttft_values=good + [0.01] * 9 + [10.0])
+        )["status"] == "degraded"
+        # 100s later the breach left the 60s window; the in-window delta
+        # contains only fast requests, so the verdict recovers.
+        report = engine.observe(
+            sample(110.0, ttft_values=good + [0.01] * 9 + [10.0] + [0.01] * 80)
+        )
+        assert report["status"] == "ok"
+        assert engine.burn_rates["interactive"] == 0.0
+
+    def test_min_samples_suppresses_noisy_verdicts(self):
+        policy = HealthPolicy(ttft_slo_s={"interactive": 0.5}, min_samples=5)
+        engine = HealthEngine(policy)
+        engine.observe(sample(0.0, ttft_values=[0.01]))
+        # Only 2 in-window observations: below min_samples, no verdict.
+        report = engine.observe(
+            sample(1.0, ttft_values=[0.01, 10.0, 10.0])
+        )
+        assert report["status"] == "ok"
+
+
+class TestOtherRules:
+    def test_error_rate_rule(self):
+        engine = HealthEngine(HealthPolicy())
+        engine.observe(sample(0.0, http_total=100, http_errors=0))
+        report = engine.observe(sample(1.0, http_total=120, http_errors=5))
+        [check] = report["checks"]
+        assert check["rule"] == "error_rate"
+        assert check["state"] == "degraded"
+        assert check["value"] == pytest.approx(0.25)
+
+    def test_replica_failed_is_unhealthy_and_scoped(self):
+        engine = HealthEngine(HealthPolicy())
+        report = engine.observe(
+            sample(
+                0.0,
+                replicas=[
+                    {"failed": False},
+                    {"failed": True, "error": "stepper died"},
+                ],
+            )
+        )
+        assert report["status"] == "unhealthy"
+        assert [r["state"] for r in report["replicas"]] == ["ok", "unhealthy"]
+        assert "stepper died" in report["replicas"][1]["reasons"][0]
+        assert engine.replica_states == ["ok", "unhealthy"]
+
+    def test_pool_pressure_rule_degrades_the_replica(self):
+        engine = HealthEngine(HealthPolicy(max_pool_pressure=0.9))
+        report = engine.observe(
+            sample(0.0, replicas=[{"pool_pressure": 0.99}])
+        )
+        assert report["status"] == "degraded"
+        [check] = report["checks"]
+        assert check["rule"] == "pool_pressure"
+        assert check["scope"] == "replica-0"
+
+    def test_queue_depth_rule_disabled_by_default(self):
+        engine = HealthEngine(HealthPolicy())
+        report = engine.observe(sample(0.0, replicas=[{"queued": 10_000}]))
+        assert report["status"] == "ok"
+        limited = HealthEngine(HealthPolicy(max_queued=8))
+        report = limited.observe(sample(0.0, replicas=[{"queued": 9}]))
+        assert report["status"] == "degraded"
+        assert report["checks"][0]["rule"] == "queue_depth"
+
+
+class TestWindowing:
+    def test_old_samples_evicted_but_one_always_kept(self):
+        engine = HealthEngine(HealthPolicy(window_s=10.0))
+        for ts in (0.0, 5.0, 30.0):
+            report = engine.observe(sample(ts))
+        # 0.0 and 5.0 are out of the 30-10 window; 30.0 remains alone.
+        assert report["samples"] == 1
+        assert report["window_s"] == 0.0
+
+
+class TestAlerts:
+    def test_transitions_emit_trace_instants_once(self):
+        trace = TraceRecorder(capacity=256)
+        engine = HealthEngine(INTERACTIVE_SLO, trace=trace)
+        engine.observe(sample(0.0, ttft_values=[0.01]))
+        engine.observe(sample(1.0, ttft_values=[0.01] + [10.0] * 9))
+        alerts = [e for e in trace.snapshot() if e.name == "health_alert"]
+        # overall + the slo_burn rule transitioned; steady state after.
+        assert {a.args["key"] for a in alerts} == {
+            "overall", "slo_burn@gateway"
+        }
+        before = len(alerts)
+        engine.observe(sample(2.0, ttft_values=[0.01] + [10.0] * 19))
+        alerts = [e for e in trace.snapshot() if e.name == "health_alert"]
+        assert len(alerts) == before  # still burning: no re-alert
+
+    def test_recovery_alerts_fire(self):
+        trace = TraceRecorder(capacity=256)
+        engine = HealthEngine(INTERACTIVE_SLO, trace=trace)
+        engine.observe(sample(0.0, ttft_values=[10.0] * 10))
+        engine.observe(sample(1.0, ttft_values=[10.0] * 10 + [10.0] * 10))
+        engine.observe(
+            sample(120.0, ttft_values=[10.0] * 20 + [0.01] * 50)
+        )
+        recoveries = [
+            e for e in trace.snapshot()
+            if e.name == "health_alert" and e.args["to"] == "ok"
+        ]
+        assert recoveries, "recovery transitions must alert too"
+
+
+class TestStateValue:
+    def test_states_map_to_gauge_values(self):
+        assert [state_value(s) for s in HEALTH_STATES] == [0, 1, 2]
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            HealthPolicy(window_s=0.0)
+        with pytest.raises(ValueError):
+            HealthPolicy(objective=1.0)
+        with pytest.raises(ValueError):
+            HealthPolicy(degraded_burn=5.0, unhealthy_burn=1.0)
+        with pytest.raises(ValueError):
+            HealthPolicy(ttft_slo_s={"interactive": -1.0})

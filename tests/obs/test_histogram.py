@@ -8,7 +8,10 @@ from repro.obs.hist import (
     BATCH_BUCKETS,
     Histogram,
     LATENCY_BUCKETS_S,
+    delta_snapshots,
     merge_snapshots,
+    snapshot_fraction_over,
+    snapshot_quantile,
 )
 from repro.utils.validation import ValidationError
 
@@ -109,3 +112,76 @@ class TestMerge:
         a, b = Histogram(buckets=(1.0,)), Histogram(buckets=(2.0,))
         with pytest.raises(ValidationError):
             merge_snapshots([a.snapshot(), b.snapshot()])
+
+
+class TestSnapshotEdges:
+    """Edge cases for the detached-snapshot helpers the health engine and
+    dashboard lean on: empty windows, exact quantile bounds, deltas."""
+
+    def test_quantile_empty_histogram_is_none(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        assert h.quantile(0.5) is None
+        assert snapshot_quantile(h.snapshot(), 0.99) is None
+
+    def test_quantile_boundaries_q0_and_q1(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0):
+            h.observe(v)
+        # q=0 sits at the lower edge of the first occupied bucket; q=1 at
+        # the upper bound of the last occupied one.
+        assert h.quantile(0.0) == pytest.approx(0.0)
+        assert h.quantile(1.0) == pytest.approx(4.0)
+
+    def test_quantile_rejects_out_of_range(self):
+        snap = Histogram(buckets=(1.0,)).snapshot()
+        with pytest.raises(ValidationError):
+            snapshot_quantile(snap, -0.01)
+        with pytest.raises(ValidationError):
+            snapshot_quantile(snap, 1.01)
+
+    def test_inf_observations_clamp_to_largest_finite_bound(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(50.0)
+        assert h.quantile(1.0) == pytest.approx(2.0)
+
+    def test_fraction_over_empty_is_none(self):
+        assert snapshot_fraction_over(Histogram().snapshot(), 0.5) is None
+
+    def test_fraction_over_interpolates_and_counts_inf(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(0.5)   # fully under any threshold >= 1.0
+        h.observe(1.5)   # spread uniformly over (1.0, 2.0]
+        h.observe(99.0)  # +Inf bucket: entirely over
+        frac = snapshot_fraction_over(h.snapshot(), 1.5)
+        # 0 + 0.5 (half of the middle bucket) + 1 out of 3 observations.
+        assert frac == pytest.approx(1.5 / 3)
+        assert snapshot_fraction_over(h.snapshot(), 0.0) == pytest.approx(1.0)
+
+    def test_delta_subtracts_window(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(0.5)
+        old = h.snapshot()
+        h.observe(1.5)
+        h.observe(9.0)
+        delta = delta_snapshots(h.snapshot(), old)
+        assert delta["counts"] == [0, 1]
+        assert delta["count"] == 2
+        assert delta["sum"] == pytest.approx(10.5)
+
+    def test_delta_rejects_mismatched_bounds(self):
+        a = Histogram(buckets=(1.0,)).snapshot()
+        b = Histogram(buckets=(2.0,)).snapshot()
+        with pytest.raises(ValidationError):
+            delta_snapshots(a, b)
+
+    def test_delta_rejects_backwards_counts(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(0.5)
+        grown = h.snapshot()
+        fresh = Histogram(buckets=(1.0,)).snapshot()
+        with pytest.raises(ValidationError):
+            delta_snapshots(fresh, grown)
+
+    def test_merge_rejects_empty_sequence(self):
+        with pytest.raises(ValidationError):
+            merge_snapshots([])

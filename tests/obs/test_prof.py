@@ -1,0 +1,193 @@
+"""PhaseProfiler unit tests: accumulation, self times, flamegraph exports."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.prof import (
+    NULL_PROFILER,
+    NullProfiler,
+    PhaseProfiler,
+    merge_phase_snapshots,
+    phase_table,
+    to_collapsed,
+    to_speedscope,
+    validate_prof_payload,
+)
+
+
+class TestPhaseProfiler:
+    def test_record_accumulates_count_and_seconds(self):
+        prof = PhaseProfiler()
+        prof.record("decode", 0.5)
+        prof.record("decode", 0.25)
+        prof.record("decode/lut_build", 0.1, count=3)
+        snap = prof.snapshot()
+        assert snap["decode"] == {"count": 2, "total_s": 0.75}
+        assert snap["decode/lut_build"] == {"count": 3, "total_s": 0.1}
+        assert len(prof) == 2
+
+    def test_lap_records_elapsed_and_returns_now(self):
+        prof = PhaseProfiler()
+        t0 = prof.now()
+        t1 = prof.lap("decode/gather", t0)
+        assert t1 >= t0
+        snap = prof.snapshot()
+        assert snap["decode/gather"]["count"] == 1
+        assert snap["decode/gather"]["total_s"] >= 0.0
+
+    def test_reset_clears_phases(self):
+        prof = PhaseProfiler()
+        prof.record("prefill", 1.0)
+        prof.reset()
+        assert prof.snapshot() == {}
+
+    def test_snapshot_is_detached_copy(self):
+        prof = PhaseProfiler()
+        prof.record("decode", 1.0)
+        snap = prof.snapshot()
+        snap["decode"]["total_s"] = 999.0
+        assert prof.snapshot()["decode"]["total_s"] == 1.0
+
+    def test_thread_safety_no_lost_updates(self):
+        prof = PhaseProfiler()
+
+        def worker():
+            for _ in range(1000):
+                prof.record("decode", 0.001)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert prof.snapshot()["decode"]["count"] == 4000
+
+    def test_null_profiler_is_inert(self):
+        assert NULL_PROFILER.enabled is False
+        assert isinstance(NULL_PROFILER, NullProfiler)
+        t0 = 123.456
+        assert NULL_PROFILER.lap("decode", t0) == t0  # unrecorded, start echoed
+        NULL_PROFILER.record("decode", 1.0)
+        assert NULL_PROFILER.snapshot() == {}
+
+
+class TestPhaseTable:
+    def test_self_time_subtracts_direct_children_only(self):
+        snap = {
+            "decode": {"count": 10, "total_s": 1.0},
+            "decode/gather": {"count": 10, "total_s": 0.6},
+            "decode/gather/inner": {"count": 10, "total_s": 0.5},
+            "decode/merge": {"count": 10, "total_s": 0.3},
+        }
+        rows = {row["phase"]: row for row in phase_table(snap)}
+        # decode self = 1.0 - (0.6 + 0.3); grandchild does not double-count.
+        assert rows["decode"]["self_s"] == pytest.approx(0.1)
+        assert rows["decode/gather"]["self_s"] == pytest.approx(0.1)
+        assert rows["decode/gather/inner"]["self_s"] == pytest.approx(0.5)
+        assert rows["decode/merge"]["self_s"] == pytest.approx(0.3)
+        # Self times under the root sum to the root's recorded total.
+        assert sum(r["self_s"] for r in rows.values()) == pytest.approx(1.0)
+
+    def test_rows_sorted_by_self_time_desc(self):
+        snap = {
+            "a": {"count": 1, "total_s": 0.1},
+            "b": {"count": 1, "total_s": 0.9},
+        }
+        assert [row["phase"] for row in phase_table(snap)] == ["b", "a"]
+
+    def test_child_overrun_clamps_self_to_zero(self):
+        # Clock jitter can make children sum past the parent on tiny spans.
+        snap = {
+            "decode": {"count": 1, "total_s": 0.1},
+            "decode/gather": {"count": 1, "total_s": 0.2},
+        }
+        rows = {row["phase"]: row for row in phase_table(snap)}
+        assert rows["decode"]["self_s"] == 0.0
+
+
+class TestMerge:
+    def test_merge_sums_across_replicas(self):
+        merged = merge_phase_snapshots(
+            [
+                {"decode": {"count": 1, "total_s": 0.5}},
+                {
+                    "decode": {"count": 2, "total_s": 0.25},
+                    "prefill": {"count": 1, "total_s": 1.0},
+                },
+            ]
+        )
+        assert merged["decode"] == {"count": 3, "total_s": 0.75}
+        assert merged["prefill"] == {"count": 1, "total_s": 1.0}
+
+    def test_merge_empty_sequence(self):
+        assert merge_phase_snapshots([]) == {}
+
+
+class TestExports:
+    SNAP = {
+        "decode": {"count": 4, "total_s": 1.0},
+        "decode/gather": {"count": 4, "total_s": 0.4},
+        "decode/merge": {"count": 4, "total_s": 0.2},
+        "prefill": {"count": 1, "total_s": 0.5},
+    }
+
+    def test_collapsed_stacks_self_time_weighted(self):
+        lines = to_collapsed(self.SNAP)
+        as_dict = dict(line.rsplit(" ", 1) for line in lines)
+        assert as_dict["decode;gather"] == str(round(0.4 * 1e6))
+        # decode's own line carries self time (total minus children).
+        assert as_dict["decode"] == str(round(0.4 * 1e6))
+        assert as_dict["prefill"] == str(round(0.5 * 1e6))
+
+    def test_speedscope_document_shape_and_nesting(self):
+        doc = to_speedscope(self.SNAP)
+        assert doc["$schema"].endswith("file-format-schema.json")
+        profile = doc["profiles"][0]
+        assert profile["type"] == "evented"
+        # Events are balanced, ordered, and reference declared frames;
+        # validate_prof_payload performs the full check.
+        validate_prof_payload(
+            {
+                "enabled": True,
+                "phases": phase_table(self.SNAP),
+                "collapsed": to_collapsed(self.SNAP),
+                "speedscope": doc,
+            }
+        )
+        # Total laid-out width = sum of root totals.
+        assert profile["endValue"] == pytest.approx(1.5)
+        assert json.dumps(doc)  # JSON-serializable end to end
+
+    def test_speedscope_clamps_overrunning_children(self):
+        snap = {
+            "decode": {"count": 1, "total_s": 0.1},
+            "decode/gather": {"count": 1, "total_s": 0.2},
+        }
+        doc = to_speedscope(snap)
+        validate_prof_payload(
+            {
+                "enabled": True,
+                "phases": phase_table(snap),
+                "collapsed": to_collapsed(snap),
+                "speedscope": doc,
+            }
+        )
+
+    def test_validate_rejects_malformed_payloads(self):
+        with pytest.raises(ValueError, match="missing top-level key"):
+            validate_prof_payload({"enabled": True})
+        doc = to_speedscope(self.SNAP)
+        doc["profiles"][0]["events"].append({"type": "C", "frame": 0, "at": 99.0})
+        with pytest.raises(ValueError, match="speedscope"):
+            validate_prof_payload(
+                {
+                    "enabled": True,
+                    "phases": [],
+                    "collapsed": [],
+                    "speedscope": doc,
+                }
+            )
