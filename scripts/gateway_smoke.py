@@ -18,9 +18,14 @@ then from this process:
 5. pulls ``/debug/prof`` and validates the profiler payload (phase table +
    collapsed stacks + speedscope document) with
    :func:`repro.obs.prof.validate_prof_payload`;
-6. checks ``/readyz`` reports ready and renders one frame of the
+6. streams a long "whale" prompt concurrently with a short request and
+   asserts the short one finishes first — chunked prefill (on for the
+   whole smoke, reference engine included) must not let the whale starve
+   running streams — and that ``repro_engine_prefill_chunks_total`` and
+   ``repro_engine_step_budget_utilization`` are exported;
+7. checks ``/readyz`` reports ready and renders one frame of the
    ``repro-obs top`` dashboard (``python -m repro.obs top --once``);
-7. checks a malformed request is rejected with 400.
+8. checks a malformed request is rejected with 400.
 
 Run from the repository root::
 
@@ -35,6 +40,7 @@ import os
 import re
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -66,8 +72,15 @@ CONFIG = GatewayConfig(
     calibration_tokens=512,
     pool_blocks=256,
     replicas=1,
+    # Chunked prefill changes sampled tokens vs one-shot, so it must be on
+    # in BOTH processes for the token-identity check to compare like with
+    # like.  The tight budget makes the whale scenario genuinely chunk.
+    chunked_prefill=1,
+    prefill_token_budget=32,
 )
 MAX_TOKENS = 12
+WHALE_PROMPT_TOKENS = 384
+WHALE_MAX_TOKENS = 16
 
 
 def start_gateway() -> tuple[subprocess.Popen, int]:
@@ -80,6 +93,8 @@ def start_gateway() -> tuple[subprocess.Popen, int]:
             "--calibration-tokens", str(CONFIG.calibration_tokens),
             "--pool-blocks", str(CONFIG.pool_blocks),
             "--replicas", str(CONFIG.replicas),
+            "--chunked-prefill", str(CONFIG.chunked_prefill),
+            "--prefill-token-budget", str(CONFIG.prefill_token_budget),
         ],
         env=env,
         cwd=REPO_ROOT,
@@ -157,6 +172,8 @@ def main() -> None:
             'repro_engine_finished{replica="0"} 1',
             "repro_pool_utilization",
             "repro_router_decisions_total",
+            "repro_engine_prefill_chunks_total",
+            "repro_engine_step_budget_utilization",
         ):
             assert needle in metrics, f"missing from /metrics: {needle}\n{metrics}"
         try:
@@ -217,6 +234,65 @@ def main() -> None:
             "gateway should export its health verdict"
         )
         print(f"prof ok ({len(prof_phases)} phases, payload valid)")
+
+        assert "prefill/chunk" in prof_phases, (
+            f"chunked prefill never profiled a chunk: {sorted(prof_phases)}"
+        )
+
+        # A whale prompt must stream to completion without starving a
+        # concurrent short request: under chunked prefill the short one
+        # keeps decoding between the whale's chunks and finishes first.
+        whale_prompt = (
+            load_corpus("wikitext2-syn", "test", WHALE_PROMPT_TOKENS, seed=5)
+            % vocab
+        ).tolist()
+        short_prompt = prompt[:8]
+        outcome: dict = {}
+
+        def stream(key, req_prompt, max_tokens):
+            status, body = request(
+                port, "POST", "/v1/completions",
+                {"prompt": req_prompt, "max_tokens": max_tokens, "stream": True},
+            )
+            tokens = sum(
+                1
+                for line in body.decode().splitlines()
+                if line.startswith("data: ") and line != "data: [DONE]"
+                and json.loads(line[len("data: "):])["choices"][0]["token_id"]
+                is not None
+            )
+            outcome[key] = (status, tokens, time.perf_counter())
+
+        whale_thread = threading.Thread(
+            target=stream, args=("whale", whale_prompt, WHALE_MAX_TOKENS)
+        )
+        whale_thread.start()
+        time.sleep(0.1)  # let the whale's first chunks land
+        stream("short", short_prompt, 4)
+        whale_thread.join(timeout=120)
+        assert not whale_thread.is_alive(), "whale stream never completed"
+        assert outcome["whale"][0] == 200 and outcome["short"][0] == 200, outcome
+        assert outcome["whale"][1] == WHALE_MAX_TOKENS, outcome
+        assert outcome["short"][1] == 4, outcome
+        assert outcome["short"][2] < outcome["whale"][2], (
+            "short request starved behind the whale prefill: "
+            f"short finished at {outcome['short'][2]:.3f}, "
+            f"whale at {outcome['whale'][2]:.3f}"
+        )
+        status, body = request(port, "GET", "/metrics")
+        assert status == 200
+        chunk_samples = parse_exposition(body.decode())[
+            "repro_engine_prefill_chunks_total"
+        ]
+        chunks_total = chunk_samples.value(replica="0")
+        assert chunks_total >= WHALE_PROMPT_TOKENS // CONFIG.prefill_token_budget, (
+            f"whale prefill barely chunked: {chunks_total} sub-steps"
+        )
+        print(
+            f"whale ok ({WHALE_PROMPT_TOKENS} tokens chunked into "
+            f"{int(chunks_total)} sub-steps; concurrent short request "
+            "finished first)"
+        )
 
         status, body = request(port, "GET", "/readyz")
         assert status == 200, (status, body)

@@ -96,6 +96,17 @@ class GatewayConfig:
     # an operator may want alerting well before refusing requests.
     burn_interactive_slo_ms: int = 0
     burn_best_effort_slo_ms: int = 0
+    # Chunked prefill (Sarathi-style stall-free batching): 1 makes every
+    # pooled replica split long prompts into block-aligned chunks and
+    # interleave them with the fused decode batch under the per-step token
+    # budget below.  Requires a block pool (``pool_blocks > 0``); ignored
+    # otherwise.  Chunked token streams are deterministic but not
+    # bit-identical to one-shot prefill, so flipping this knob changes
+    # sampled tokens — compare like against like.
+    chunked_prefill: int = 0
+    # Per-step prefill token budget for chunked mode; 0 derives the engine
+    # default (8 blocks' worth, i.e. ``8 * block_tokens``).
+    prefill_token_budget: int = 0
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -223,6 +234,9 @@ def build_engines(
                 priority_aware=bool(config.priority_aware),
                 slo_policy=slo_policy,
                 prof=PhaseProfiler() if config.profiler else None,
+                chunked_prefill=bool(config.chunked_prefill)
+                and config.pool_blocks > 0,
+                prefill_token_budget=config.prefill_token_budget or None,
             )
         )
     return engines

@@ -352,6 +352,23 @@ def render_prometheus(
                 "counter",
                 labels,
             )
+            out.add(
+                "repro_engine_prefill_chunks_total",
+                timing.get("prefill_chunks_total", 0),
+                "Chunked-prefill sub-steps executed (chunks, tails and "
+                "restore-replay slices).",
+                "counter",
+                labels,
+            )
+            out.add(
+                "repro_engine_step_budget_utilization",
+                float(timing.get("last_budget_utilization", 0.0)),
+                "Prefill tokens computed in the last step over the per-step "
+                "token budget (0 when the step had no prefill work; may "
+                "exceed 1.0 when a minimum chunk overshoots the budget).",
+                "gauge",
+                labels,
+            )
         phases = stats.get("phases")
         if phases:
             for phase in sorted(phases):

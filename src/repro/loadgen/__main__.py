@@ -29,13 +29,16 @@ from repro.loadgen.report import LoadReport
 from repro.loadgen.workload import WorkloadSpec, synthesize
 
 #: Self-hosted demo gateway shape: small enough to calibrate in seconds,
-#: pool small enough that a burst actually contends for blocks.
+#: pool small enough that a burst actually contends for blocks.  Chunked
+#: prefill is on so the CI smoke exercises budgeted chunk scheduling under
+#: a real bursty load, not just the one-shot path.
 _SELF_HOST_KWARGS = dict(
     max_seq_len=512,
     calibration_tokens=512,
     pool_blocks=192,
     max_batch_size=4,
     replicas=1,
+    chunked_prefill=1,
 )
 
 _SMOKE_SPEC = WorkloadSpec(

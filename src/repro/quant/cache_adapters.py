@@ -115,6 +115,20 @@ class StreamingQuantizedKVCache(KVCacheLayer):
         """Force-quantize every pending token (used by tests and calibration)."""
         self._flush(keep=0)
 
+    @property
+    def flush_state(self) -> tuple[int, int]:
+        """``(stored_tokens, pending_tokens)`` — the cache's flush split.
+
+        Two computations over the same tokens produce identical downstream
+        KV only if they pass through the same sequence of flush states (a
+        token's deeper-layer KV depends on which earlier tokens it attended
+        to in quantized vs full-precision form).  Chunk-resumable protocols
+        — the serving engine's chunked prefill, block-pool prefix adoption —
+        therefore only resume at states the reference computation passed
+        through; this property is how tests pin those states down.
+        """
+        return (self._stored_tokens, len(self._pending))
+
     def _pending_token_count(self) -> int:
         return len(self._pending)
 

@@ -16,7 +16,7 @@
   the engine into memory-aware admission + preemption mode.
 """
 
-from repro.serving.engine import BatchedMillionEngine
+from repro.serving.engine import BatchedMillionEngine, chunk_schedule
 from repro.serving.memory import (
     BlockPool,
     PoolExhaustedError,
@@ -58,6 +58,7 @@ __all__ = [
     "SloPolicy",
     "StepOutput",
     "chain_hashes",
+    "chunk_schedule",
     "hash_token_block",
     "priority_rank",
 ]

@@ -46,6 +46,29 @@ memory manager on top of slot-count scheduling:
   block-aligned protocol — forced flushing is deterministic in the total
   token count, so the restored cache state and the next sampled token are
   bit-identical to an uncontended run (a test asserts this).
+
+Chunked prefill (``chunked_prefill=True``)
+------------------------------------------
+One-shot prefill freezes every in-flight decode stream for the whole
+prompt: a 32k-token arrival stalls running streams for seconds.  Chunked
+mode splits the aligned prefix into fixed chunks of ``k·B`` tokens (the
+largest block multiple inside ``prefill_token_budget``), admits a request
+once its *first* chunk fits in the pool, and interleaves chunk forwards
+with the fused decode batch inside :meth:`step` under the per-step token
+budget (Sarathi-style stall-free batching).  Each chunk ends in a forced
+``flush_all`` — exactly the pool protocol's sealed-block state — so every
+chunk boundary publishes adoptable blocks whose content is a pure function
+of ``(token prefix, chunk size, block size)``.  The fused kernels are
+untouched: chunks run as stacked prefill sub-steps before the decode half
+of the same step, and a sequence decodes only after its schedule finishes.
+
+Chunked output is **not** bit-identical to one-shot prefill — a token's
+deeper-layer KV depends on the quantized/full-precision split it was
+computed against, and each inter-chunk flush changes that split.  The
+chunked path is therefore its own oracle: cold, prefix-adopted and
+preempt/restore runs under ``chunked_prefill=True`` are asserted
+token-identical to each other, while ``chunked_prefill=False`` (the
+default) keeps the legacy one-shot path bit-exact as before.
 """
 
 from __future__ import annotations
@@ -91,7 +114,34 @@ from repro.utils.validation import require
 logger = get_logger("serving")
 
 
-@dataclass(frozen=True)
+def chunk_schedule(
+    prompt_tokens: int, block_tokens: int, chunk_tokens: int
+) -> tuple[int, ...]:
+    """Cumulative chunk boundaries for a chunked prompt prefill.
+
+    Boundaries below the aligned prefix ``A = B*floor((P-1)/B)`` are
+    multiples of ``chunk_tokens`` (itself a multiple of the pool block size
+    ``B``), followed by ``A`` itself (the possibly-partial final aligned
+    chunk) and ``P`` (the residual-window tail of 1..B tokens, which stays
+    pending and produces the next-token logits).  Every boundary except the
+    last is a forced-flush state ``(stored == boundary, pending == 0)`` —
+    the invariant that makes chunk-published blocks adoptable.
+    """
+    require(prompt_tokens >= 1, "prompt_tokens must be >= 1")
+    require(block_tokens >= 1, "block_tokens must be >= 1")
+    require(
+        chunk_tokens >= block_tokens and chunk_tokens % block_tokens == 0,
+        "chunk_tokens must be a positive multiple of block_tokens",
+    )
+    aligned = block_tokens * ((prompt_tokens - 1) // block_tokens)
+    bounds = list(range(chunk_tokens, aligned, chunk_tokens))
+    if aligned > 0:
+        bounds.append(aligned)
+    bounds.append(prompt_tokens)
+    return tuple(bounds)
+
+
+@dataclass
 class _PrefillPlan:
     """Block-aligned prefill/restore schedule for one request.
 
@@ -102,12 +152,22 @@ class _PrefillPlan:
     blocks once the prefill/restore completes — which is what admission must
     budget for.  ``is_restore`` marks a preempted sequence whose generated
     tokens are replayed one decode step at a time.
+
+    Under ``chunked_prefill`` the plan is *resumable*: ``bounds`` holds the
+    cumulative :func:`chunk_schedule` boundaries of the prompt, and
+    ``cursor`` is how many history tokens are already incorporated (adopted
+    or computed).  The plan then persists on the state across steps until
+    the schedule completes; a cursor past the prompt walks the restore
+    replay one decode step at a time.  ``cursor == -1`` means the request
+    has not been admitted yet.
     """
 
     aligned: int
     hashes: tuple
     stored_final: int
     is_restore: bool
+    bounds: tuple = ()
+    cursor: int = -1
 
 
 class BatchedMillionEngine:
@@ -134,9 +194,15 @@ class BatchedMillionEngine:
         priority_aware: bool = True,
         slo_policy: Optional[SloPolicy] = None,
         prof: Optional[PhaseProfiler] = None,
+        chunked_prefill: bool = False,
+        prefill_token_budget: Optional[int] = None,
     ) -> None:
         require(max_unclaimed_results >= 1, "max_unclaimed_results must be >= 1")
         require(fused_min_batch >= 1, "fused_min_batch must be >= 1")
+        require(
+            prefill_token_budget is None or prefill_token_budget >= 1,
+            "prefill_token_budget must be >= 1",
+        )
         self.model = model
         self.factory = factory
         # Per-request quality tiers: a request carrying ``tier="quality"``
@@ -208,6 +274,26 @@ class BatchedMillionEngine:
             getattr(tier_factory, "pool", None) is not None
             for tier_factory in self.tier_factories.values()
         )
+        # Chunked prefill (see the module docstring): split the aligned
+        # prefix into fixed k·B-token chunks and interleave them with decode
+        # under a per-step token budget.  The chunk size is derived from the
+        # budget *once, here* — it must never depend on load, because every
+        # chunk boundary is a published-block state and two runs of the same
+        # prompt must pass through identical flush states for the published
+        # content (and hence prefix adoption) to be deterministic.
+        self.chunked_prefill = chunked_prefill
+        if chunked_prefill:
+            require(
+                self._has_pool,
+                "chunked_prefill requires a block-pooled cache factory "
+                "(see repro.serving.memory.PooledMillionCacheFactory)",
+            )
+        if prefill_token_budget is None:
+            pools = self._all_pools()
+            # Default: eight pool blocks of prefill per step — enough to
+            # amortize per-chunk overhead while keeping decode stall bounded.
+            prefill_token_budget = 8 * (pools[0].block_tokens if pools else 16)
+        self.prefill_token_budget = int(prefill_token_budget)
         # Per-tier lifetime counters ("default" = requests without a tier).
         self._tier_requests_total: dict[str, int] = {
             label: 0 for label in ("default", *self.tier_factories)
@@ -231,6 +317,13 @@ class BatchedMillionEngine:
         self.last_prefill_seconds = 0.0
         self.last_decode_seconds = 0.0
         self.last_fused_batch_size = 0
+        # Chunked-prefill accounting: chunk sub-steps executed, and the
+        # fraction of the per-step token budget the last step actually spent
+        # on prefill work (0.0 when the step had no prefill work; may exceed
+        # 1.0 — the final sub-step of a step is allowed to overshoot so a
+        # budget smaller than one chunk still makes progress).
+        self.prefill_chunks_total = 0
+        self.last_budget_utilization = 0.0
         # Tracing + latency histograms (repro.obs).  ``trace`` defaults to
         # the shared no-op recorder so the disabled path costs one attribute
         # check per hook; the gateway hands every replica one shared recorder
@@ -370,6 +463,7 @@ class BatchedMillionEngine:
         assert cancelled is state
         state.finish_reason = FinishReason.CANCELLED
         state.prefill_plan = None
+        state.prefilling = False
         self._release_context(state)
         state.next_logits = None
         self._record_result(state)
@@ -449,6 +543,12 @@ class BatchedMillionEngine:
             return million_config.recent_window
         return getattr(factory, "recent_window", 0)
 
+    def _chunk_tokens_for(self, pool: BlockPool) -> int:
+        """Fixed chunk size against ``pool``: the largest multiple of its
+        block size inside ``prefill_token_budget`` (at least one block)."""
+        block = pool.block_tokens
+        return block * max(1, self.prefill_token_budget // block)
+
     def _pooled_caches(self, state: RequestState) -> list[PooledMillionKVCacheLayer]:
         """Pool-backed caches in *unit order* (layer-major, head-groups ascending).
 
@@ -496,6 +596,7 @@ class BatchedMillionEngine:
 
     def _finish(self, state: RequestState, reason: FinishReason) -> None:
         state.finish_reason = reason
+        state.prefilling = False
         self.scheduler.release(state)
         self._record_result(state)
         # Release the per-sequence KV caches immediately; keeping every
@@ -546,6 +647,11 @@ class BatchedMillionEngine:
         window = self._residual_window_for(state)
         prompt = state.request.prompt_ids
         aligned = block * ((prompt.size - 1) // block)
+        bounds: tuple = ()
+        if self.chunked_prefill:
+            bounds = chunk_schedule(
+                prompt.size, block, self._chunk_tokens_for(pool)
+            )
         if state.generated:
             history = state.token_history
             # The last generated token's decode step is always replayed, so
@@ -553,10 +659,14 @@ class BatchedMillionEngine:
             hashes = tuple(chain_hashes(history[: history.size - 1], block))
             decode_flushed = block * (max(0, history.size - 1 - window) // block)
             stored_final = max(aligned, decode_flushed)
-            state.prefill_plan = _PrefillPlan(aligned, hashes, stored_final, True)
+            state.prefill_plan = _PrefillPlan(
+                aligned, hashes, stored_final, True, bounds
+            )
         else:
             hashes = tuple(chain_hashes(prompt[:aligned], block))
-            state.prefill_plan = _PrefillPlan(aligned, hashes, aligned, False)
+            state.prefill_plan = _PrefillPlan(
+                aligned, hashes, aligned, False, bounds
+            )
         return state.prefill_plan
 
     def _usable_hits(self, state: RequestState, plan: _PrefillPlan, hits: int) -> int:
@@ -572,6 +682,12 @@ class BatchedMillionEngine:
         flushes to the boundary before appending).  In between — or with a
         residual window — the original run computed those tokens against a
         partially full-precision cache, so they must be recomputed.
+
+        Under ``chunked_prefill`` the cold schedule only passes through
+        aligned states at multiples of the chunk size (and at ``A`` itself),
+        so a partial prefix hit is additionally rounded down to a chunk
+        boundary — resuming anywhere else would compute the next chunk
+        against a flush split the deterministic chunked run never sees.
         """
         pool = self._pool_for(state)
         block = pool.block_tokens
@@ -582,10 +698,22 @@ class BatchedMillionEngine:
             and hits * block >= prompt_tokens
         ):
             return hits
-        return min(hits, plan.aligned // block)
+        usable = min(hits, plan.aligned // block)
+        if self.chunked_prefill and usable * block < plan.aligned:
+            chunk = self._chunk_tokens_for(pool)
+            usable = (usable * block // chunk) * (chunk // block)
+        return usable
 
     def _admission_gate(self, state: RequestState) -> bool:
-        """Can the pool cover this request's prefill (plus decode headroom)?"""
+        """Can the pool cover this request's prefill (plus decode headroom)?
+
+        Under ``chunked_prefill`` only the *first chunk* has to fit: later
+        chunks run under the per-step budget and make their own room by
+        preempting (or being preempted) through the same victim ordering as
+        decode — that is what lets a whale prompt start while the pool is
+        mostly busy, instead of blocking the queue head until the whole
+        prompt fits.
+        """
         pool = self._pool_for(state)
         if pool is None:
             # Tiers without a pool are bounded by slot count only.
@@ -595,6 +723,10 @@ class BatchedMillionEngine:
         usable = self._usable_hits(state, plan, hits)
         block = pool.block_tokens
         needed_groups = plan.stored_final // block - usable
+        if self.chunked_prefill:
+            needed_groups = min(
+                needed_groups, self._chunk_tokens_for(pool) // block
+            )
         # Cached groups this prefill will adopt leave the evictable set the
         # moment they are adopted, so they must not double as reclaimable
         # capacity for the new allocations.
@@ -737,6 +869,202 @@ class BatchedMillionEngine:
             )
         return None
 
+    # Chunked prefill ----------------------------------------------------------
+
+    def _begin_chunked_prefill(self, state: RequestState) -> None:
+        """Admit a request into the running set with only block adoption done.
+
+        The compute — chunk forwards, the residual tail, the restore replay —
+        happens later, in budgeted sub-steps inside :meth:`step`.  Adoption
+        runs here because the admission gate already accounted for the
+        adopted groups leaving the evictable set; deferring it would let a
+        decode flush in the same step evict the blocks the gate promised.
+        Until the schedule completes the state is ``prefilling`` and the
+        decode half of every step skips it.
+        """
+        pool = self._pool_for(state)
+        assert pool is not None
+        prof = self.prof
+        timing = prof.enabled
+        begin_start = time.perf_counter()
+        plan = self._prefill_plan(state)
+        block = pool.block_tokens
+        state.context = self.model.fresh_context(self._factory_for(state))
+        state.block_hashes = []
+        with self._bound(state) as model:
+            caches = self._pooled_caches(state)
+            if timing:
+                t = prof.now()
+            hits = pool.longest_prefix(plan.hashes)
+            usable = self._usable_hits(state, plan, hits)
+            self.prefix_block_hits += usable
+            self.prefix_block_misses += len(plan.hashes) - usable
+            if usable:
+                groups = [pool.adopt(h) for h in plan.hashes[:usable]]
+                for unit, cache in enumerate(caches):
+                    cache.adopt_shared_blocks([g[unit] for g in groups])
+                model.advance_position(usable * block)
+                state.block_hashes.extend(plan.hashes[:usable])
+                self.prefill_tokens_reused += usable * block
+            if timing:
+                prof.lap("prefill/adopt", t)
+        plan.cursor = usable * block
+        state.prefilling = True
+        if timing:
+            prof.record("prefill", time.perf_counter() - begin_start)
+
+    def _finish_chunked_prefill(self, state: RequestState) -> Optional[StepOutput]:
+        """Chunk schedule complete: same finish checks as one-shot prefill."""
+        state.prefilling = False
+        state.prefill_plan = None
+        if state.request.max_new_tokens <= len(state.generated):
+            self._finish(state, FinishReason.LENGTH)
+        elif state.context.next_position >= self.model.config.max_seq_len:
+            self._finish(state, FinishReason.CONTEXT_FULL)
+        if state.is_finished:
+            return self._emit(
+                StepOutput(state.request_id, None, True, state.finish_reason)
+            )
+        return None
+
+    def _prefill_chunk_substep(
+        self, state: RequestState
+    ) -> tuple[int, Optional[StepOutput]]:
+        """Advance one prefilling sequence by one chunk of its schedule.
+
+        Exactly one of three moves, by cursor position: an **aligned chunk**
+        (forward + forced flush + publication — the pool protocol's sealed
+        state), the **residual tail** (pending-only forward that produces
+        the next-token logits; no allocation), or a slice of the **restore
+        replay** (one decode step per generated token, resumable mid-slice).
+        Returns the tokens computed and, when the schedule completed, the
+        finish output (if the request finished immediately).  A return of
+        ``(0, None)`` means the state was preempted making room for its own
+        chunk and left the running set.
+        """
+        pool = self._pool_for(state)
+        plan = state.prefill_plan
+        assert pool is not None and plan is not None and plan.cursor >= 0
+        block = pool.block_tokens
+        prompt_tokens = state.request.prompt_ids.size
+        history_size = prompt_tokens + len(state.generated)
+        cursor = plan.cursor
+        sub_start = time.perf_counter()
+        prof = self.prof
+        timing = prof.enabled
+        computed = 0
+        if cursor < plan.aligned:
+            hi = next(bound for bound in plan.bounds if bound > cursor)
+            demand = ((hi - cursor) // block) * pool.n_layers
+            if not self._ensure_decode_capacity(state, demand=demand):
+                return 0, None  # preempted; restarts from scratch on restore
+            if timing:
+                t = prof.now()
+            with self._bound(state) as model:
+                caches = self._pooled_caches(state)
+                model.forward(self._history_slice(state, cursor, hi))
+                for cache in caches:
+                    cache.flush_all()
+                self._register_new_blocks(state)
+            computed = hi - cursor
+            plan.cursor = hi
+            if timing:
+                prof.lap("prefill/chunk", t)
+        elif cursor < prompt_tokens:
+            # Residual tail [A, P): stays pending (the existing
+            # residual-window path), produces the next-token logits.
+            if timing:
+                t = prof.now()
+            with self._bound(state) as model:
+                logits = model.forward(
+                    self._history_slice(state, cursor, prompt_tokens)
+                )
+            state.next_logits = logits[-1]
+            computed = prompt_tokens - cursor
+            plan.cursor = prompt_tokens
+            if timing:
+                prof.lap("prefill/chunk", t)
+        else:
+            # Restore replay: re-decode generated tokens one step at a time
+            # (the flush schedule each step saw originally is reproduced
+            # exactly), up to one chunk's worth per sub-step.
+            chunk = self._chunk_tokens_for(pool)
+            target = min(cursor + chunk, history_size)
+            history = state.token_history
+            if timing:
+                t = prof.now()
+            while plan.cursor < target:
+                if not self._ensure_decode_capacity(state):
+                    # Preempted mid-replay; the partial work still counts
+                    # against this step's budget.
+                    self.prefill_tokens_computed += computed
+                    return computed, None
+                with self._bound(state) as model:
+                    state.next_logits = model.decode_step(
+                        int(history[plan.cursor])
+                    )
+                self._register_new_blocks(state)
+                plan.cursor += 1
+                computed += 1
+            if timing:
+                prof.lap("prefill/chunk", t)
+        self.prefill_tokens_computed += computed
+        self.prefill_chunks_total += 1
+        if timing:
+            prof.record("prefill", time.perf_counter() - sub_start)
+        if self.trace.enabled:
+            self.trace.complete(
+                "restore" if plan.is_restore else "prefill",
+                sub_start,
+                time.perf_counter(),
+                track=self.trace_track,
+                request_id=state.request_id,
+                args={
+                    "chunk_end": plan.cursor,
+                    "tokens_computed": computed,
+                    "is_restore": plan.is_restore,
+                },
+            )
+        if plan.cursor >= history_size:
+            return computed, self._finish_chunked_prefill(state)
+        return computed, None
+
+    def _prefill_chunk_work(self) -> tuple[list[StepOutput], int]:
+        """Run chunk sub-steps round-robin until the token budget is spent.
+
+        Prefilling sequences advance in admission order, one sub-step each
+        per pass, so two concurrent long prompts share the budget instead of
+        the older one monopolizing it.  The budget check runs *before* each
+        sub-step and only once something was spent — a budget smaller than
+        one chunk still guarantees one sub-step of forward progress per
+        engine step (stall-free, never stalled-out).
+        """
+        outputs: list[StepOutput] = []
+        budget = self.prefill_token_budget
+        spent = 0
+        while True:
+            pending = [
+                s
+                for s in self.scheduler.running
+                if s.status is RequestStatus.RUNNING and s.prefilling
+            ]
+            if not pending or (spent > 0 and spent >= budget):
+                break
+            progressed = 0
+            for state in pending:
+                if spent > 0 and spent >= budget:
+                    break
+                if state.status is not RequestStatus.RUNNING or not state.prefilling:
+                    continue  # preempted by an earlier sub-step of this pass
+                tokens, output = self._prefill_chunk_substep(state)
+                spent += tokens
+                progressed += tokens
+                if output is not None:
+                    outputs.append(output)
+            if progressed == 0:
+                break  # every candidate was preempted; retry next step
+        return outputs, spent
+
     # Preemption ---------------------------------------------------------------
 
     def _preempt(self, state: RequestState) -> None:
@@ -747,6 +1075,7 @@ class BatchedMillionEngine:
         self._release_context(state)
         state.next_logits = None
         state.prefill_plan = None  # the restore plan depends on generated tokens
+        state.prefilling = False  # a mid-chunk victim restarts its schedule
         self.scheduler.preempt(state)
         if self.trace.enabled:
             self.trace.instant(
@@ -770,8 +1099,14 @@ class BatchedMillionEngine:
         state: RequestState,
         reserved: int = 0,
         exclude: Sequence[RequestState] = (),
+        demand: Optional[int] = None,
     ) -> bool:
         """Make room for ``state``'s next decode step, preempting if needed.
+
+        ``demand`` overrides the computed decode-flush demand — chunked
+        prefill passes the block cost of the next aligned chunk so a
+        mid-prefill sequence claims room through the same victim ordering
+        as decode.
 
         ``reserved`` is block demand already promised to sequences decoding
         in the same fused step *against the same pool* — their flush
@@ -790,7 +1125,8 @@ class BatchedMillionEngine:
         pool = self._pool_for(state)
         assert pool is not None and state.context is not None
         excluded = {id(s) for s in exclude}
-        demand = self._decode_block_demand(state)
+        if demand is None:
+            demand = self._decode_block_demand(state)
         while demand and not pool.can_allocate(reserved + demand):
             victim = next(
                 (
@@ -882,6 +1218,8 @@ class BatchedMillionEngine:
         for state in self.scheduler.running:
             if state.status is not RequestStatus.RUNNING:
                 continue  # preempted or cancelled earlier in this very step
+            if state.prefilling:
+                continue  # chunk schedule not finished; no logits to sample
             pool = self._pool_for(state)
             # ``exclude=live`` protects sequences already collected into this
             # fused batch: each holds a sampled token whose forward has not
@@ -967,6 +1305,12 @@ class BatchedMillionEngine:
         With ``fused_decode`` enabled (the default) the decode half runs one
         stacked forward for the whole running batch; the per-sequence loop is
         kept as the bit-identical reference oracle.
+
+        With ``chunked_prefill`` enabled, the prefill half additionally
+        advances every mid-prefill sequence by block-aligned chunks under
+        ``prefill_token_budget``, so one step mixes bounded prefill work
+        with a full decode of the non-prefilling batch — a long prompt
+        makes forward progress without freezing in-flight streams.
         """
         step_start = time.perf_counter()
         self.step_count += 1
@@ -1003,9 +1347,19 @@ class BatchedMillionEngine:
                         request_id=state.request_id,
                         args={"tier": state.request.tier or "default"},
                     )
-            prefill_output = self._prefill(state)
-            if prefill_output is not None:
-                outputs.append(prefill_output)
+            if self.chunked_prefill and self._pool_for(state) is not None:
+                self._begin_chunked_prefill(state)
+            else:
+                prefill_output = self._prefill(state)
+                if prefill_output is not None:
+                    outputs.append(prefill_output)
+        chunk_spent = 0
+        if self.chunked_prefill:
+            chunk_outputs, chunk_spent = self._prefill_chunk_work()
+            outputs.extend(chunk_outputs)
+            self.last_budget_utilization = (
+                chunk_spent / self.prefill_token_budget if chunk_spent else 0.0
+            )
         decode_start = time.perf_counter()
         if self.fused_decode and not self.model.kv_observers:
             outputs.extend(self._decode_fused())
@@ -1014,6 +1368,8 @@ class BatchedMillionEngine:
             for state in self.scheduler.running:
                 if state.status is not RequestStatus.RUNNING:
                     continue  # preempted or cancelled earlier in this very step
+                if state.prefilling:
+                    continue  # chunk schedule not finished; no logits to sample
                 if self._pool_for(state) is not None and not (
                     self._ensure_decode_capacity(state)
                 ):
@@ -1031,7 +1387,7 @@ class BatchedMillionEngine:
             # MLPs, logit projection, Python glue — is ``decode`` self time).
             self.prof.record("decode", self.last_decode_seconds)
         decoded = [o for o in outputs if o.token is not None]
-        if admitted_count:
+        if admitted_count or chunk_spent:
             self.prefill_step_hist.observe(self.last_prefill_seconds)
         if decoded:
             self.decode_step_hist.observe(self.last_decode_seconds)
@@ -1208,6 +1564,7 @@ class BatchedMillionEngine:
         """Aggregate serving statistics: queues, memory, pool utilization."""
         return {
             "running": self.scheduler.running_count,
+            "prefilling": self.scheduler.prefilling_count,
             "queued": self.scheduler.queued_count,
             "finished": self.scheduler.finished_count,
             "unclaimed_results": len(self._unclaimed_results),
@@ -1226,6 +1583,10 @@ class BatchedMillionEngine:
                 "last_decode_seconds": self.last_decode_seconds,
                 "prefill_seconds_total": self.prefill_seconds_total,
                 "decode_seconds_total": self.decode_seconds_total,
+                "chunked_prefill_enabled": self.chunked_prefill,
+                "prefill_token_budget": self.prefill_token_budget,
+                "prefill_chunks_total": self.prefill_chunks_total,
+                "last_budget_utilization": self.last_budget_utilization,
             },
             "pool": self.pool.stats() if self.pool is not None else None,
             "phases": self.prof.snapshot(),
@@ -1242,6 +1603,7 @@ class BatchedMillionEngine:
 
 __all__ = [
     "BatchedMillionEngine",
+    "chunk_schedule",
     "FinishReason",
     "GenerationRequest",
     "RequestState",

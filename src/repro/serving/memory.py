@@ -14,7 +14,11 @@ vLLM's paged KV allocator, specialised to MILLION's PQ-compressed cache:
 * :class:`PooledMillionKVCacheLayer` is the MILLION cache whose quantized
   code rows live in pool blocks instead of private storage.  Flushes are
   forced onto ``block_tokens`` boundaries, so every sealed block is full and
-  the MILLION flush block maps 1:1 onto a pool block.
+  the MILLION flush block maps 1:1 onto a pool block.  The same forced
+  alignment is what defines the engine's chunked-prefill boundaries: a
+  chunk of ``k·block_tokens`` tokens ends in ``flush_all()``, sealing and
+  publishing whole groups, so a prefill paused at any chunk boundary is in
+  exactly the state a one-go prefill of that many chunks would be.
 * :class:`PooledMillionCacheFactory` wires calibrated per-layer quantizers to
   one shared pool and plugs into
   :class:`~repro.serving.engine.BatchedMillionEngine`, which adds
@@ -476,8 +480,12 @@ class BlockPool:
         span whose earlier entry was partially evicted), the new group
         replaces the old one: the previous blocks lose their published status
         and are freed once unreferenced.  Contents are identical either way —
-        equal chain hashes imply equal token prefixes and quantized codes are
-        a deterministic function of the prefix.
+        equal chain hashes imply equal token prefixes, and for a fixed
+        prefill schedule (one-shot, or chunked with the engine-fixed chunk
+        size) quantized codes are a deterministic function of the prefix.
+        That is why the engine derives its chunk size from configuration
+        once and never from load: chunk boundaries are flush boundaries,
+        and flush boundaries determine block content.
         """
         ids = tuple(int(b) for b in block_ids)
         require(

@@ -139,9 +139,14 @@ class RequestState:
     # Content-hash chain of the sequence's sealed KV blocks (engine-managed;
     # entry i is the chain hash covering token_history[: (i+1) * block_tokens]).
     block_hashes: list[bytes] = field(default_factory=list)
-    # Engine-memoized prefill/restore schedule; valid only while the request
-    # waits in the queue (the engine clears it on admission and preemption).
+    # Engine-memoized prefill/restore schedule.  One-shot prefill consumes
+    # it at admission; chunked prefill keeps it (with a resume cursor) until
+    # the chunk schedule completes.  Cleared on preemption and cancel.
     prefill_plan: Optional[object] = None
+    # True while a chunk-admitted sequence still has prefill work: it holds
+    # a running slot but the decode half of every step skips it (its
+    # ``next_logits`` are absent or stale until the schedule finishes).
+    prefilling: bool = False
     # Lifecycle timestamps on the process-wide monotonic clock
     # (time.perf_counter), stamped by the scheduler.  ``admitted_at`` and
     # ``queue_wait_s`` cover the *first* admission only; restores after

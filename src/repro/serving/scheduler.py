@@ -14,8 +14,13 @@ the ``serving.slo_load`` benchmark compares against.
 
 Memory awareness is injected from the outside: :meth:`admit_next` accepts an
 *admission gate* — a predicate supplied by the engine that consults the KV
-block pool — so the scheduler itself stays free of memory policy.  Admission
-is strictly head-of-line *within the class order*: the head of the
+block pool — so the scheduler itself stays free of memory policy.  Under
+chunked prefill the engine's gate only requires the request's *first chunk*
+to fit (the rest of the prompt streams in under the per-step token budget),
+which shortens how long a large prompt blocks the head of the line; the
+admitted state then stays in the running set with ``prefilling=True`` until
+its chunk schedule completes (see :attr:`~ContinuousBatchingScheduler.prefilling_count`).
+Admission is strictly head-of-line *within the class order*: the head of the
 highest-priority non-empty queue is the only admission candidate, and if the
 gate refuses it nothing younger or lower-priority is admitted past it.  That
 rule is what makes the starvation guarantees composable: large interactive
@@ -323,7 +328,9 @@ class ContinuousBatchingScheduler:
         first within a class.  With ``priority_aware=False`` this is simply
         youngest-first — the pre-priority policy.  The engine walks this
         order and preempts the first victim whose blocks would actually
-        relieve the contended pool.
+        relieve the contended pool.  Mid-prefill sequences (chunked
+        admission) are ordinary candidates: evicting one frees its chunk
+        blocks and its schedule restarts from scratch on restore.
         """
         if not self.priority_aware:
             yield from reversed(self._running.values())
@@ -408,6 +415,17 @@ class ContinuousBatchingScheduler:
     @property
     def running_count(self) -> int:
         return len(self._running)
+
+    @property
+    def prefilling_count(self) -> int:
+        """Running sequences whose chunked prefill has not completed yet.
+
+        These hold a running slot (they were admitted once their first
+        chunk fit) but are skipped by the decode half of every engine step
+        until their chunk schedule finishes.  Always 0 when the engine runs
+        one-shot prefill.
+        """
+        return sum(1 for state in self._running.values() if state.prefilling)
 
     @property
     def finished_count(self) -> int:

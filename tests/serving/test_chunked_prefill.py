@@ -1,0 +1,277 @@
+"""Tests for chunked prefill: schedule shape, determinism, budget, cancel.
+
+Chunked prefill is its own oracle: chunked output is deterministic in
+``(prompt, chunk_tokens)`` but *not* bit-identical to one-shot prefill
+(every forced flush changes the quantized/full-precision split deeper
+layers attend to).  The suite therefore compares chunked against chunked —
+cold vs cold, cold vs prefix-adopted, uncontended vs preempted/restored —
+and keeps one test asserting the legacy path is untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.kv_cache import FullPrecisionCacheFactory
+from repro.serving import (
+    BatchedMillionEngine,
+    BlockPool,
+    FinishReason,
+    PooledMillionCacheFactory,
+    chunk_schedule,
+)
+
+BLOCK_TOKENS = 4
+
+
+@pytest.fixture()
+def chunked_engine_factory(tiny_model, tiny_config, million_factory, million_config):
+    """Builds a fresh chunked pooled engine (own pool) per call."""
+
+    def build(num_blocks=256, max_batch_size=4, budget=8, chunked=True):
+        pool = BlockPool.for_model(
+            tiny_config,
+            million_config,
+            num_blocks=num_blocks,
+            block_tokens=BLOCK_TOKENS,
+        )
+        factory = PooledMillionCacheFactory.from_factory(million_factory, pool)
+        return BatchedMillionEngine(
+            tiny_model,
+            factory,
+            max_batch_size=max_batch_size,
+            chunked_prefill=chunked,
+            prefill_token_budget=budget,
+        )
+
+    yield build
+    tiny_model.reset_cache(FullPrecisionCacheFactory())
+
+
+class TestChunkSchedule:
+    def test_example_schedule(self):
+        # P=100, B=16 -> A=96; C=32 -> chunks at 32, 64, then A, then P.
+        assert chunk_schedule(100, 16, 32) == (32, 64, 96, 100)
+
+    def test_prompt_within_first_block(self):
+        # A=0: the whole prompt is the residual tail, one bound only.
+        assert chunk_schedule(3, 4, 8) == (3,)
+        assert chunk_schedule(1, 4, 4) == (1,)
+
+    def test_aligned_prompt_keeps_last_block_as_tail(self):
+        # P a multiple of B: A = P - B, so the tail is exactly one block.
+        assert chunk_schedule(16, 4, 8) == (8, 12, 16)
+
+    def test_chunk_tokens_must_be_aligned_multiple(self):
+        with pytest.raises(Exception, match="chunk_tokens"):
+            chunk_schedule(100, 16, 24)  # not a multiple of block_tokens
+        with pytest.raises(Exception, match="chunk_tokens"):
+            chunk_schedule(100, 16, 8)  # smaller than one block
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        prompt=st.integers(min_value=1, max_value=512),
+        block=st.integers(min_value=1, max_value=16),
+        chunks_per=st.integers(min_value=1, max_value=8),
+    )
+    def test_any_chunking_yields_valid_aligned_schedule(
+        self, prompt, block, chunks_per
+    ):
+        chunk = block * chunks_per
+        bounds = chunk_schedule(prompt, block, chunk)
+        aligned = block * ((prompt - 1) // block)
+        # Strictly increasing, ends at the prompt length.
+        assert all(a < b for a, b in zip(bounds, bounds[1:]))
+        assert bounds[-1] == prompt
+        # Every bound below A is a multiple of the chunk size; A itself is
+        # the penultimate bound whenever an aligned prefix exists.
+        for bound in bounds[:-1]:
+            assert bound == aligned or bound % chunk == 0
+        if aligned > 0:
+            assert bounds[-2] == aligned
+        else:
+            assert bounds == (prompt,)
+        # The tail past A is the residual window: between 1 and B tokens.
+        assert 1 <= prompt - aligned <= block
+
+
+class TestChunkedConstruction:
+    def test_requires_block_pool(self, tiny_model, million_factory):
+        with pytest.raises(Exception, match="pool"):
+            BatchedMillionEngine(
+                tiny_model, million_factory, chunked_prefill=True
+            )
+        tiny_model.reset_cache(FullPrecisionCacheFactory())
+
+    def test_budget_must_be_positive(self, chunked_engine_factory):
+        with pytest.raises(Exception, match="budget"):
+            chunked_engine_factory(budget=0)
+
+    def test_default_budget_is_eight_blocks(
+        self, tiny_model, tiny_config, million_factory, million_config
+    ):
+        pool = BlockPool.for_model(
+            tiny_config, million_config, num_blocks=64, block_tokens=BLOCK_TOKENS
+        )
+        factory = PooledMillionCacheFactory.from_factory(million_factory, pool)
+        engine = BatchedMillionEngine(tiny_model, factory, chunked_prefill=True)
+        assert engine.prefill_token_budget == 8 * BLOCK_TOKENS
+        tiny_model.reset_cache(FullPrecisionCacheFactory())
+
+    def test_legacy_engine_never_chunks(
+        self, chunked_engine_factory, calibration_tokens
+    ):
+        engine = chunked_engine_factory(chunked=False)
+        engine.generate_batch([calibration_tokens[:40]], max_new_tokens=4)
+        assert engine.prefill_chunks_total == 0
+        assert engine.stats()["step_timing"]["chunked_prefill_enabled"] is False
+
+
+class TestChunkedDeterminism:
+    def test_cold_runs_are_identical(
+        self, chunked_engine_factory, calibration_tokens
+    ):
+        prompt = calibration_tokens[:41]
+        first = chunked_engine_factory().generate_batch([prompt], 8)[0]
+        second = chunked_engine_factory().generate_batch([prompt], 8)[0]
+        np.testing.assert_array_equal(first, second)
+
+    def test_prefix_adoption_matches_cold(
+        self, chunked_engine_factory, calibration_tokens
+    ):
+        """A warm request adopting chunk-published blocks decodes the same."""
+        prompt = calibration_tokens[:41]
+        cold = chunked_engine_factory().generate_batch([prompt], 8)[0]
+        engine = chunked_engine_factory()
+        first = engine.generate_batch([prompt], 8)[0]
+        warm = engine.generate_batch([prompt], 8)[0]
+        assert engine.prefill_tokens_reused > 0
+        np.testing.assert_array_equal(cold, first)
+        np.testing.assert_array_equal(cold, warm)
+
+    def test_preempted_restore_matches_uncontended(
+        self, chunked_engine_factory, calibration_tokens
+    ):
+        """Restore replays the same chunk schedule: tokens survive eviction."""
+        prompts = [calibration_tokens[i : i + 60] for i in (0, 70, 140)]
+        uncontended = chunked_engine_factory(num_blocks=256)
+        reference = uncontended.generate_batch(prompts, max_new_tokens=12)
+        assert uncontended.preemption_count == 0
+        contended = chunked_engine_factory(num_blocks=48)
+        outputs = contended.generate_batch(prompts, max_new_tokens=12)
+        assert contended.preemption_count >= 1
+        for want, got in zip(reference, outputs):
+            np.testing.assert_array_equal(want, got)
+
+    def test_batched_whale_matches_solo_chunked(
+        self, chunked_engine_factory, calibration_tokens
+    ):
+        """Interleaving a whale with short streams never changes its tokens."""
+        whale = calibration_tokens[:120]
+        short = calibration_tokens[200:210]
+        solo_whale = chunked_engine_factory().generate_batch([whale], 6)[0]
+        solo_short = chunked_engine_factory().generate_batch([short], 6)[0]
+        mixed = chunked_engine_factory(budget=8)
+        short_id = mixed.add_request(short, max_new_tokens=6)
+        whale_id = mixed.add_request(whale, max_new_tokens=6)
+        results = mixed.run()
+        np.testing.assert_array_equal(results[whale_id], solo_whale)
+        np.testing.assert_array_equal(results[short_id], solo_short)
+
+
+class TestBudgetInterleaving:
+    def test_long_prompt_spans_steps_and_decode_continues(
+        self, chunked_engine_factory, calibration_tokens
+    ):
+        """A whale prefills across steps while a short request keeps decoding."""
+        engine = chunked_engine_factory(budget=4)
+        short_id = engine.add_request(calibration_tokens[:6], max_new_tokens=16)
+        engine.step()  # chunk 1 of the short prompt
+        engine.step()  # tail: short finishes prefill and decodes its first token
+        whale_id = engine.add_request(calibration_tokens[100:220], max_new_tokens=4)
+        engine.step()
+        whale = engine.state_of(whale_id)
+        assert whale.prefilling  # 120-token prompt can't finish on budget 4
+        assert engine.stats()["prefilling"] == 1
+        assert whale.generated_ids.size == 0  # no decode while prefilling
+        # The short request decoded this step despite the whale's chunk work.
+        short_after_one = engine.state_of(short_id).generated_ids.size
+        assert short_after_one >= 2
+        steps_while_prefilling = 0
+        while engine.state_of(whale_id).prefilling:
+            engine.step()
+            steps_while_prefilling += 1
+        assert steps_while_prefilling > 5  # genuinely budget-limited
+        assert engine.state_of(short_id).generated_ids.size > short_after_one
+        engine.run()
+        assert engine.state_of(whale_id).finish_reason is FinishReason.LENGTH
+
+    def test_budget_counters_in_stats(
+        self, chunked_engine_factory, calibration_tokens
+    ):
+        engine = chunked_engine_factory(budget=8)
+        engine.add_request(calibration_tokens[:40], max_new_tokens=2)
+        engine.step()
+        timing = engine.stats()["step_timing"]
+        assert timing["chunked_prefill_enabled"] is True
+        assert timing["prefill_token_budget"] == 8
+        assert timing["prefill_chunks_total"] >= 1
+        assert timing["last_budget_utilization"] > 0.0
+        engine.run()
+        # The final step has no prefill work: utilization reads 0.
+        assert engine.stats()["step_timing"]["last_budget_utilization"] == 0.0
+
+    def test_minimum_chunk_overshoots_tiny_budget(
+        self, chunked_engine_factory, calibration_tokens
+    ):
+        """Budget below one block still makes progress (utilization > 1)."""
+        engine = chunked_engine_factory(budget=2)
+        engine.add_request(calibration_tokens[:20], max_new_tokens=2)
+        engine.step()
+        assert engine.last_budget_utilization > 1.0
+        results = engine.run()
+        assert next(iter(results.values())).size == 2
+
+
+class TestMidChunkCancel:
+    def test_cancel_mid_prefill_releases_every_block(
+        self, chunked_engine_factory, calibration_tokens
+    ):
+        engine = chunked_engine_factory(budget=4)
+        request_id = engine.add_request(
+            calibration_tokens[:120], max_new_tokens=4
+        )
+        engine.step()
+        state = engine.state_of(request_id)
+        assert state.prefilling  # paused mid-schedule
+        pool = engine.pool
+        tables = [list(cache.block_table) for cache in state.context.caches]
+        held = {bid for table in tables for bid in table}
+        assert held and all(pool.refcount(bid) >= 1 for bid in held)
+        assert engine.cancel(request_id) is True
+        assert not state.prefilling and state.context is None
+        assert state.finish_reason is FinishReason.CANCELLED
+        # Chunk-published blocks drop to refcount 0 (cached, evictable);
+        # nothing stays pinned by the dead sequence.
+        assert all(pool.refcount(bid) == 0 for bid in held)
+        assert pool.available_block_count == pool.num_blocks
+        assert not engine.scheduler.has_work
+
+    def test_cancel_mid_prefill_leaves_others_running(
+        self, chunked_engine_factory, calibration_tokens
+    ):
+        engine = chunked_engine_factory(budget=4)
+        keeper = engine.add_request(calibration_tokens[:8], max_new_tokens=6)
+        victim = engine.add_request(calibration_tokens[100:220], max_new_tokens=4)
+        engine.step()
+        assert engine.state_of(victim).prefilling
+        engine.cancel(victim)
+        results = engine.run()
+        solo = chunked_engine_factory().generate_batch(
+            [calibration_tokens[:8]], max_new_tokens=6
+        )[0]
+        np.testing.assert_array_equal(results[keeper], solo)
+        assert results[victim].size == 0

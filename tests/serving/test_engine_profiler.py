@@ -76,6 +76,51 @@ class TestPhaseAttribution:
         assert phases == profiled_engine.prof.snapshot()
 
 
+class TestChunkedPhases:
+    @pytest.fixture()
+    def chunked_profiled_engine(self, tiny_config, million_config, million_factory):
+        from repro.models import build_model
+        from repro.serving import BlockPool, PooledMillionCacheFactory
+
+        pool = BlockPool.for_model(
+            tiny_config, million_config, num_blocks=256, block_tokens=4
+        )
+        return BatchedMillionEngine(
+            build_model(tiny_config, seed=7),
+            PooledMillionCacheFactory.from_factory(million_factory, pool),
+            prof=PhaseProfiler(),
+            chunked_prefill=True,
+            prefill_token_budget=8,
+        )
+
+    def test_chunk_phases_recorded(self, chunked_profiled_engine, calibration_tokens):
+        engine = chunked_profiled_engine
+        engine.add_request(calibration_tokens[:40], max_new_tokens=4)
+        engine.add_request(calibration_tokens[:40], max_new_tokens=4)  # adopts
+        engine.run()
+        snap = engine.prof.snapshot()
+        # Chunk sub-steps and block adoption show up under the prefill root.
+        assert {"prefill", "prefill/chunk", "prefill/adopt"} <= set(snap), sorted(snap)
+        assert snap["prefill/chunk"]["count"] == engine.prefill_chunks_total
+        assert snap["prefill/chunk"]["count"] >= 2  # 40 tokens on budget 8
+
+    def test_decode_self_sum_contract_holds_under_chunking(
+        self, chunked_profiled_engine, calibration_tokens
+    ):
+        """Interleaved chunk work must not leak into decode attribution."""
+        engine = chunked_profiled_engine
+        _run_batch(engine, calibration_tokens)
+        snap = engine.prof.snapshot()
+        decode_self = sum(
+            row["self_s"]
+            for row in phase_table(snap)
+            if row["phase"] == "decode" or row["phase"].startswith("decode/")
+        )
+        wall = engine.decode_seconds_total
+        assert wall > 0.0
+        assert decode_self == pytest.approx(wall, rel=0.10)
+
+
 class TestNullDefault:
     def test_engine_defaults_to_null_profiler(
         self, tiny_config, million_factory, calibration_tokens
